@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate itself: how fast the
+ * host-side toolchain (kernel generation, VLIW packing, timing
+ * simulation, layout packing) runs. These are compiler-throughput
+ * numbers, complementing the simulated-DSP cycle counts of the
+ * table/figure harnesses, and back the paper's compilation-time claims
+ * (Table IV: 5 - 25 minutes per model on the authors' machine; our whole
+ * pipeline is far cheaper because kernels are tile-simulated).
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "kernels/runner.h"
+#include "models/zoo.h"
+#include "runtime/compiler.h"
+#include "tensor/layout.h"
+#include "vliw/packer.h"
+
+using namespace gcd2;
+
+namespace {
+
+void
+BM_KernelGeneration(benchmark::State &state)
+{
+    const kernels::MatMulShape shape{128, 128, 128};
+    kernels::MatMulConfig config;
+    config.unrollCols = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        kernels::MatMulKernel kernel(shape, config);
+        benchmark::DoNotOptimize(kernel.program().code.size());
+    }
+}
+BENCHMARK(BM_KernelGeneration)->Arg(1)->Arg(4);
+
+void
+BM_SdaPacking(benchmark::State &state)
+{
+    const kernels::MatMulShape shape{128, 128, 128};
+    kernels::MatMulConfig config;
+    config.unrollCols = static_cast<int>(state.range(0));
+    const kernels::MatMulKernel kernel(shape, config);
+    vliw::PackOptions opts;
+    for (auto _ : state) {
+        const dsp::PackedProgram packed = vliw::pack(kernel.program(), opts);
+        benchmark::DoNotOptimize(packed.packets.size());
+    }
+    state.counters["instructions"] =
+        static_cast<double>(kernel.program().code.size());
+}
+BENCHMARK(BM_SdaPacking)->Arg(1)->Arg(4);
+
+void
+BM_TimingSimulation(benchmark::State &state)
+{
+    const kernels::MatMulShape shape{64, 64, 32};
+    const kernels::MatMulKernel kernel(shape, {});
+    for (auto _ : state) {
+        const kernels::KernelRunResult run = kernels::runKernel(
+            kernel.program(), kernel.buffers(), {}, {});
+        benchmark::DoNotOptimize(run.stats.cycles);
+    }
+}
+BENCHMARK(BM_TimingSimulation);
+
+void
+BM_LayoutPack(benchmark::State &state)
+{
+    const int64_t rows = state.range(0);
+    Rng rng(7);
+    const auto data = rng.int8Vector(static_cast<size_t>(rows * 64));
+    std::vector<int8_t> packed;
+    for (auto _ : state) {
+        tensor::packMatrix(data.data(), rows, 64,
+                           tensor::Layout::FourColumn, packed);
+        benchmark::DoNotOptimize(packed.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            rows * 64);
+}
+BENCHMARK(BM_LayoutPack)->Arg(128)->Arg(1024);
+
+void
+BM_CompileModel(benchmark::State &state)
+{
+    const graph::Graph g = models::buildModel(models::ModelId::WdsrB);
+    for (auto _ : state) {
+        const runtime::CompiledModel compiled = runtime::compile(g);
+        benchmark::DoNotOptimize(compiled.totals.cycles);
+    }
+}
+BENCHMARK(BM_CompileModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table I: latency and power of mobile CPU / GPU / DSP under TFLite.
+ *
+ * The CPU and GPU columns come from the calibrated analytic platform
+ * models (context devices, not reproduction targets); the DSP column is
+ * the TFLite-like framework compiled through the simulator. The paper's
+ * point -- the DSP wins both latency and power by large factors -- must
+ * reproduce.
+ */
+#include <iostream>
+
+#include "baselines/frameworks.h"
+#include "common/table.h"
+#include "runtime/platform_model.h"
+#include "runtime/power_model.h"
+
+using namespace gcd2;
+using baselines::Framework;
+
+int
+main()
+{
+    std::cout << "Table I: Latency and Power Comparisons among Mobile "
+                 "CPU, GPU, and DSP (TFLite)\n\n";
+
+    const struct
+    {
+        models::ModelId id;
+        double paperCpuMs, paperGpuMs, paperDspMs;
+        double paperCpuOverDsp, paperGpuOverDsp;
+    } rows[] = {
+        {models::ModelId::EfficientNetB0, 11.3, 9.1, 10.7, 1.6, 1.0},
+        {models::ModelId::ResNet50, 34.4, 13.9, 6.2, 2.3, 1.0},
+        {models::ModelId::PixOr, 64.6, 43.0, 6.7, 1.8, 1.0},
+        {models::ModelId::CycleGAN, 477.0, 450.0, 5.5, 1.2, 1.0},
+    };
+
+    Table table({"Model", "CPU ms", "GPU ms", "DSP ms", "CPU/DSP",
+                 "GPU/DSP", "paper CPU/GPU ms"});
+
+    const runtime::DspPowerModel dspPower;
+    double cpuPowerSum = 0, gpuPowerSum = 0, dspPowerSum = 0;
+    int count = 0;
+
+    for (const auto &row : rows) {
+        const auto &info = models::modelInfo(row.id);
+        const graph::Graph g = models::buildModel(row.id);
+        const int64_t macs = g.totalMacs();
+
+        const double cpuMs = runtime::kMobileCpuInt8.latencyMs(macs);
+        const double gpuMs = runtime::kMobileGpuFp16.latencyMs(macs);
+        const auto dsp = baselines::runFramework(Framework::TfLite, row.id);
+        const double dspMs = dsp->latencyMs();
+
+        table.addRow({info.name, fmtDouble(cpuMs, 1), fmtDouble(gpuMs, 1),
+                      fmtDouble(dspMs, 1), fmtSpeedup(cpuMs / dspMs),
+                      fmtSpeedup(gpuMs / dspMs),
+                      fmtDouble(row.paperCpuMs, 1) + " / " +
+                          fmtDouble(row.paperGpuMs, 1)});
+
+        cpuPowerSum += runtime::kMobileCpuInt8.watts;
+        gpuPowerSum += runtime::kMobileGpuFp16.watts;
+        dspPowerSum += dspPower.watts(*dsp);
+        ++count;
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAverage power: CPU " << fmtDouble(cpuPowerSum / count, 1)
+              << " W, GPU " << fmtDouble(gpuPowerSum / count, 1)
+              << " W, DSP " << fmtDouble(dspPowerSum / count, 1)
+              << " W (paper: DSP draws the least while being fastest)\n";
+    return 0;
+}

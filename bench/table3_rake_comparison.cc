@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table III: SIMD instructions selected and performance, RAKE vs GCD2,
+ * on three representative ResNet-50 Conv2D kernels (7x7, 1x1, 3x3).
+ */
+#include <iostream>
+
+#include "baselines/kernel_compilers.h"
+#include "common/table.h"
+
+using namespace gcd2;
+using baselines::KernelCompiler;
+
+int
+main()
+{
+    std::cout << "Table III: SIMD Instructions Selected and Performance "
+                 "by RAKE and GCD2 (ResNet-50 Conv2d kernels)\n\n";
+
+    const auto &kernels = baselines::resnetConvKernels();
+    // Table III's three kernels: the 7x7 stem, a 1x1, and a 3x3.
+    const struct
+    {
+        size_t index;
+        const char *shape;
+        double paperSpeedup;
+    } rows[] = {
+        {0, "1x3x224x224 w 64x3x7x7", 1.63},
+        {1, "1x64x56x56 w 64x64x1x1", 1.98},
+        {7, "1x128x28x28 w 128x128x3x3", 2.06},
+    };
+
+    Table table({"Conv2d", "RAKE instr", "GCD2 instr", "Ours/RAKE",
+                 "paper Ours/RAKE"});
+    for (const auto &row : rows) {
+        const auto rake =
+            baselines::compileConv(kernels[row.index], KernelCompiler::Rake);
+        const auto ours =
+            baselines::compileConv(kernels[row.index], KernelCompiler::Gcd2);
+        table.addRow({row.shape, kernels::schemeName(rake.scheme),
+                      kernels::schemeName(ours.scheme),
+                      fmtSpeedup(static_cast<double>(rake.cycles) /
+                                     static_cast<double>(ours.cycles),
+                                 2),
+                      fmtSpeedup(row.paperSpeedup, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNote: both systems pick per-kernel instructions; the "
+                 "paper's RAKE prefers vrmpy where GCD2's cost model\n"
+                 "finds better layouts. Our simulated instruction "
+                 "economics favor vmpa on these shapes, so the selected\n"
+                 "mnemonics differ from the paper while the relationship "
+                 "(GCD2 strictly faster on every kernel) holds.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table IV: end-to-end latency of all ten models under TFLite-like,
+ * SNPE-like, and GCD2, with speedups and geometric means.
+ */
+#include <iostream>
+#include <vector>
+
+#include "baselines/frameworks.h"
+#include "common/table.h"
+
+using namespace gcd2;
+using baselines::Framework;
+
+int
+main()
+{
+    std::cout << "Table IV: Overall Performance Comparison among TFLite, "
+                 "SNPE, and GCD2 on the Mobile DSP\n\n";
+
+    const double paperLatency[][3] = {
+        // TFLite, SNPE, GCD2 (ms); -1 = unsupported ("-")
+        {7.5, 6.2, 4.0},   {9.1, 9.2, 6.0},    {13.9, 11.6, 7.1},
+        {935, 870, 211},   {450, 366, 181},    {400, 137, 66.7},
+        {62.8, -1, 26},    {43, 26.4, 11.7},   {-1, -1, 12.2},
+        {-1, -1, 65},
+    };
+
+    Table table({"Model", "#MACs", "#Ops", "TFLite (ms)", "SNPE (ms)",
+                 "GCD2 (ms)", "OverT", "OverS", "paper OverT/OverS"});
+
+    std::vector<double> overT, overS;
+    size_t idx = 0;
+    for (const auto &info : models::allModels()) {
+        const graph::Graph g = models::buildModel(info.id);
+
+        const auto gcd2 = baselines::runFramework(Framework::Gcd2, info.id);
+        const auto tflite =
+            baselines::runFramework(Framework::TfLite, info.id);
+        const auto snpe = baselines::runFramework(Framework::Snpe, info.id);
+
+        auto cell = [](const std::optional<runtime::CompiledModel> &r) {
+            return r ? fmtDouble(r->latencyMs(), 1) : std::string("-");
+        };
+        std::string overTCell = "-", overSCell = "-";
+        if (tflite) {
+            overT.push_back(tflite->latencyMs() / gcd2->latencyMs());
+            overTCell = fmtSpeedup(overT.back());
+        }
+        if (snpe) {
+            overS.push_back(snpe->latencyMs() / gcd2->latencyMs());
+            overSCell = fmtSpeedup(overS.back());
+        }
+
+        const auto &paper = paperLatency[idx++];
+        auto paperRatio = [&](int which) {
+            return paper[which] < 0
+                       ? std::string("-")
+                       : fmtSpeedup(paper[which] / paper[2]);
+        };
+
+        table.addRow({info.name,
+                      fmtDouble(static_cast<double>(g.totalMacs()) / 1e9,
+                                2) + "G",
+                      std::to_string(g.operatorCount()), cell(tflite),
+                      cell(snpe), cell(gcd2), overTCell, overSCell,
+                      paperRatio(0) + " / " + paperRatio(1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSpeedup (geometric mean): over TFLite "
+              << fmtSpeedup(geometricMean(overT)) << " (paper 2.8x), "
+              << "over SNPE " << fmtSpeedup(geometricMean(overS))
+              << " (paper 2.1x)\n"
+              << "GCD2 uniquely runs TinyBERT and Conformer (transformer "
+                 "ops unsupported by both baselines), as in the paper.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Authoring a custom network against the public graph API and compiling
+ * it with different selection strategies -- the workflow a downstream
+ * user follows to bring their own model to the simulated DSP.
+ *
+ * The model is a small super-resolution-style network whose alternating
+ * shapes give the global optimizer real decisions to make.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "graph/passes.h"
+#include "models/builders.h"
+#include "runtime/compiler.h"
+
+using namespace gcd2;
+using models::add;
+using models::conv;
+using models::input;
+
+int
+main()
+{
+    // Build: head conv -> 4 residual blocks with channel expansion ->
+    // upsample tail. Mixed 1x1/3x3 kernels alternate the best SIMD
+    // instruction, which is exactly where global selection pays off.
+    graph::Graph g;
+    graph::NodeId x = input(g, {3, 96, 96});
+    graph::NodeId body = conv(g, x, 32, 3, 1, 1);
+    for (int i = 0; i < 4; ++i) {
+        graph::NodeId y = conv(g, body, 144, 1, 1, 0);      // expand
+        y = conv(g, y, 32, 1, 1, 0, /*relu=*/false);        // shrink
+        y = conv(g, y, 32, 3, 1, 1, /*relu=*/false);        // spatial
+        body = add(g, body, y);
+    }
+    graph::NodeId up = g.add(graph::OpType::Upsample, {body});
+    graph::NodeId out = conv(g, up, 3, 3, 1, 1, /*relu=*/false);
+    g.add(graph::OpType::Output, {out});
+
+    const graph::PassStats passes = graph::optimize(g);
+    std::cout << "Custom model: " << g.operatorCount() << " operators, "
+              << fmtDouble(static_cast<double>(g.totalMacs()) / 1e9, 3)
+              << " GMACs (" << passes.fusedActivations
+              << " activations fused, " << passes.removedNodes
+              << " nodes eliminated)\n\n";
+
+    Table table({"Selection", "Agg cost (cycles)", "Latency (ms)",
+                 "Search evals"});
+    for (auto mode : {runtime::SelectionMode::Local,
+                      runtime::SelectionMode::Gcd2,
+                      runtime::SelectionMode::GlobalOptimal}) {
+        runtime::CompileOptions options;
+        options.selection = mode;
+        const runtime::CompiledModel compiled = runtime::compile(g, options);
+        const char *name = mode == runtime::SelectionMode::Local ? "local"
+                           : mode == runtime::SelectionMode::Gcd2
+                               ? "GCD2(13)"
+                               : "global optimal";
+        table.addRow({name,
+                      std::to_string(compiled.selection.totalCost),
+                      fmtDouble(compiled.latencyMs(), 3),
+                      std::to_string(compiled.selector.evaluations)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nGCD2's bounded-partition search should match the "
+                 "global optimum here at a fraction of the evaluations, "
+                 "while local-only choices pay layout transformations.\n";
+    return 0;
+}

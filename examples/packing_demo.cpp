@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The paper's Fig. 5 walk-through: pack the innermost loop of the
+ * elementwise R = A + B + C operator with the SDA algorithm and with the
+ * soft_to_hard ablation, printing the dependency structure and the
+ * resulting VLIW schedules side by side.
+ */
+#include <iostream>
+
+#include "dsp/timing_sim.h"
+#include "vliw/idg.h"
+#include "vliw/packer.h"
+
+using namespace gcd2;
+using namespace gcd2::dsp;
+
+namespace {
+
+/** The innermost loop of R = A + B + C (Fig. 5's pseudo assembly). */
+Program
+fig5Kernel()
+{
+    Program prog;
+    const int loop = prog.newLabel();
+    prog.push(makeMovi(sreg(5), 16)); // iteration count
+    prog.bindLabel(loop);
+    prog.push(makeLoad(Opcode::LOADB, sreg(6), sreg(1), 0)); // a
+    prog.push(makeLoad(Opcode::LOADB, sreg(7), sreg(2), 0)); // b
+    prog.push(makeLoad(Opcode::LOADB, sreg(8), sreg(3), 0)); // c
+    prog.push(makeBinary(Opcode::ADD, sreg(9), sreg(6), sreg(7)));
+    prog.push(makeBinary(Opcode::ADD, sreg(9), sreg(9), sreg(8)));
+    prog.push(makeStore(Opcode::STOREB, sreg(4), sreg(9), 0));
+    prog.push(makeAddi(sreg(1), sreg(1), 1));
+    prog.push(makeAddi(sreg(2), sreg(2), 1));
+    prog.push(makeAddi(sreg(3), sreg(3), 1));
+    prog.push(makeAddi(sreg(4), sreg(4), 1));
+    prog.push(makeAddi(sreg(5), sreg(5), -1));
+    prog.push(makeJumpNz(sreg(5), loop));
+    // The four buffers are disjoint: let the alias analysis prove the
+    // store independent of the next iteration's loads.
+    prog.noaliasRegs = {1, 2, 3, 4};
+    return prog;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Program prog = fig5Kernel();
+    std::cout << "Kernel (innermost loop of R = A + B + C):\n"
+              << prog.toString() << "\n";
+
+    // Show the dependency classification of the loop body.
+    const AliasAnalysis alias(prog);
+    const vliw::Cfg cfg = vliw::buildCfg(prog);
+    const vliw::BasicBlock &body = cfg.largestBlock();
+    std::cout << "Dependencies inside the loop body (block ["
+              << body.begin << ", " << body.end << ")):\n";
+    for (size_t j = body.begin; j < body.end; ++j) {
+        for (size_t i = body.begin; i < j; ++i) {
+            const Dependency dep = classifyDependency(
+                prog.code[i], prog.code[j], alias.mayAlias(i, j));
+            if (dep.kind == DepKind::None)
+                continue;
+            std::cout << "  " << prog.code[i].toString() << "  ->  "
+                      << prog.code[j].toString() << "  ["
+                      << (dep.kind == DepKind::Hard ? "hard" : "soft")
+                      << (dep.kind == DepKind::Soft
+                              ? ", penalty " + std::to_string(dep.penalty)
+                              : std::string())
+                      << "]\n";
+        }
+    }
+
+    for (vliw::PackPolicy policy :
+         {vliw::PackPolicy::SoftToHard, vliw::PackPolicy::Sda}) {
+        vliw::PackOptions opts;
+        opts.policy = policy;
+        const PackedProgram packed = vliw::pack(prog, opts);
+
+        Memory mem(4096);
+        TimingSimulator sim(mem);
+        sim.regs().scalar[1] = 0;
+        sim.regs().scalar[2] = 256;
+        sim.regs().scalar[3] = 512;
+        sim.regs().scalar[4] = 1024;
+        const TimingStats stats = sim.run(packed, /*validate=*/true);
+
+        std::cout << "\n=== " << vliw::packPolicyName(policy) << ": "
+                  << packed.packets.size() << " packets, " << stats.cycles
+                  << " cycles (" << stats.stallCycles << " stalls)\n"
+                  << packed.toString();
+    }
+
+    std::cout << "\nAs in Fig. 5, the soft-dependency-aware schedule "
+                 "needs fewer packets: the loads may share packets with "
+                 "their consumers (paying only the overlap penalty), "
+                 "which soft_to_hard forbids.\n";
+    return 0;
+}

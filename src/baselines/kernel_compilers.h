@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Behavioral models of the per-kernel tensor compilers the paper compares
+ * against on individual Conv2D operators (Table III, Fig. 7): Halide,
+ * TVM, and RAKE, plus the paper's own GCD_b ablation (GCD2's tensor
+ * optimizations with a baseline soft-dependency-blind back-end).
+ *
+ * All four compile through our kernel generators and simulator; they
+ * differ along the axes the paper identifies:
+ *
+ *  - Halide: one fixed vectorization recipe (vrmpy), no unrolling
+ *    autotuning, naive in-order packetization.
+ *  - TVM: fixed vrmpy lowering, autotuned unrolling, list-scheduled
+ *    packetization (soft deps treated as hard).
+ *  - RAKE: synthesis picks the locally best SIMD instruction per kernel
+ *    (no global/layout view, matching Table III's per-kernel choices),
+ *    modest unrolling, list-scheduled packetization.
+ *  - GCD_b: GCD2's instruction/layout selection and adaptive unrolling
+ *    with the baseline list-scheduled back-end.
+ *  - GCD2: everything plus SDA packing.
+ */
+#ifndef GCD2_BASELINES_KERNEL_COMPILERS_H
+#define GCD2_BASELINES_KERNEL_COMPILERS_H
+
+#include <vector>
+
+#include "kernels/conv.h"
+#include "kernels/runner.h"
+
+namespace gcd2::baselines {
+
+/** The per-kernel compilers of Fig. 7 / Table III. */
+enum class KernelCompiler : uint8_t { Halide, Tvm, Rake, GcdB, Gcd2 };
+
+const char *kernelCompilerName(KernelCompiler compiler);
+
+/** Result of compiling + simulating one Conv2D kernel. */
+struct KernelCompileResult
+{
+    kernels::MatMulScheme scheme;
+    uint64_t cycles = 0;
+    /** Packets executed over the whole kernel (the Fig. 7 metric). */
+    uint64_t dynamicPackets = 0;
+    size_t staticPackets = 0;      ///< packets in the tile's code
+    size_t staticInstructions = 0; ///< instructions in the tile's code
+};
+
+/** Compile the convolution under a given compiler model and simulate. */
+KernelCompileResult compileConv(const kernels::ConvShape &shape,
+                                KernelCompiler compiler);
+
+/** The first 8 unique ResNet-50 Conv2D shapes (C0..C7 of Fig. 7). */
+const std::vector<kernels::ConvShape> &resnetConvKernels();
+
+} // namespace gcd2::baselines
+
+#endif // GCD2_BASELINES_KERNEL_COMPILERS_H

@@ -1,0 +1,83 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace gcd2 {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // Expand the seed with splitmix64 as recommended by the xoshiro authors.
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    GCD2_ASSERT(lo <= hi, "empty range [" << lo << ", " << hi << "]");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::uniformDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<int8_t>
+Rng::int8Vector(size_t n)
+{
+    std::vector<int8_t> out(n);
+    for (auto &v : out)
+        v = static_cast<int8_t>(uniformInt(-128, 127));
+    return out;
+}
+
+std::vector<uint8_t>
+Rng::uint8Vector(size_t n)
+{
+    std::vector<uint8_t> out(n);
+    for (auto &v : out)
+        v = static_cast<uint8_t>(uniformInt(0, 255));
+    return out;
+}
+
+} // namespace gcd2

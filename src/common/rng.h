@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic choice in the reproduction (synthetic weights, workload
+ * inputs) flows through this RNG so that test and bench runs are exactly
+ * repeatable across machines.
+ */
+#ifndef GCD2_COMMON_RNG_H
+#define GCD2_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcd2 {
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256**). Not cryptographic; used only
+ * for generating synthetic tensors and jittering workloads.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** A vector of int8 values spanning the full quantized range. */
+    std::vector<int8_t> int8Vector(size_t n);
+
+    /** A vector of uint8 values. */
+    std::vector<uint8_t> uint8Vector(size_t n);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace gcd2
+
+#endif // GCD2_COMMON_RNG_H

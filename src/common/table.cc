@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace gcd2 {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    GCD2_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    GCD2_REQUIRE(row.size() == header_.size(),
+                 "row has " << row.size() << " cells, header has "
+                            << header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    auto printRule = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+    };
+
+    printRule();
+    printRow(header_);
+    printRule();
+    for (const auto &row : rows_)
+        printRow(row);
+    printRule();
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtSpeedup(double factor, int decimals)
+{
+    return fmtDouble(factor, decimals) + "x";
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    GCD2_REQUIRE(!values.empty(), "geometric mean of empty series");
+    double logSum = 0.0;
+    for (double v : values) {
+        GCD2_REQUIRE(v > 0.0, "geometric mean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace gcd2

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table formatting for benchmark harness output.
+ *
+ * Every bench binary reproduces one table or figure from the paper; this
+ * helper renders rows in an aligned, diff-friendly layout.
+ */
+#ifndef GCD2_COMMON_TABLE_H
+#define GCD2_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gcd2 {
+
+/** An aligned ASCII table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column alignment to the given stream. */
+    void print(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string fmtDouble(double value, int decimals = 2);
+
+/** Format a speedup factor like "2.8x". */
+std::string fmtSpeedup(double factor, int decimals = 1);
+
+/** Geometric mean of a series of positive values. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace gcd2
+
+#endif // GCD2_COMMON_TABLE_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lightweight static alias analysis for memory disambiguation.
+ *
+ * Kernel code addresses memory as base-register + immediate. Two static
+ * memory instructions whose base register is the same *version* (no write
+ * to that register between them in program order) see the same dynamic
+ * base value, so their accesses are disjoint iff their immediate intervals
+ * are. Anything else is conservatively assumed to alias.
+ *
+ * Shared by the IDG builder (so the packers may co-schedule provably
+ * disjoint loads/stores) and the timing simulator (so its stall accounting
+ * agrees with the packer's legality decisions).
+ */
+#ifndef GCD2_DSP_ALIAS_H
+#define GCD2_DSP_ALIAS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/isa.h"
+
+namespace gcd2::dsp {
+
+/** Per-program alias oracle. */
+class AliasAnalysis
+{
+  public:
+    explicit AliasAnalysis(const Program &prog);
+
+    /**
+     * May instructions @p i and @p j (indices into the analyzed program)
+     * access overlapping memory? Returns false only when provably
+     * disjoint; non-memory instructions never alias.
+     */
+    bool mayAlias(size_t i, size_t j) const;
+
+  private:
+    struct MemRef
+    {
+        bool isMem = false;
+        int baseReg = -1;
+        uint32_t baseVersion = 0;
+        int64_t offset = 0;
+        int size = 0;
+        /** Buffer segment of the base address (see Program::noaliasRegs):
+         *  >= 0 concrete segment, kSegData pure data, kSegUnknown. */
+        int segment = kSegUnknown;
+    };
+
+    static constexpr int kSegUnknown = -2;
+    static constexpr int kSegData = -1;
+
+    std::vector<MemRef> refs_;
+};
+
+} // namespace gcd2::dsp
+
+#endif // GCD2_DSP_ALIAS_H

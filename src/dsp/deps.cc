@@ -1,0 +1,134 @@
+#include "dsp/deps.h"
+
+#include <algorithm>
+
+namespace gcd2::dsp {
+
+namespace {
+
+/** True if @p uid appears in @p uids. */
+bool
+contains(const std::vector<int> &uids, int uid)
+{
+    return std::find(uids.begin(), uids.end(), uid) != uids.end();
+}
+
+bool
+intersects(const std::vector<int> &a, const std::vector<int> &b)
+{
+    for (int uid : a)
+        if (contains(b, uid))
+            return true;
+    return false;
+}
+
+/** Soft-dependency stall for a RAW on a scalar producer. */
+int
+scalarForwardPenalty(const Instruction &producer)
+{
+    return producer.info().unit == UnitKind::Mult ? 2 : 1;
+}
+
+} // namespace
+
+std::vector<int>
+regWrites(const Instruction &inst)
+{
+    std::vector<int> out;
+    const OpcodeInfo &meta = inst.info();
+    if (inst.dst[0].valid()) {
+        out.push_back(regUid(inst.dst[0]));
+        if (meta.writesPair)
+            out.push_back(regUid(inst.dst[0]) + 1);
+    }
+    return out;
+}
+
+std::vector<int>
+regReads(const Instruction &inst)
+{
+    std::vector<int> out;
+    const OpcodeInfo &meta = inst.info();
+    if (inst.src[0].valid()) {
+        out.push_back(regUid(inst.src[0]));
+        if (meta.readsPairSrc)
+            out.push_back(regUid(inst.src[0]) + 1);
+    }
+    if (inst.src[1].valid())
+        out.push_back(regUid(inst.src[1]));
+    if (meta.readsDst && inst.dst[0].valid()) {
+        out.push_back(regUid(inst.dst[0]));
+        if (meta.writesPair)
+            out.push_back(regUid(inst.dst[0]) + 1);
+    }
+    return out;
+}
+
+int
+memAccessBytes(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::LOADB:
+      case Opcode::STOREB:
+        return 1;
+      case Opcode::LOADW:
+      case Opcode::STOREW:
+        return 4;
+      case Opcode::VLOAD:
+      case Opcode::VSTORE:
+        return kVectorBytes;
+      default:
+        return 0;
+    }
+}
+
+Dependency
+classifyDependency(const Instruction &early, const Instruction &late,
+                   bool memMayAlias)
+{
+    const auto earlyWrites = regWrites(early);
+    const auto earlyReads = regReads(early);
+    const auto lateWrites = regWrites(late);
+    const auto lateReads = regReads(late);
+
+    Dependency dep;
+
+    auto upgrade = [&](DepKind kind, int penalty) {
+        if (kind > dep.kind)
+            dep = Dependency{kind, penalty};
+        else if (kind == dep.kind && kind == DepKind::Soft)
+            dep.penalty = std::max(dep.penalty, penalty);
+    };
+
+    // Memory ordering: any pair involving a store that may alias.
+    const MemKind earlyMem = early.info().mem;
+    const MemKind lateMem = late.info().mem;
+    if (earlyMem != MemKind::None && lateMem != MemKind::None &&
+        (earlyMem == MemKind::Store || lateMem == MemKind::Store) &&
+        memMayAlias) {
+        upgrade(DepKind::Hard, 0);
+    }
+
+    // RAW: late reads what early writes.
+    for (int uid : earlyWrites) {
+        if (contains(lateReads, uid)) {
+            if (uid < kNumScalarRegs)
+                upgrade(DepKind::Soft, scalarForwardPenalty(early));
+            else
+                upgrade(DepKind::Hard, 0);
+        }
+    }
+
+    // WAW: both write the same register.
+    if (intersects(earlyWrites, lateWrites))
+        upgrade(DepKind::Hard, 0);
+
+    // WAR: late writes what early reads (free when co-packed: all reads
+    // happen in the read stage before any write commits).
+    if (intersects(earlyReads, lateWrites))
+        upgrade(DepKind::Soft, 0);
+
+    return dep;
+}
+
+} // namespace gcd2::dsp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Functional (architectural) simulator for the DSP ISA.
+ *
+ * Executes a Program in instruction order against a register file and a
+ * Memory, implementing each opcode's exact integer semantics. The timing
+ * simulator reuses the same per-instruction executor so the packed and
+ * unpacked executions are guaranteed to compute identical results.
+ */
+#ifndef GCD2_DSP_FUNCTIONAL_SIM_H
+#define GCD2_DSP_FUNCTIONAL_SIM_H
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/isa.h"
+#include "dsp/memory.h"
+
+namespace gcd2::dsp {
+
+/** Architectural register state. */
+struct RegisterFile
+{
+    std::array<uint32_t, kNumScalarRegs> scalar{};
+    std::array<std::array<uint8_t, kVectorBytes>, kNumVectorRegs> vector{};
+
+    int16_t
+    vecHalf(int reg, int lane) const
+    {
+        int16_t v;
+        std::memcpy(&v, vector[reg].data() + 2 * lane, 2);
+        return v;
+    }
+
+    void
+    setVecHalf(int reg, int lane, int16_t v)
+    {
+        std::memcpy(vector[reg].data() + 2 * lane, &v, 2);
+    }
+
+    int32_t
+    vecWord(int reg, int lane) const
+    {
+        int32_t v;
+        std::memcpy(&v, vector[reg].data() + 4 * lane, 4);
+        return v;
+    }
+
+    void
+    setVecWord(int reg, int lane, int32_t v)
+    {
+        std::memcpy(vector[reg].data() + 4 * lane, &v, 4);
+    }
+};
+
+/** Cumulative architectural event counters. */
+struct ExecStats
+{
+    uint64_t instructions = 0;
+    uint64_t bytesLoaded = 0;
+    uint64_t bytesStored = 0;
+    uint64_t branchesTaken = 0;
+};
+
+/**
+ * Instruction-at-a-time simulator.
+ *
+ * Branch semantics: the imm field of JUMP/JUMPNZ indexes Program::labels,
+ * which holds the target instruction index.
+ */
+class FunctionalSimulator
+{
+  public:
+    explicit FunctionalSimulator(Memory &mem) : mem_(mem) {}
+
+    RegisterFile &regs() { return regs_; }
+    const RegisterFile &regs() const { return regs_; }
+    const ExecStats &stats() const { return stats_; }
+
+    /**
+     * Execute one instruction.
+     *
+     * @return the label id of the taken branch target, or -1 to fall
+     *         through to the next instruction.
+     */
+    int execute(const Instruction &inst);
+
+    /**
+     * Run a whole program from instruction 0 until it falls off the end.
+     *
+     * @param maxSteps guard against infinite loops (panics if exceeded).
+     */
+    void run(const Program &prog, uint64_t maxSteps = 1ULL << 32);
+
+  private:
+    Memory &mem_;
+    RegisterFile regs_;
+    ExecStats stats_;
+};
+
+} // namespace gcd2::dsp
+
+#endif // GCD2_DSP_FUNCTIONAL_SIM_H

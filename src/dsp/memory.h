@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Flat byte-addressed memory for the DSP simulator.
+ */
+#ifndef GCD2_DSP_MEMORY_H
+#define GCD2_DSP_MEMORY_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gcd2::dsp {
+
+/**
+ * Byte-addressable simulator memory with bounds checking.
+ *
+ * Kernels receive base addresses through scalar registers; tensors are
+ * copied in/out by the test/runtime harness with readBytes/writeBytes.
+ */
+class Memory
+{
+  public:
+    explicit Memory(size_t size) : bytes_(size, 0) {}
+
+    size_t size() const { return bytes_.size(); }
+
+    uint8_t
+    load8(uint64_t addr) const
+    {
+        check(addr, 1);
+        return bytes_[addr];
+    }
+
+    uint32_t
+    load32(uint64_t addr) const
+    {
+        check(addr, 4);
+        uint32_t v;
+        std::memcpy(&v, bytes_.data() + addr, 4);
+        return v;
+    }
+
+    void
+    store8(uint64_t addr, uint8_t v)
+    {
+        check(addr, 1);
+        bytes_[addr] = v;
+    }
+
+    void
+    store32(uint64_t addr, uint32_t v)
+    {
+        check(addr, 4);
+        std::memcpy(bytes_.data() + addr, &v, 4);
+    }
+
+    void
+    loadBlock(uint64_t addr, uint8_t *out, size_t n) const
+    {
+        check(addr, n);
+        std::memcpy(out, bytes_.data() + addr, n);
+    }
+
+    void
+    storeBlock(uint64_t addr, const uint8_t *in, size_t n)
+    {
+        check(addr, n);
+        std::memcpy(bytes_.data() + addr, in, n);
+    }
+
+    /** Harness-side bulk access (not counted as simulated traffic). */
+    void
+    writeBytes(uint64_t addr, const void *src, size_t n)
+    {
+        check(addr, n);
+        std::memcpy(bytes_.data() + addr, src, n);
+    }
+
+    void
+    readBytes(uint64_t addr, void *dst, size_t n) const
+    {
+        check(addr, n);
+        std::memcpy(dst, bytes_.data() + addr, n);
+    }
+
+  private:
+    void
+    check(uint64_t addr, size_t n) const
+    {
+        GCD2_REQUIRE(addr + n <= bytes_.size(),
+                     "memory access [" << addr << ", " << addr + n
+                                       << ") out of bounds (size "
+                                       << bytes_.size() << ")");
+    }
+
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace gcd2::dsp
+
+#endif // GCD2_DSP_MEMORY_H

@@ -1,0 +1,154 @@
+#include "dsp/packet.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/logging.h"
+#include "dsp/alias.h"
+#include "dsp/deps.h"
+
+namespace gcd2::dsp {
+
+namespace {
+
+/** Backtracking assignment of instructions to distinct allowed slots. */
+bool
+assignSlots(const std::vector<uint8_t> &masks, size_t next, uint8_t used)
+{
+    if (next == masks.size())
+        return true;
+    for (int s = 0; s < kPacketSlots; ++s) {
+        const uint8_t bit = static_cast<uint8_t>(1u << s);
+        if ((masks[next] & bit) && !(used & bit)) {
+            if (assignSlots(masks, next + 1, used | bit))
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+slotsFeasible(const Program &prog, const std::vector<size_t> &insts)
+{
+    if (insts.size() > static_cast<size_t>(kPacketSlots))
+        return false;
+
+    std::vector<uint8_t> masks;
+    masks.reserve(insts.size());
+    int branches = 0;
+    int multUnits = 0;
+    for (size_t idx : insts) {
+        GCD2_ASSERT(idx < prog.code.size(), "instruction index out of range");
+        const Instruction &inst = prog.code[idx];
+        masks.push_back(inst.info().slotMask);
+        if (inst.isBranch())
+            ++branches;
+        multUnits += inst.info().multUnits;
+    }
+    if (branches > 1)
+        return false;
+    // Two multiply pipelines per packet; double-wide multiplies (vmpa,
+    // vtmpy) consume both.
+    if (multUnits > 2)
+        return false;
+
+    // Assign the most constrained instructions first so the backtracking
+    // search terminates quickly.
+    std::sort(masks.begin(), masks.end(), [](uint8_t a, uint8_t b) {
+        return std::popcount(a) < std::popcount(b);
+    });
+    return assignSlots(masks, 0, 0);
+}
+
+bool
+slotsFeasibleWith(const Program &prog, const Packet &packet, size_t candidate)
+{
+    std::vector<size_t> insts = packet.insts;
+    insts.push_back(candidate);
+    return slotsFeasible(prog, insts);
+}
+
+std::string
+PackedProgram::toString() const
+{
+    std::ostringstream oss;
+    for (size_t p = 0; p < packets.size(); ++p) {
+        for (size_t l = 0; l < labelPacket.size(); ++l)
+            if (labelPacket[l] == p)
+                oss << "L" << l << ":\n";
+        oss << "  {";
+        for (size_t k = 0; k < packets[p].insts.size(); ++k) {
+            if (k)
+                oss << " ; ";
+            oss << program.code[packets[p].insts[k]].toString();
+        }
+        oss << "}\n";
+    }
+    return oss.str();
+}
+
+void
+validatePackedProgram(const PackedProgram &packed)
+{
+    const Program &prog = packed.program;
+    std::vector<int> seen(prog.code.size(), 0);
+    AliasAnalysis alias(prog);
+
+    for (const Packet &packet : packed.packets) {
+        GCD2_ASSERT(!packet.insts.empty(), "empty packet");
+        GCD2_ASSERT(packet.insts.size() <=
+                        static_cast<size_t>(kPacketSlots),
+                    "packet exceeds " << kPacketSlots << " slots");
+        GCD2_ASSERT(slotsFeasible(prog, packet.insts),
+                    "packet violates slot constraints");
+        for (size_t k = 0; k < packet.insts.size(); ++k) {
+            const size_t idx = packet.insts[k];
+            ++seen[idx];
+            if (k > 0) {
+                GCD2_ASSERT(packet.insts[k - 1] < idx,
+                            "packet members not in program order");
+            }
+            for (size_t m = 0; m < k; ++m) {
+                const size_t earlier = packet.insts[m];
+                const Dependency dep = classifyDependency(
+                    prog.code[earlier], prog.code[idx],
+                    alias.mayAlias(earlier, idx));
+                GCD2_ASSERT(dep.kind != DepKind::Hard,
+                            "hard dependency inside packet: "
+                                << prog.code[earlier].toString() << " -> "
+                                << prog.code[idx].toString());
+            }
+        }
+    }
+
+    for (size_t i = 0; i < seen.size(); ++i) {
+        GCD2_ASSERT(seen[i] == 1, "instruction " << i << " ("
+                        << prog.code[i].toString() << ") appears "
+                        << seen[i] << " times in packets");
+    }
+
+    GCD2_ASSERT(packed.labelPacket.size() == prog.labels.size(),
+                "labelPacket size mismatch");
+    for (size_t l = 0; l < prog.labels.size(); ++l) {
+        const size_t packetIdx = packed.labelPacket[l];
+        // A label may map one past the last packet: a branch to the
+        // program's end (exit label).
+        GCD2_ASSERT(packetIdx <= packed.packets.size(),
+                    "label " << l << " maps past the last packet");
+        // The label's target instruction must live at or after the start
+        // of its packet: every instruction of the labelled block region
+        // must be scheduled no earlier than the label's packet.
+        const size_t target = prog.labels[l];
+        for (size_t p = 0; p < packetIdx; ++p)
+            for (size_t idx : packed.packets[p].insts)
+                GCD2_ASSERT(idx < target,
+                            "instruction " << idx
+                                << " scheduled before label L" << l
+                                << " but belongs after it");
+    }
+}
+
+} // namespace gcd2::dsp

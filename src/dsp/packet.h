@@ -1,0 +1,68 @@
+/**
+ * @file
+ * VLIW packets, slot-assignment feasibility, and packed programs.
+ *
+ * A packet holds up to four instructions, each of which must be assignable
+ * to a distinct slot allowed by its slot mask (this encodes all the
+ * "limited number of slots for each type" constraints from the paper: one
+ * store port, one shift unit, one permute unit, two multiply pipelines,
+ * two memory slots). At most one branch per packet, and a taken branch
+ * transfers control to the packet holding the target label.
+ */
+#ifndef GCD2_DSP_PACKET_H
+#define GCD2_DSP_PACKET_H
+
+#include <string>
+#include <vector>
+
+#include "dsp/isa.h"
+
+namespace gcd2::dsp {
+
+/** One VLIW packet: instruction indices into the owning program. */
+struct Packet
+{
+    std::vector<size_t> insts;
+};
+
+/**
+ * Can the given instructions legally share one packet, considering only
+ * slot/resource constraints (dependence legality is the packer's job)?
+ */
+bool slotsFeasible(const Program &prog, const std::vector<size_t> &insts);
+
+/** slotsFeasible() for an existing packet plus one candidate. */
+bool slotsFeasibleWith(const Program &prog, const Packet &packet,
+                       size_t candidate);
+
+/**
+ * A program grouped into VLIW packets.
+ *
+ * Invariants (checked by validatePackedProgram):
+ *  - every instruction index appears in exactly one packet;
+ *  - packet membership is slot-feasible and free of intra-packet hard
+ *    dependencies;
+ *  - instructions within a packet are listed in increasing original
+ *    program order (so in-order execution respects soft RAW/WAR);
+ *  - each label maps to the packet that begins with its target region, so
+ *    branches land on packet boundaries.
+ */
+struct PackedProgram
+{
+    Program program;
+    std::vector<Packet> packets;
+    /** labelPacket[l] = packet index that label l begins. */
+    std::vector<size_t> labelPacket;
+
+    std::string toString() const;
+};
+
+/**
+ * Panics if the packed program violates any invariant listed above.
+ * Used by tests and (in debug paths) by the timing simulator.
+ */
+void validatePackedProgram(const PackedProgram &packed);
+
+} // namespace gcd2::dsp
+
+#endif // GCD2_DSP_PACKET_H

@@ -1,0 +1,177 @@
+#include "dsp/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "dsp/deps.h"
+#include "vliw/cfg.h"
+
+namespace gcd2::dsp {
+
+namespace {
+
+constexpr int kTotalRegs = kNumScalarRegs + kNumVectorRegs;
+
+using RegSet = std::vector<bool>; // indexed by regUid
+
+void
+addIssue(std::vector<VerifyIssue> &issues, size_t idx, std::string msg)
+{
+    issues.push_back(VerifyIssue{idx, std::move(msg)});
+}
+
+} // namespace
+
+std::vector<VerifyIssue>
+verifyProgram(const Program &prog, std::vector<int8_t> abiScalarRegs)
+{
+    std::vector<VerifyIssue> issues;
+
+    if (abiScalarRegs.empty())
+        abiScalarRegs = prog.noaliasRegs;
+
+    // --- labels ----------------------------------------------------------
+    for (size_t l = 0; l < prog.labels.size(); ++l) {
+        if (prog.labels[l] == SIZE_MAX)
+            addIssue(issues, SIZE_MAX,
+                     "label L" + std::to_string(l) + " never bound");
+        else if (prog.labels[l] > prog.code.size())
+            addIssue(issues, SIZE_MAX,
+                     "label L" + std::to_string(l) + " out of range");
+    }
+
+    // --- per-instruction shape -------------------------------------------
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Instruction &inst = prog.code[i];
+        const OpcodeInfo &meta = inst.info();
+
+        auto checkOperand = [&](const Operand &op, const char *what) {
+            if (!op.valid())
+                return;
+            const int limit = op.cls == RegClass::Scalar ? kNumScalarRegs
+                                                         : kNumVectorRegs;
+            if (op.idx < 0 || op.idx >= limit)
+                addIssue(issues, i,
+                         std::string(what) + " register out of range");
+        };
+        checkOperand(inst.dst[0], "destination");
+        checkOperand(inst.src[0], "source 0");
+        checkOperand(inst.src[1], "source 1");
+
+        if (meta.writesPair && inst.dst[0].valid() &&
+            inst.dst[0].idx % 2 != 0)
+            addIssue(issues, i, "pair destination must be even");
+        if (meta.readsPairSrc && inst.src[0].valid() &&
+            inst.src[0].idx % 2 != 0)
+            addIssue(issues, i, "pair source must be even");
+
+        if (inst.isBranch() &&
+            (inst.imm < 0 ||
+             static_cast<size_t>(inst.imm) >= prog.labels.size()))
+            addIssue(issues, i, "branch to unknown label");
+    }
+    if (!issues.empty())
+        return issues; // structural problems make dataflow meaningless
+
+    // --- may-initialized dataflow (use before def) -------------------------
+    const vliw::Cfg cfg = vliw::buildCfg(prog);
+    const size_t numBlocks = cfg.blocks.size();
+
+    // Successor blocks: fallthrough plus branch targets.
+    auto blockOf = [&](size_t instIdx) {
+        for (size_t b = 0; b < numBlocks; ++b)
+            if (instIdx >= cfg.blocks[b].begin &&
+                instIdx < cfg.blocks[b].end)
+                return b;
+        return numBlocks;
+    };
+    std::vector<std::vector<size_t>> succ(numBlocks);
+    for (size_t b = 0; b < numBlocks; ++b) {
+        const auto &block = cfg.blocks[b];
+        const Instruction &last = prog.code[block.end - 1];
+        const bool falls = !(last.op == Opcode::JUMP);
+        if (falls && b + 1 < numBlocks)
+            succ[b].push_back(b + 1);
+        if (last.isBranch()) {
+            const size_t target =
+                prog.labels[static_cast<size_t>(last.imm)];
+            if (target < prog.code.size())
+                succ[b].push_back(blockOf(target));
+        }
+    }
+
+    RegSet entry(kTotalRegs, false);
+    for (int8_t reg : abiScalarRegs)
+        entry[static_cast<size_t>(reg)] = true;
+
+    std::vector<RegSet> in(numBlocks, RegSet(kTotalRegs, false));
+    std::vector<RegSet> out(numBlocks, RegSet(kTotalRegs, false));
+    in[0] = entry;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 0; b < numBlocks; ++b) {
+            RegSet state = in[b];
+            for (size_t i = cfg.blocks[b].begin; i < cfg.blocks[b].end;
+                 ++i)
+                for (int uid : regWrites(prog.code[i]))
+                    state[static_cast<size_t>(uid)] = true;
+            if (state != out[b]) {
+                out[b] = state;
+                changed = true;
+            }
+            for (size_t s : succ[b]) {
+                for (int uid = 0; uid < kTotalRegs; ++uid) {
+                    if (out[b][static_cast<size_t>(uid)] &&
+                        !in[s][static_cast<size_t>(uid)]) {
+                        in[s][static_cast<size_t>(uid)] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    for (size_t b = 0; b < numBlocks; ++b) {
+        RegSet state = in[b];
+        for (size_t i = cfg.blocks[b].begin; i < cfg.blocks[b].end; ++i) {
+            for (int uid : regReads(prog.code[i])) {
+                if (!state[static_cast<size_t>(uid)]) {
+                    std::ostringstream oss;
+                    oss << "read of never-written register "
+                        << (uid < kNumScalarRegs
+                                ? "r" + std::to_string(uid)
+                                : "v" + std::to_string(uid -
+                                                       kNumScalarRegs))
+                        << " in '" << prog.code[i].toString() << "'";
+                    addIssue(issues, i, oss.str());
+                    state[static_cast<size_t>(uid)] = true; // report once
+                }
+            }
+            for (int uid : regWrites(prog.code[i]))
+                state[static_cast<size_t>(uid)] = true;
+        }
+    }
+    return issues;
+}
+
+void
+requireVerified(const Program &prog, std::vector<int8_t> abiScalarRegs)
+{
+    const auto issues = verifyProgram(prog, std::move(abiScalarRegs));
+    if (issues.empty())
+        return;
+    std::ostringstream oss;
+    oss << "program verification failed:";
+    for (const VerifyIssue &issue : issues) {
+        oss << "\n  ";
+        if (issue.instIndex != SIZE_MAX)
+            oss << "[" << issue.instIndex << "] ";
+        oss << issue.message;
+    }
+    GCD2_PANIC(oss.str());
+}
+
+} // namespace gcd2::dsp

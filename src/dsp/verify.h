@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static verification of DSP programs.
+ *
+ * Catches code-generation bugs before simulation: malformed operands,
+ * unbound or out-of-range labels, reads of registers that no path has
+ * written (beyond the declared ABI inputs), vector-pair misalignment,
+ * and stores through never-initialized base registers.
+ */
+#ifndef GCD2_DSP_VERIFY_H
+#define GCD2_DSP_VERIFY_H
+
+#include <string>
+#include <vector>
+
+#include "dsp/isa.h"
+
+namespace gcd2::dsp {
+
+/** One verification finding. */
+struct VerifyIssue
+{
+    size_t instIndex;   ///< offending instruction (SIZE_MAX = program)
+    std::string message;
+};
+
+/**
+ * Verify @p prog.
+ *
+ * @param abiScalarRegs scalar registers the caller initializes before
+ *        entry (kernel ABI base pointers, defaults to noaliasRegs).
+ * @return all findings (empty = clean).
+ */
+std::vector<VerifyIssue> verifyProgram(
+    const Program &prog, std::vector<int8_t> abiScalarRegs = {});
+
+/** Panics with a readable report if verification finds anything. */
+void requireVerified(const Program &prog,
+                     std::vector<int8_t> abiScalarRegs = {});
+
+} // namespace gcd2::dsp
+
+#endif // GCD2_DSP_VERIFY_H

@@ -1,0 +1,82 @@
+#include "graph/op.h"
+
+namespace gcd2::graph {
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Input:
+        return "Input";
+      case OpType::Constant:
+        return "Constant";
+      case OpType::Output:
+        return "Output";
+      case OpType::Conv2D:
+        return "Conv2D";
+      case OpType::DepthwiseConv2D:
+        return "DepthwiseConv2D";
+      case OpType::MatMul:
+        return "MatMul";
+      case OpType::Add:
+        return "Add";
+      case OpType::Mul:
+        return "Mul";
+      case OpType::Sub:
+        return "Sub";
+      case OpType::Div:
+        return "Div";
+      case OpType::Pow:
+        return "Pow";
+      case OpType::Clamp:
+        return "Clamp";
+      case OpType::Sigmoid:
+        return "Sigmoid";
+      case OpType::Tanh:
+        return "Tanh";
+      case OpType::Gelu:
+        return "Gelu";
+      case OpType::Softmax:
+        return "Softmax";
+      case OpType::MaxPool:
+        return "MaxPool";
+      case OpType::AvgPool:
+        return "AvgPool";
+      case OpType::GlobalAvgPool:
+        return "GlobalAvgPool";
+      case OpType::Upsample:
+        return "Upsample";
+      case OpType::LayerNorm:
+        return "LayerNorm";
+      case OpType::Reshape:
+        return "Reshape";
+      case OpType::Transpose:
+        return "Transpose";
+      case OpType::Concat:
+        return "Concat";
+      case OpType::kNumOps:
+        break;
+    }
+    return "?";
+}
+
+bool
+isLayoutTransformOp(OpType type)
+{
+    return type == OpType::Reshape || type == OpType::Transpose;
+}
+
+bool
+isMatMulFamily(OpType type)
+{
+    return type == OpType::Conv2D || type == OpType::MatMul;
+}
+
+bool
+isLutActivation(OpType type)
+{
+    return type == OpType::Sigmoid || type == OpType::Tanh ||
+           type == OpType::Gelu;
+}
+
+} // namespace gcd2::graph

@@ -1,0 +1,184 @@
+#include "graph/passes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gcd2::graph {
+
+int64_t
+foldConstants(Graph &graph)
+{
+    int64_t folded = 0;
+    for (Node &node : graph.nodes()) {
+        if (node.dead || node.op == OpType::Constant ||
+            node.op == OpType::Input || node.op == OpType::Output)
+            continue;
+        const bool allConst = !node.inputs.empty() &&
+            std::all_of(node.inputs.begin(), node.inputs.end(),
+                        [&](NodeId in) {
+                            return graph.node(in).op == OpType::Constant;
+                        });
+        if (!allConst)
+            continue;
+        // Replace with a Constant of the already-inferred shape.
+        node.attrs.targetShape = node.shape.dims();
+        node.op = OpType::Constant;
+        node.inputs.clear();
+        ++folded;
+    }
+    return folded;
+}
+
+int64_t
+fuseClampActivations(Graph &graph)
+{
+    const auto succ = graph.successors();
+    int64_t fused = 0;
+    for (Node &node : graph.nodes()) {
+        if (node.dead || node.op != OpType::Clamp)
+            continue;
+        const NodeId producerId = node.inputs[0];
+        Node &producer = graph.node(producerId);
+        const bool fusable = producer.op == OpType::Conv2D ||
+                             producer.op == OpType::DepthwiseConv2D ||
+                             producer.op == OpType::MatMul ||
+                             producer.op == OpType::Add;
+        // Only fuse when the clamp is the producer's only consumer.
+        if (!fusable ||
+            succ[static_cast<size_t>(producerId)].size() != 1)
+            continue;
+        producer.attrs.fusedClamp = true;
+        producer.attrs.fusedLo = node.attrs.clampLo;
+        producer.attrs.fusedHi = node.attrs.clampHi;
+        // The clamp becomes a pass-through that dead-node elimination
+        // removes: rewire its consumers to the producer.
+        for (Node &consumer : graph.nodes()) {
+            if (consumer.dead)
+                continue;
+            for (NodeId &in : consumer.inputs)
+                if (in == node.id)
+                    in = producerId;
+        }
+        node.dead = true;
+        ++fused;
+    }
+    return fused;
+}
+
+int64_t
+eliminateDeadNodes(Graph &graph)
+{
+    // Backward reachability from Output nodes.
+    std::vector<bool> live(graph.size(), false);
+    std::vector<NodeId> work;
+    for (const Node &node : graph.nodes()) {
+        if (!node.dead && node.op == OpType::Output) {
+            live[static_cast<size_t>(node.id)] = true;
+            work.push_back(node.id);
+        }
+    }
+    GCD2_REQUIRE(!work.empty(), "graph has no Output node");
+    while (!work.empty()) {
+        const NodeId id = work.back();
+        work.pop_back();
+        for (NodeId in : graph.node(id).inputs) {
+            if (!live[static_cast<size_t>(in)]) {
+                live[static_cast<size_t>(in)] = true;
+                work.push_back(in);
+            }
+        }
+    }
+
+    int64_t removed = 0;
+    for (Node &node : graph.nodes()) {
+        if (!node.dead && !live[static_cast<size_t>(node.id)]) {
+            node.dead = true;
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+int64_t
+fuseLutActivations(Graph &graph)
+{
+    const auto succ = graph.successors();
+    int64_t fused = 0;
+    for (Node &node : graph.nodes()) {
+        if (node.dead || !isLutActivation(node.op))
+            continue;
+        const NodeId producerId = node.inputs[0];
+        Node &producer = graph.node(producerId);
+        if (!isMatMulFamily(producer.op) || producer.attrs.fusedLut ||
+            succ[static_cast<size_t>(producerId)].size() != 1)
+            continue;
+        producer.attrs.fusedLut = true;
+        for (Node &consumer : graph.nodes()) {
+            if (consumer.dead)
+                continue;
+            for (NodeId &in : consumer.inputs)
+                if (in == node.id)
+                    in = producerId;
+        }
+        node.dead = true;
+        ++fused;
+    }
+    if (fused > 0)
+        eliminateDeadNodes(graph);
+    return fused;
+}
+
+int64_t
+fuseResidualAdds(Graph &graph)
+{
+    const auto succ = graph.successors();
+    int64_t fused = 0;
+    for (Node &node : graph.nodes()) {
+        if (node.dead || node.op != OpType::Add || node.inputs.size() != 2)
+            continue;
+        // Fuse into whichever operand is a matmul-family producer whose
+        // only consumer is this add.
+        for (size_t which = 0; which < 2; ++which) {
+            const NodeId producerId = node.inputs[which];
+            Node &producer = graph.node(producerId);
+            if (!isMatMulFamily(producer.op) || producer.attrs.fusedAdd ||
+                succ[static_cast<size_t>(producerId)].size() != 1)
+                continue;
+            const NodeId other = node.inputs[1 - which];
+            // The residual operand must precede the producer so the
+            // rewritten graph stays topological.
+            if (other >= producerId)
+                continue;
+            producer.attrs.fusedAdd = true;
+            producer.inputs.push_back(other);
+            for (Node &consumer : graph.nodes()) {
+                if (consumer.dead)
+                    continue;
+                for (NodeId &in : consumer.inputs)
+                    if (in == node.id)
+                        in = producerId;
+            }
+            node.dead = true;
+            ++fused;
+            break;
+        }
+    }
+    if (fused > 0)
+        eliminateDeadNodes(graph);
+    return fused;
+}
+
+PassStats
+optimize(Graph &graph)
+{
+    inferShapes(graph);
+    PassStats stats;
+    stats.foldedNodes = foldConstants(graph);
+    stats.fusedActivations = fuseClampActivations(graph);
+    stats.removedNodes = eliminateDeadNodes(graph);
+    inferShapes(graph);
+    return stats;
+}
+
+} // namespace gcd2::graph

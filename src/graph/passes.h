@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Graph optimization passes applied before global layout selection
+ * (the "computational graph optimizations" step of Fig. 6).
+ */
+#ifndef GCD2_GRAPH_PASSES_H
+#define GCD2_GRAPH_PASSES_H
+
+#include "graph/graph.h"
+
+namespace gcd2::graph {
+
+/** Result counters of a pass run. */
+struct PassStats
+{
+    int64_t foldedNodes = 0;
+    int64_t fusedActivations = 0;
+    int64_t removedNodes = 0;
+};
+
+/**
+ * Constant folding: ops whose inputs are all Constant become Constant
+ * nodes themselves (shape-level; weights are synthetic, so the fold keeps
+ * the inferred shape but drops the computation).
+ */
+int64_t foldConstants(Graph &graph);
+
+/**
+ * Fuse a Clamp whose producer is a Conv2D / DepthwiseConv2D / MatMul /
+ * Add with a single consumer into that producer (free on the DSP: the
+ * requantization epilogue applies the clamp bounds).
+ */
+int64_t fuseClampActivations(Graph &graph);
+
+/** Mark nodes that do not reach any Output as dead. */
+int64_t eliminateDeadNodes(Graph &graph);
+
+/**
+ * DSP-friendly operator fusion (the paper's future-work extension):
+ * fold a single-consumer lookup-table nonlinearity (Sigmoid / Tanh /
+ * Gelu / Pow) into the producing Conv2D / MatMul kernel's epilogue --
+ * the requantized bytes flow through one extra VLUT before the store
+ * instead of a separate load/lookup/store pass over the tensor.
+ * Not part of the default pipeline; enable explicitly.
+ */
+int64_t fuseLutActivations(Graph &graph);
+
+/**
+ * Companion fusion: fold a single-consumer residual Add into the
+ * producing Conv2D / MatMul epilogue (the second operand streams through
+ * the store path), saving a full pass over the output tensor. Part of
+ * the same extension; enable explicitly.
+ */
+int64_t fuseResidualAdds(Graph &graph);
+
+/** Run the standard pipeline: fold, fuse, eliminate; then re-infer. */
+PassStats optimize(Graph &graph);
+
+} // namespace gcd2::graph
+
+#endif // GCD2_GRAPH_PASSES_H

@@ -1,0 +1,75 @@
+#include "graph/subgraph.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace gcd2::graph {
+
+Graph
+extractOperatorWindow(const Graph &graph, int64_t firstOp, int64_t count)
+{
+    GCD2_REQUIRE(firstOp >= 0 && count > 0, "bad operator window");
+
+    // Collect the window's node ids (operators only) in topo order.
+    std::vector<NodeId> window;
+    int64_t seen = 0;
+    for (const Node &node : graph.nodes()) {
+        if (node.dead || node.op == OpType::Input ||
+            node.op == OpType::Constant || node.op == OpType::Output)
+            continue;
+        if (seen >= firstOp &&
+            seen < firstOp + count)
+            window.push_back(node.id);
+        ++seen;
+    }
+    GCD2_REQUIRE(static_cast<int64_t>(window.size()) == count,
+                 "graph has only " << seen << " operators, window "
+                                   << firstOp << "+" << count
+                                   << " out of range");
+
+    Graph out;
+    std::map<NodeId, NodeId> mapped; // old id -> new id
+
+    auto materializeInput = [&](NodeId oldId) {
+        const auto it = mapped.find(oldId);
+        if (it != mapped.end())
+            return it->second;
+        const Node &src = graph.node(oldId);
+        NodeAttrs attrs;
+        attrs.targetShape = src.shape.dims();
+        const OpType kind = src.op == OpType::Constant ? OpType::Constant
+                                                       : OpType::Input;
+        const NodeId newId = out.add(kind, {}, attrs, src.name);
+        mapped[oldId] = newId;
+        return newId;
+    };
+
+    for (NodeId oldId : window) {
+        const Node &src = graph.node(oldId);
+        std::vector<NodeId> inputs;
+        inputs.reserve(src.inputs.size());
+        for (NodeId in : src.inputs)
+            inputs.push_back(mapped.count(in) ? mapped[in]
+                                              : materializeInput(in));
+        mapped[oldId] = out.add(src.op, std::move(inputs), src.attrs,
+                                src.name);
+    }
+
+    // Every window value without an internal consumer becomes an output.
+    const auto succ = graph.successors();
+    for (NodeId oldId : window) {
+        bool consumedInside = false;
+        for (NodeId consumer : succ[static_cast<size_t>(oldId)])
+            if (mapped.count(consumer) &&
+                graph.node(consumer).op != OpType::Output)
+                consumedInside = true;
+        if (!consumedInside)
+            out.add(OpType::Output, {mapped[oldId]});
+    }
+
+    inferShapes(out);
+    return out;
+}
+
+} // namespace gcd2::graph

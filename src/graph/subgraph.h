@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Sub-graph extraction (the Fig. 10 methodology: "partial computational
+ * graphs are extracted from ResNet-50 using contiguous operators").
+ */
+#ifndef GCD2_GRAPH_SUBGRAPH_H
+#define GCD2_GRAPH_SUBGRAPH_H
+
+#include "graph/graph.h"
+
+namespace gcd2::graph {
+
+/**
+ * Copy @p count contiguous live operators of @p graph (topological order,
+ * starting at the @p firstOp -th operator, skipping Input/Constant/Output
+ * nodes when counting). Values produced outside the window become fresh
+ * Input nodes of matching shape; Constant inputs are copied; every
+ * window-internal value without an internal consumer feeds a new Output.
+ */
+Graph extractOperatorWindow(const Graph &graph, int64_t firstOp,
+                            int64_t count);
+
+} // namespace gcd2::graph
+
+#endif // GCD2_GRAPH_SUBGRAPH_H

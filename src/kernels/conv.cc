@@ -1,0 +1,341 @@
+#include "kernels/conv.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/quant.h"
+
+namespace gcd2::kernels {
+
+namespace {
+
+using dsp::Opcode;
+using dsp::makeAddi;
+using dsp::makeJumpNz;
+using dsp::makeLoad;
+using dsp::makeMov;
+using dsp::makeMovi;
+using dsp::makeVasr;
+using dsp::makeVload;
+using dsp::makeVmpa;
+using dsp::makeVsplatw;
+using dsp::makeVstore;
+using dsp::sreg;
+using dsp::vreg;
+
+/** Host im2col shared by packing and the reference. */
+std::vector<uint8_t>
+im2colHost(const uint8_t *nchw, const ConvShape &s)
+{
+    const int64_t m = s.outH() * s.outW();
+    const int64_t k = s.inC * s.kH * s.kW;
+    std::vector<uint8_t> out(static_cast<size_t>(m * k), 0);
+    for (int64_t oy = 0; oy < s.outH(); ++oy) {
+        for (int64_t ox = 0; ox < s.outW(); ++ox) {
+            const int64_t row = oy * s.outW() + ox;
+            for (int64_t c = 0; c < s.inC; ++c) {
+                for (int64_t ky = 0; ky < s.kH; ++ky) {
+                    for (int64_t kx = 0; kx < s.kW; ++kx) {
+                        const int64_t iy = oy * s.strideH + ky - s.padH;
+                        const int64_t ix = ox * s.strideW + kx - s.padW;
+                        if (iy < 0 || iy >= s.inH || ix < 0 || ix >= s.inW)
+                            continue;
+                        const int64_t col =
+                            (c * s.kH + ky) * s.kW + kx;
+                        out[static_cast<size_t>(row * k + col)] =
+                            nchw[(c * s.inH + iy) * s.inW + ix];
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/** OIHW filters to the K x N weight matrix of the im2col matmul. */
+std::vector<int8_t>
+filtersToMatrix(const int8_t *oihw, const ConvShape &s)
+{
+    const int64_t k = s.inC * s.kH * s.kW;
+    std::vector<int8_t> out(static_cast<size_t>(k * s.outC));
+    for (int64_t n = 0; n < s.outC; ++n)
+        for (int64_t c = 0; c < s.inC; ++c)
+            for (int64_t ky = 0; ky < s.kH; ++ky)
+                for (int64_t kx = 0; kx < s.kW; ++kx) {
+                    const int64_t kk = (c * s.kH + ky) * s.kW + kx;
+                    out[static_cast<size_t>(kk * s.outC + n)] =
+                        oihw[((n * s.inC + c) * s.kH + ky) * s.kW + kx];
+                }
+    return out;
+}
+
+} // namespace
+
+ConvKernel::ConvKernel(const ConvShape &shape, const MatMulConfig &config)
+    : shape_(shape), matmul_(shape.matmulShape(), config)
+{
+    GCD2_REQUIRE(shape.inC > 0 && shape.inH > 0 && shape.inW > 0 &&
+                     shape.outC > 0,
+                 "conv shape must be positive");
+    GCD2_REQUIRE(shape.outH() > 0 && shape.outW() > 0,
+                 "conv produces an empty output");
+}
+
+std::vector<uint8_t>
+ConvKernel::im2col(const uint8_t *nchw) const
+{
+    return im2colHost(nchw, shape_);
+}
+
+std::vector<uint8_t>
+ConvKernel::packInput(const uint8_t *nchw) const
+{
+    const auto patches = im2colHost(nchw, shape_);
+    return matmul_.packInput(patches.data());
+}
+
+std::vector<uint8_t>
+ConvKernel::packWeights(const int8_t *oihw) const
+{
+    const auto matrix = filtersToMatrix(oihw, shape_);
+    return matmul_.packWeights(matrix.data());
+}
+
+std::vector<uint8_t>
+ConvKernel::unpackOutput(const uint8_t *packed) const
+{
+    // The matmul output is (outH*outW) x outC row-major; NCHW output wants
+    // channel-major planes.
+    const auto hwc = matmul_.unpackOutput(packed);
+    const int64_t m = shape_.outH() * shape_.outW();
+    std::vector<uint8_t> out(static_cast<size_t>(m * shape_.outC));
+    for (int64_t row = 0; row < m; ++row)
+        for (int64_t n = 0; n < shape_.outC; ++n)
+            out[static_cast<size_t>(n * m + row)] =
+                hwc[static_cast<size_t>(row * shape_.outC + n)];
+    return out;
+}
+
+uint64_t
+ConvKernel::im2colCycles() const
+{
+    if (shape_.isPointwise())
+        return 0;
+    const int64_t patchBytes =
+        shape_.outH() * shape_.outW() * shape_.inC * shape_.kH * shape_.kW;
+    // Each patch byte flows through a load/permute/store pipeline with two
+    // memory slots per packet: ~2 cycles per vector each way.
+    return static_cast<uint64_t>(4 * (patchBytes / dsp::kVectorBytes) + 16);
+}
+
+std::vector<uint8_t>
+ConvKernel::reference(const uint8_t *nchw, const int8_t *oihw,
+                      const ConvShape &shape, const MatMulConfig &config)
+{
+    const auto patches = im2colHost(nchw, shape);
+    const auto weights = filtersToMatrix(oihw, shape);
+    const auto hwc = MatMulKernel::reference(
+        patches.data(), weights.data(), shape.matmulShape(), config);
+    const int64_t m = shape.outH() * shape.outW();
+    std::vector<uint8_t> out(static_cast<size_t>(m * shape.outC));
+    for (int64_t row = 0; row < m; ++row)
+        for (int64_t n = 0; n < shape.outC; ++n)
+            out[static_cast<size_t>(n * m + row)] =
+                hwc[static_cast<size_t>(row * shape.outC + n)];
+    return out;
+}
+
+// Depthwise -------------------------------------------------------------
+
+namespace {
+
+/** Row buffer stride: 256 data bytes + 128 zero bytes so the odd-phase
+ *  (+1 shifted) vector loads stay in bounds. */
+constexpr int64_t kDwRowBytes = 384;
+
+} // namespace
+
+DepthwiseKernel::DepthwiseKernel(const DepthwiseConfig &config)
+    : config_(config)
+{
+    GCD2_REQUIRE(config.channels > 0, "depthwise needs channels");
+    GCD2_REQUIRE(config.inH >= 3, "depthwise needs >= 3 input rows");
+    GCD2_REQUIRE(config.inW > 0 && config.inW <= 256 &&
+                     config.inW % 2 == 0,
+                 "depthwise row tile must be even and <= 256");
+    GCD2_REQUIRE(config.stride == 1 || config.stride == 2,
+                 "depthwise stride must be 1 or 2");
+    GCD2_REQUIRE(config.unrollRows >= 1 &&
+                     config.outH() % config.unrollRows == 0,
+                 "unrollRows must divide outH");
+    GCD2_REQUIRE(config.stride == 2 || config.unrollRows == 1,
+                 "stride-1 depthwise supports unrollRows == 1");
+
+    prog_.noaliasRegs = {kRegInput, kRegWeights, kRegOutput};
+
+    const int64_t outRowBytes = config.stride == 2 ? 128 : 256;
+    buffers_.inputBytes = config.channels * config.inH * kDwRowBytes;
+    buffers_.weightBytes = config.channels * 3 * 4;
+    buffers_.outputBytes = config.channels * config.outH() * outRowBytes;
+    buffers_.scratchBytes = 0;
+
+    const int ur = config.unrollRows;
+    prog_.push(makeMovi(sreg(0), 0));
+    prog_.push(makeMovi(sreg(5), config.channels)); // channel counter
+    prog_.push(makeMov(sreg(9), sreg(kRegInput)));  // channel input base
+    prog_.push(makeMov(sreg(10), sreg(kRegOutput))); // channel output base
+    prog_.push(makeMov(sreg(11), sreg(kRegWeights))); // weight pointer
+
+    const int chanLoop = prog_.newLabel();
+    prog_.bindLabel(chanLoop);
+    // Hoist the three filter-row coefficient words for this channel.
+    prog_.push(makeLoad(Opcode::LOADW, sreg(12), sreg(11), 0));
+    prog_.push(makeLoad(Opcode::LOADW, sreg(13), sreg(11), 4));
+    prog_.push(makeLoad(Opcode::LOADW, sreg(14), sreg(11), 8));
+    prog_.push(makeMovi(sreg(6), config.outH() / ur)); // row counter
+    prog_.push(makeMov(sreg(7), sreg(9)));             // row input ptr
+    prog_.push(makeMov(sreg(8), sreg(10)));            // row output ptr
+
+    const int rowLoop = prog_.newLabel();
+    prog_.bindLabel(rowLoop);
+    if (config.stride == 2) {
+        for (int u = 0; u < ur; ++u) {
+            const int accBase = (u % 2 == 0) ? 2 : 6; // pairs v2:3 / v6:7
+            const int inBase = (u % 2 == 0) ? 0 : 8;  // v0,v1 / v8,v9
+            const int outReg = (u % 2 == 0) ? 4 : 10;
+            prog_.push(makeVsplatw(vreg(accBase), sreg(0)));
+            prog_.push(makeVsplatw(vreg(accBase + 1), sreg(0)));
+            for (int dy = 0; dy < 3; ++dy) {
+                const int64_t off =
+                    (static_cast<int64_t>(u) * 2 + dy) * kDwRowBytes;
+                prog_.push(makeVload(vreg(inBase), sreg(7), off));
+                prog_.push(makeVload(vreg(inBase + 1), sreg(7), off + 128));
+                prog_.push(makeVmpa(Opcode::VTMPY, vreg(accBase),
+                                    vreg(inBase), sreg(12 + dy)));
+            }
+            prog_.push(makeVasr(Opcode::VASRHUB, vreg(outReg),
+                                vreg(accBase), config.shift16));
+            prog_.push(makeVstore(sreg(8), vreg(outReg),
+                                  static_cast<int64_t>(u) * 128));
+        }
+    } else {
+        // Stride 1: even-phase outputs from the aligned rows, odd-phase
+        // outputs from the rows shifted one byte; byte-interleave both
+        // requantized streams back into pixel order.
+        prog_.push(makeVsplatw(vreg(2), sreg(0)));  // even acc pair v2:3
+        prog_.push(makeVsplatw(vreg(3), sreg(0)));
+        prog_.push(makeVsplatw(vreg(6), sreg(0)));  // odd acc pair v6:7
+        prog_.push(makeVsplatw(vreg(7), sreg(0)));
+        for (int dy = 0; dy < 3; ++dy) {
+            const int64_t off = static_cast<int64_t>(dy) * kDwRowBytes;
+            const int evenIn = (dy % 2 == 0) ? 0 : 14;  // v0:1 / v14:15
+            const int oddIn = (dy % 2 == 0) ? 8 : 16;   // v8:9 / v16:17
+            prog_.push(makeVload(vreg(evenIn), sreg(7), off));
+            prog_.push(makeVload(vreg(evenIn + 1), sreg(7), off + 128));
+            prog_.push(makeVmpa(Opcode::VTMPY, vreg(2), vreg(evenIn),
+                                sreg(12 + dy)));
+            prog_.push(makeVload(vreg(oddIn), sreg(7), off + 1));
+            prog_.push(makeVload(vreg(oddIn + 1), sreg(7), off + 129));
+            prog_.push(makeVmpa(Opcode::VTMPY, vreg(6), vreg(oddIn),
+                                sreg(12 + dy)));
+        }
+        prog_.push(makeVasr(Opcode::VASRHUB, vreg(4), vreg(2),
+                            config.shift16)); // even bytes e0..e127
+        prog_.push(makeVasr(Opcode::VASRHUB, vreg(10), vreg(6),
+                            config.shift16)); // odd bytes o0..o127
+        prog_.push(makeVshuff(Opcode::VSHUFF, vreg(12), vreg(4), vreg(10),
+                              /*laneLog2=*/0)); // pixel order, pair v12:13
+        prog_.push(makeVstore(sreg(8), vreg(12), 0));
+        prog_.push(makeVstore(sreg(8), vreg(13), 128));
+    }
+    prog_.push(makeAddi(sreg(7), sreg(7),
+                        config.stride * kDwRowBytes * ur));
+    prog_.push(makeAddi(sreg(8), sreg(8), outRowBytes * ur));
+    prog_.push(makeAddi(sreg(6), sreg(6), -1));
+    prog_.push(makeJumpNz(sreg(6), rowLoop));
+
+    prog_.push(makeAddi(sreg(9), sreg(9), config.inH * kDwRowBytes));
+    prog_.push(makeAddi(sreg(10), sreg(10),
+                        config.outH() * outRowBytes));
+    prog_.push(makeAddi(sreg(11), sreg(11), 12));
+    prog_.push(makeAddi(sreg(5), sreg(5), -1));
+    prog_.push(makeJumpNz(sreg(5), chanLoop));
+}
+
+std::vector<uint8_t>
+DepthwiseKernel::packInput(const uint8_t *chw) const
+{
+    std::vector<uint8_t> out(static_cast<size_t>(buffers_.inputBytes), 0);
+    for (int64_t c = 0; c < config_.channels; ++c)
+        for (int64_t y = 0; y < config_.inH; ++y)
+            for (int64_t x = 0; x < config_.inW; ++x)
+                out[static_cast<size_t>(
+                    (c * config_.inH + y) * kDwRowBytes + x)] =
+                    chw[(c * config_.inH + y) * config_.inW + x];
+    return out;
+}
+
+std::vector<uint8_t>
+DepthwiseKernel::packWeights(const int8_t *c33) const
+{
+    std::vector<uint8_t> out(static_cast<size_t>(buffers_.weightBytes), 0);
+    for (int64_t c = 0; c < config_.channels; ++c)
+        for (int64_t dy = 0; dy < 3; ++dy)
+            for (int64_t j = 0; j < 3; ++j)
+                out[static_cast<size_t>((c * 3 + dy) * 4 + j)] =
+                    static_cast<uint8_t>(c33[(c * 3 + dy) * 3 + j]);
+    return out;
+}
+
+std::vector<uint8_t>
+DepthwiseKernel::unpackOutput(const uint8_t *packed) const
+{
+    const int64_t outH = config_.outH();
+    const int64_t outW = config_.outW();
+    const int64_t outRowBytes = config_.stride == 2 ? 128 : 256;
+    std::vector<uint8_t> out(
+        static_cast<size_t>(config_.channels * outH * outW));
+    for (int64_t c = 0; c < config_.channels; ++c)
+        for (int64_t y = 0; y < outH; ++y)
+            for (int64_t x = 0; x < outW; ++x)
+                out[static_cast<size_t>((c * outH + y) * outW + x)] =
+                    packed[(c * outH + y) * outRowBytes + x];
+    return out;
+}
+
+std::vector<uint8_t>
+DepthwiseKernel::reference(const uint8_t *chw, const int8_t *c33,
+                           const DepthwiseConfig &config)
+{
+    const int64_t outH = config.outH();
+    const int64_t outW = config.outW();
+    std::vector<uint8_t> out(
+        static_cast<size_t>(config.channels * outH * outW));
+    auto inAt = [&](int64_t c, int64_t y, int64_t x) -> int32_t {
+        if (x >= config.inW || x >= 256)
+            return 0; // zero column padding of the row tile
+        return chw[(c * config.inH + y) * config.inW + x];
+    };
+    for (int64_t c = 0; c < config.channels; ++c) {
+        for (int64_t y = 0; y < outH; ++y) {
+            for (int64_t x = 0; x < outW; ++x) {
+                // One 16-bit wraparound per filter row (one vtmpy each).
+                int16_t acc = 0;
+                for (int64_t dy = 0; dy < 3; ++dy) {
+                    int32_t rowSum = 0;
+                    for (int64_t j = 0; j < 3; ++j)
+                        rowSum += inAt(c, config.stride * y + dy,
+                                       config.stride * x + j) *
+                                  c33[(c * 3 + dy) * 3 + j];
+                    acc = static_cast<int16_t>(acc + rowSum);
+                }
+                out[static_cast<size_t>((c * outH + y) * outW + x)] =
+                    static_cast<uint8_t>(std::clamp<int64_t>(
+                        tensor::roundShift(acc, config.shift16), 0, 255));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace gcd2::kernels

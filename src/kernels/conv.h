@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Convolution kernel generators.
+ *
+ * Conv2D lowers onto the MatMul schemes through im2col: the input patch
+ * matrix is A (M = outH*outW rows, K = inC*kH*kW columns) and the filter
+ * bank is W (K x outC). The patch matrix is materialized at pack time by
+ * the host (for 1x1 stride-1 convolutions it is the identity reshape);
+ * its construction cost on-device is accounted by im2colCycles(), which
+ * the cost model adds to the kernel cycles.
+ *
+ * Depthwise 3x3 convolutions use the dedicated triple-tap multiply
+ * (vtmpy): one instruction filters 256 input pixels of a channel row into
+ * 128 stride-2 outputs, accumulated over the three filter rows and
+ * requantized with VASRHUB. Stride-1 kernels run an even and an odd vtmpy
+ * phase (the odd phase reads the rows shifted one byte) and
+ * byte-interleave the two requantized streams. The generator handles the
+ * canonical 256-pixel-wide row tile; wider images are tiled by the
+ * executor.
+ */
+#ifndef GCD2_KERNELS_CONV_H
+#define GCD2_KERNELS_CONV_H
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/matmul.h"
+
+namespace gcd2::kernels {
+
+/** Conv2D problem description (NCHW, batch 1). */
+struct ConvShape
+{
+    int64_t inC = 0;
+    int64_t inH = 0;
+    int64_t inW = 0;
+    int64_t outC = 0;
+    int64_t kH = 1;
+    int64_t kW = 1;
+    int64_t strideH = 1;
+    int64_t strideW = 1;
+    int64_t padH = 0;
+    int64_t padW = 0;
+
+    int64_t outH() const { return (inH + 2 * padH - kH) / strideH + 1; }
+    int64_t outW() const { return (inW + 2 * padW - kW) / strideW + 1; }
+
+    /** Multiply-accumulates of the convolution. */
+    int64_t
+    macs() const
+    {
+        return outH() * outW() * outC * inC * kH * kW;
+    }
+
+    /** The equivalent im2col matmul shape. */
+    MatMulShape
+    matmulShape() const
+    {
+        return MatMulShape{outH() * outW(), inC * kH * kW, outC};
+    }
+
+    /** 1x1 stride-1 unpadded convolutions reshape for free. */
+    bool
+    isPointwise() const
+    {
+        return kH == 1 && kW == 1 && strideH == 1 && strideW == 1 &&
+               padH == 0 && padW == 0;
+    }
+};
+
+/**
+ * Conv2D kernel: an im2col wrapper over MatMulKernel, sharing its
+ * instruction-scheme configuration and exact reference semantics.
+ */
+class ConvKernel
+{
+  public:
+    ConvKernel(const ConvShape &shape, const MatMulConfig &config);
+
+    const dsp::Program &program() const { return matmul_.program(); }
+    const KernelBuffers &buffers() const { return matmul_.buffers(); }
+    const ConvShape &shape() const { return shape_; }
+    const MatMulKernel &matmul() const { return matmul_; }
+
+    /** Host-side im2col: NCHW input -> (outH*outW) x (inC*kH*kW). */
+    std::vector<uint8_t> im2col(const uint8_t *nchw) const;
+
+    /** im2col + layout packing into the kernel's input buffer. */
+    std::vector<uint8_t> packInput(const uint8_t *nchw) const;
+
+    /** OIHW filters -> K x N weight matrix -> packed weights. */
+    std::vector<uint8_t> packWeights(const int8_t *oihw) const;
+
+    /** Packed output -> NCHW (outC, outH, outW). */
+    std::vector<uint8_t> unpackOutput(const uint8_t *packed) const;
+
+    /**
+     * Estimated cycles to materialize the patch matrix on-device (zero
+     * for pointwise convolutions): every patch byte is moved through the
+     * vector units once.
+     */
+    uint64_t im2colCycles() const;
+
+    /** Exact reference (direct conv with scheme accumulation semantics). */
+    static std::vector<uint8_t> reference(const uint8_t *nchw,
+                                          const int8_t *oihw,
+                                          const ConvShape &shape,
+                                          const MatMulConfig &config);
+
+  private:
+    ConvShape shape_;
+    MatMulKernel matmul_;
+};
+
+/**
+ * Depthwise 3x3 configuration (canonical 256-wide row tile).
+ *
+ * stride 2 runs one vtmpy per filter row; stride 1 runs an even and an
+ * odd vtmpy pass per filter row (the odd pass reads the input shifted by
+ * one byte) and byte-interleaves the two result streams.
+ */
+struct DepthwiseConfig
+{
+    int64_t channels = 1;
+    int64_t inH = 0;
+    int64_t inW = 256; ///< <= 256, even; rows zero-padded in the buffer
+    int64_t stride = 2; ///< 1 or 2 (both spatial dimensions)
+    int shift16 = 7;    ///< requantization shift
+    int unrollRows = 1;
+
+    int64_t outH() const { return (inH - 3) / stride + 1; }
+    int64_t
+    outW() const
+    {
+        return stride == 2 ? inW / 2 : inW - 2;
+    }
+    int64_t macs() const { return channels * outH() * outW() * 9; }
+};
+
+/** Depthwise 3x3 kernel built on vtmpy. */
+class DepthwiseKernel
+{
+  public:
+    explicit DepthwiseKernel(const DepthwiseConfig &config);
+
+    const dsp::Program &program() const { return prog_; }
+    const KernelBuffers &buffers() const { return buffers_; }
+    const DepthwiseConfig &config() const { return config_; }
+
+    /** Channel-major (C, inH, 256) input with zero column padding. */
+    std::vector<uint8_t> packInput(const uint8_t *chw) const;
+
+    /** Per-channel 3x3 filters -> 3 coefficient words per channel. */
+    std::vector<uint8_t> packWeights(const int8_t *c33) const;
+
+    /** Raw output -> (C, outH, outW). */
+    std::vector<uint8_t> unpackOutput(const uint8_t *packed) const;
+
+    /** Exact reference (16-bit wrap per filter row, VASRHUB epilogue). */
+    static std::vector<uint8_t> reference(const uint8_t *chw,
+                                          const int8_t *c33,
+                                          const DepthwiseConfig &config);
+
+  private:
+    DepthwiseConfig config_;
+    dsp::Program prog_;
+    KernelBuffers buffers_;
+};
+
+} // namespace gcd2::kernels
+
+#endif // GCD2_KERNELS_CONV_H

@@ -1,0 +1,718 @@
+#include "kernels/matmul.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/quant.h"
+
+namespace gcd2::kernels {
+
+namespace {
+
+using dsp::Opcode;
+using dsp::Program;
+using dsp::makeAddi;
+using dsp::makeCombine4;
+using dsp::makeJumpNz;
+using dsp::makeLoad;
+using dsp::makeMov;
+using dsp::makeMovi;
+using dsp::makeVasr;
+using dsp::makeVecBinary;
+using dsp::makeVload;
+using dsp::makeVmpa;
+using dsp::makeVmpy;
+using dsp::makeVrmpy;
+using dsp::makeVshuff;
+using dsp::makeVsplatw;
+using dsp::makeVstore;
+using dsp::sreg;
+using dsp::vreg;
+
+// Scalar register allocation (beyond the ABI registers r1-r4; r0 is zero).
+constexpr int kRegPanelCtr = 5;
+constexpr int kRegTileCtr = 6;
+constexpr int kRegKCtr = 7;
+constexpr int kRegAPanel = 8;
+constexpr int kRegWTile = 9;
+constexpr int kRegCPanel = 10;
+constexpr int kRegCCol = 11;
+constexpr int kRegAK = 12;
+constexpr int kRegWK = 13;
+constexpr int kRegWTemp = 14; // r14..r21: four (load, combine) pairs
+
+// Vector register allocation: v0/v1 (and v30/v31) stage inputs, v2..v17
+// hold accumulators, v18/v19 stage spilled accumulators, v20..v29 are
+// epilogue temporaries.
+constexpr int kFirstAccReg = 2;
+constexpr int kAccRegCount = 16;
+constexpr int kSpillStage = 18;
+
+int64_t
+roundUp(int64_t v, int64_t unit)
+{
+    return (v + unit - 1) / unit * unit;
+}
+
+} // namespace
+
+const char *
+schemeName(MatMulScheme scheme)
+{
+    switch (scheme) {
+      case MatMulScheme::Vmpy:
+        return "vmpy";
+      case MatMulScheme::Vmpa:
+        return "vmpa";
+      case MatMulScheme::Vrmpy:
+        return "vrmpy";
+    }
+    return "?";
+}
+
+tensor::Layout
+schemeLayout(MatMulScheme scheme)
+{
+    switch (scheme) {
+      case MatMulScheme::Vmpy:
+        return tensor::Layout::OneColumn;
+      case MatMulScheme::Vmpa:
+        return tensor::Layout::TwoColumn;
+      case MatMulScheme::Vrmpy:
+        return tensor::Layout::FourColumn;
+    }
+    return tensor::Layout::RowMajor;
+}
+
+MatMulKernel::MatMulKernel(const MatMulShape &shape,
+                           const MatMulConfig &config)
+    : shape_(shape), config_(config)
+{
+    GCD2_REQUIRE(shape.m > 0 && shape.k > 0 && shape.n > 0,
+                 "matmul shape must be positive");
+    GCD2_REQUIRE(config.unrollOut >= 1 && config.unrollCols >= 1 &&
+                     config.unrollK >= 1,
+                 "unroll factors must be >= 1");
+
+    switch (config_.scheme) {
+      case MatMulScheme::Vmpy:
+        generateVmpy();
+        break;
+      case MatMulScheme::Vmpa:
+        generateVmpa();
+        break;
+      case MatMulScheme::Vrmpy:
+        generateVrmpy();
+        break;
+    }
+}
+
+namespace {
+
+/**
+ * Shared loop-nest emitter. The three schemes differ only in the panel
+ * height, k step, columns per tile, the inner multiply sequence, and the
+ * requantization epilogue; this driver owns the loop/pointer scaffolding.
+ */
+class LoopNestBuilder
+{
+  public:
+    struct Params
+    {
+        int64_t panels;       ///< outer trip count (already / unrollOut)
+        int64_t colTiles;     ///< mid trip count
+        int64_t kIters;       ///< inner trip count (already / unrollK)
+        int unrollOut;
+        int64_t aPanelStride; ///< bytes per panel of packed A
+        int64_t cPanelStride; ///< bytes per panel of packed C
+        int64_t wTileStride;  ///< bytes per column tile of packed W
+        int64_t cTileStride;  ///< bytes per column tile of packed C
+        int64_t aKStep;       ///< A pointer bytes per inner iteration
+        int64_t wKStep;       ///< W pointer bytes per inner iteration
+    };
+
+    LoopNestBuilder(Program &prog, const Params &params)
+        : prog_(prog), p_(params)
+    {
+    }
+
+    /**
+     * Emit the full nest. @p zeroAccs, @p body and @p epilogue are invoked
+     * per unrollOut replica with the replica index o; the body is also
+     * given the inner unroll step u.
+     */
+    template <typename ZeroFn, typename BodyFn, typename EpilogueFn>
+    void
+    emit(int unrollK, ZeroFn zeroAccs, BodyFn body, EpilogueFn epilogue)
+    {
+        prog_.push(makeMovi(sreg(0), 0));
+        prog_.push(makeMovi(sreg(kRegPanelCtr), p_.panels));
+        prog_.push(makeMov(sreg(kRegAPanel), sreg(kRegInput)));
+        prog_.push(makeMov(sreg(kRegCPanel), sreg(kRegOutput)));
+
+        const int panelLabel = prog_.newLabel();
+        prog_.bindLabel(panelLabel);
+        prog_.push(makeMovi(sreg(kRegTileCtr), p_.colTiles));
+        prog_.push(makeMov(sreg(kRegWTile), sreg(kRegWeights)));
+        prog_.push(makeMov(sreg(kRegCCol), sreg(kRegCPanel)));
+
+        const int tileLabel = prog_.newLabel();
+        prog_.bindLabel(tileLabel);
+        for (int o = 0; o < p_.unrollOut; ++o) {
+            zeroAccs(o);
+            prog_.push(makeMovi(sreg(kRegKCtr), p_.kIters));
+            prog_.push(makeMov(sreg(kRegAK), sreg(kRegAPanel)));
+            prog_.push(makeMov(sreg(kRegWK), sreg(kRegWTile)));
+
+            const int kLabel = prog_.newLabel();
+            prog_.bindLabel(kLabel);
+            for (int u = 0; u < unrollK; ++u)
+                body(o, u);
+            prog_.push(makeAddi(sreg(kRegAK), sreg(kRegAK),
+                                p_.aKStep * unrollK));
+            prog_.push(makeAddi(sreg(kRegWK), sreg(kRegWK),
+                                p_.wKStep * unrollK));
+            prog_.push(makeAddi(sreg(kRegKCtr), sreg(kRegKCtr), -1));
+            prog_.push(makeJumpNz(sreg(kRegKCtr), kLabel));
+
+            epilogue(o);
+        }
+        prog_.push(makeAddi(sreg(kRegWTile), sreg(kRegWTile),
+                            p_.wTileStride));
+        prog_.push(makeAddi(sreg(kRegCCol), sreg(kRegCCol), p_.cTileStride));
+        prog_.push(makeAddi(sreg(kRegTileCtr), sreg(kRegTileCtr), -1));
+        prog_.push(makeJumpNz(sreg(kRegTileCtr), tileLabel));
+
+        prog_.push(makeAddi(sreg(kRegAPanel), sreg(kRegAPanel),
+                            p_.aPanelStride * p_.unrollOut));
+        prog_.push(makeAddi(sreg(kRegCPanel), sreg(kRegCPanel),
+                            p_.cPanelStride * p_.unrollOut));
+        prog_.push(makeAddi(sreg(kRegPanelCtr), sreg(kRegPanelCtr), -1));
+        prog_.push(makeJumpNz(sreg(kRegPanelCtr), panelLabel));
+    }
+
+  private:
+    Program &prog_;
+    Params p_;
+};
+
+/** Weight-staging scalar register pair for the t-th rotation slot. */
+struct WTemp
+{
+    int loadReg;
+    int packedReg;
+};
+
+WTemp
+wtemp(int t)
+{
+    return WTemp{kRegWTemp + 2 * (t % 4), kRegWTemp + 2 * (t % 4) + 1};
+}
+
+} // namespace
+
+void
+MatMulKernel::generateVmpy()
+{
+    prog_.noaliasRegs = {kRegInput, kRegWeights, kRegOutput, kRegScratch};
+    const int uo = config_.unrollOut;
+    const int un = config_.unrollCols;
+    const int uk = config_.unrollK;
+
+    mp_ = roundUp(shape_.m, 128 * uo);
+    kp_ = roundUp(shape_.k, uk);
+    np_ = roundUp(shape_.n, un);
+
+    const int64_t panels = mp_ / (128 * uo);
+    const int64_t colTiles = np_ / un;
+    const int64_t kIters = kp_ / uk;
+
+    const int maxAccPairs = kAccRegCount / 2; // 8 live column accumulators
+    const int spillCols = std::max(0, un - maxAccPairs);
+
+    buffers_.inputBytes = mp_ * kp_;
+    // vmpy splats one weight across a whole vector; the compile-time
+    // weight packer pre-replicates every weight byte into a 4-byte word so
+    // the kernel needs a single LOADW per (column, k) instead of a
+    // load + splat pair (the "pre-designed" layouts of Section III).
+    buffers_.weightBytes = np_ * kp_ * 4;
+    buffers_.outputBytes = mp_ * np_;
+    buffers_.scratchBytes = static_cast<int64_t>(spillCols) * 256;
+
+    LoopNestBuilder::Params params;
+    params.panels = panels;
+    params.colTiles = colTiles;
+    params.kIters = kIters;
+    params.unrollOut = uo;
+    params.aPanelStride = 128 * kp_;
+    params.cPanelStride = 128 * np_;
+    params.wTileStride = static_cast<int64_t>(un) * kp_ * 4;
+    params.cTileStride = static_cast<int64_t>(un) * 128;
+    params.aKStep = 128;
+    params.wKStep = 4;
+
+    auto accPair = [&](int j) { return kFirstAccReg + 2 * j; };
+    auto spilled = [&](int j) { return j >= maxAccPairs; };
+    auto spillOff = [&](int j) {
+        return static_cast<int64_t>(j - maxAccPairs) * 256;
+    };
+
+    LoopNestBuilder nest(prog_, params);
+    nest.emit(
+        uk,
+        // Zero the accumulators (spilled columns live in scratch).
+        [&](int) {
+            for (int j = 0; j < un; ++j) {
+                if (!spilled(j)) {
+                    prog_.push(makeVsplatw(vreg(accPair(j)), sreg(0)));
+                    prog_.push(makeVsplatw(vreg(accPair(j) + 1), sreg(0)));
+                } else {
+                    prog_.push(makeVsplatw(vreg(kSpillStage), sreg(0)));
+                    prog_.push(makeVsplatw(vreg(kSpillStage + 1), sreg(0)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage), spillOff(j)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage + 1),
+                                          spillOff(j) + 128));
+                }
+            }
+        },
+        // Inner body: one activation column vector feeds all tile columns.
+        [&](int o, int u) {
+            const int in = u % 2; // v0 / v1 rotation
+            prog_.push(makeVload(vreg(in), sreg(kRegAK),
+                                 u * 128 + static_cast<int64_t>(o) * 128 *
+                                               kp_));
+            for (int j = 0; j < un; ++j) {
+                const WTemp w = wtemp(u * un + j);
+                prog_.push(makeLoad(Opcode::LOADW, sreg(w.packedReg),
+                                    sreg(kRegWK),
+                                    (static_cast<int64_t>(j) * kp_ + u) *
+                                        4));
+                if (!spilled(j)) {
+                    prog_.push(makeVmpy(Opcode::VMPYACC, vreg(accPair(j)),
+                                        vreg(in), sreg(w.packedReg)));
+                } else {
+                    prog_.push(makeVload(vreg(kSpillStage),
+                                         sreg(kRegScratch), spillOff(j)));
+                    prog_.push(makeVload(vreg(kSpillStage + 1),
+                                         sreg(kRegScratch),
+                                         spillOff(j) + 128));
+                    prog_.push(makeVmpy(Opcode::VMPYACC, vreg(kSpillStage),
+                                        vreg(in), sreg(w.packedReg)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage), spillOff(j)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage + 1),
+                                          spillOff(j) + 128));
+                }
+            }
+        },
+        // Epilogue: reorder even/odd products, requantize, store.
+        [&](int o) {
+            for (int j = 0; j < un; ++j) {
+                const int shuffBase = (j % 2 == 0) ? 20 : 24;
+                const int asrDst = (j % 2 == 0) ? 22 : 26;
+                int src = accPair(j);
+                if (spilled(j)) {
+                    prog_.push(makeVload(vreg(kSpillStage),
+                                         sreg(kRegScratch), spillOff(j)));
+                    prog_.push(makeVload(vreg(kSpillStage + 1),
+                                         sreg(kRegScratch),
+                                         spillOff(j) + 128));
+                    src = kSpillStage;
+                }
+                prog_.push(makeVshuff(Opcode::VSHUFF, vreg(shuffBase),
+                                      vreg(src), vreg(src + 1),
+                                      /*laneLog2=*/1));
+                prog_.push(makeVasr(Opcode::VASRHUB, vreg(asrDst),
+                                    vreg(shuffBase), config_.shift16));
+                prog_.push(makeVstore(sreg(kRegCCol), vreg(asrDst),
+                                      static_cast<int64_t>(j) * 128 +
+                                          static_cast<int64_t>(o) * 128 *
+                                              np_));
+            }
+        });
+}
+
+void
+MatMulKernel::generateVmpa()
+{
+    prog_.noaliasRegs = {kRegInput, kRegWeights, kRegOutput, kRegScratch};
+    const int uo = config_.unrollOut;
+    const int un = config_.unrollCols; // column *pairs* per tile
+    const int uk = config_.unrollK;   // k-groups of 4 per iteration
+
+    mp_ = roundUp(shape_.m, 64 * uo);
+    kp_ = roundUp(shape_.k, 4 * uk);
+    np_ = roundUp(shape_.n, 2 * un);
+
+    const int64_t panels = mp_ / (64 * uo);
+    const int64_t colTiles = np_ / (2 * un);
+    const int64_t kIters = kp_ / (4 * uk);
+
+    const int cols = 2 * un;
+    const int maxAccPairs = kAccRegCount / 2;
+    const int spillCols = std::max(0, cols - maxAccPairs);
+
+    buffers_.inputBytes = mp_ * kp_;
+    buffers_.weightBytes = np_ * kp_;
+    buffers_.outputBytes = mp_ * np_;
+    buffers_.scratchBytes = static_cast<int64_t>(spillCols) * 256;
+
+    LoopNestBuilder::Params params;
+    params.panels = panels;
+    params.colTiles = colTiles;
+    params.kIters = kIters;
+    params.unrollOut = uo;
+    params.aPanelStride = 64 * kp_;
+    params.cPanelStride = 64 * np_;
+    params.wTileStride = static_cast<int64_t>(cols) * kp_;
+    params.cTileStride = static_cast<int64_t>(un) * 128;
+    params.aKStep = 256; // four columns = two 128-byte blocks
+    params.wKStep = 4;
+
+    auto accPair = [&](int c) { return kFirstAccReg + 2 * c; };
+    auto spilled = [&](int c) { return c >= maxAccPairs; };
+    auto spillOff = [&](int c) {
+        return static_cast<int64_t>(c - maxAccPairs) * 256;
+    };
+
+    LoopNestBuilder nest(prog_, params);
+    nest.emit(
+        uk,
+        [&](int) {
+            for (int c = 0; c < cols; ++c) {
+                if (!spilled(c)) {
+                    prog_.push(makeVsplatw(vreg(accPair(c)), sreg(0)));
+                    prog_.push(makeVsplatw(vreg(accPair(c) + 1), sreg(0)));
+                } else {
+                    prog_.push(makeVsplatw(vreg(kSpillStage), sreg(0)));
+                    prog_.push(makeVsplatw(vreg(kSpillStage + 1), sreg(0)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage), spillOff(c)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage + 1),
+                                          spillOff(c) + 128));
+                }
+            }
+        },
+        [&](int o, int u) {
+            const int in = (u % 2 == 0) ? 0 : 30; // v0:v1 / v30:v31
+            const int64_t aOff = static_cast<int64_t>(u) * 256 +
+                                 static_cast<int64_t>(o) * 64 * kp_;
+            prog_.push(makeVload(vreg(in), sreg(kRegAK), aOff));
+            prog_.push(makeVload(vreg(in + 1), sreg(kRegAK), aOff + 128));
+            for (int c = 0; c < cols; ++c) {
+                const WTemp w = wtemp(u * cols + c);
+                prog_.push(makeLoad(Opcode::LOADW, sreg(w.packedReg),
+                                    sreg(kRegWK),
+                                    static_cast<int64_t>(c) * kp_ + 4 * u));
+                if (!spilled(c)) {
+                    prog_.push(makeVmpa(Opcode::VMPA, vreg(accPair(c)),
+                                        vreg(in), sreg(w.packedReg)));
+                } else {
+                    prog_.push(makeVload(vreg(kSpillStage),
+                                         sreg(kRegScratch), spillOff(c)));
+                    prog_.push(makeVload(vreg(kSpillStage + 1),
+                                         sreg(kRegScratch),
+                                         spillOff(c) + 128));
+                    prog_.push(makeVmpa(Opcode::VMPA, vreg(kSpillStage),
+                                        vreg(in), sreg(w.packedReg)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage), spillOff(c)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage + 1),
+                                          spillOff(c) + 128));
+                }
+            }
+        },
+        [&](int o) {
+            for (int cp = 0; cp < un; ++cp) {
+                const bool alt = (cp % 2 != 0);
+                const int fold0 = alt ? 22 : 20;
+                const int fold1 = alt ? 23 : 21;
+                const int shuffBase = alt ? 28 : 24;
+                const int asrDst = alt ? 27 : 26;
+
+                auto foldInto = [&](int c, int dst) {
+                    int src = accPair(c);
+                    if (spilled(c)) {
+                        prog_.push(makeVload(vreg(kSpillStage),
+                                             sreg(kRegScratch),
+                                             spillOff(c)));
+                        prog_.push(makeVload(vreg(kSpillStage + 1),
+                                             sreg(kRegScratch),
+                                             spillOff(c) + 128));
+                        src = kSpillStage;
+                    }
+                    // Fold the k-high half into the k-low half (paper: the
+                    // two output vectors "need to be further added").
+                    prog_.push(makeVecBinary(Opcode::VADDH, vreg(dst),
+                                             vreg(src), vreg(src + 1)));
+                };
+                foldInto(2 * cp, fold0);
+                foldInto(2 * cp + 1, fold1);
+                prog_.push(makeVshuff(Opcode::VSHUFF, vreg(shuffBase),
+                                      vreg(fold0), vreg(fold1),
+                                      /*laneLog2=*/1));
+                prog_.push(makeVasr(Opcode::VASRHUB, vreg(asrDst),
+                                    vreg(shuffBase), config_.shift16));
+                prog_.push(makeVstore(sreg(kRegCCol), vreg(asrDst),
+                                      static_cast<int64_t>(cp) * 128 +
+                                          static_cast<int64_t>(o) * 64 *
+                                              np_));
+            }
+        });
+}
+
+void
+MatMulKernel::generateVrmpy()
+{
+    prog_.noaliasRegs = {kRegInput, kRegWeights, kRegOutput, kRegScratch};
+    const int uo = config_.unrollOut;
+    const int un = config_.unrollCols; // column *quads* per tile
+    const int uk = config_.unrollK;    // k-groups of 4 per iteration
+
+    mp_ = roundUp(shape_.m, 32 * uo);
+    kp_ = roundUp(shape_.k, 4 * uk);
+    np_ = roundUp(shape_.n, 4 * un);
+
+    const int64_t panels = mp_ / (32 * uo);
+    const int64_t colTiles = np_ / (4 * un);
+    const int64_t kIters = kp_ / (4 * uk);
+
+    const int cols = 4 * un;
+    const int maxAccRegs = kAccRegCount; // one vector per column
+    const int spillCols = std::max(0, cols - maxAccRegs);
+
+    buffers_.inputBytes = mp_ * kp_;
+    buffers_.weightBytes = np_ * kp_;
+    buffers_.outputBytes = mp_ * np_;
+    buffers_.scratchBytes = static_cast<int64_t>(spillCols) * 128;
+
+    LoopNestBuilder::Params params;
+    params.panels = panels;
+    params.colTiles = colTiles;
+    params.kIters = kIters;
+    params.unrollOut = uo;
+    params.aPanelStride = 32 * kp_;
+    params.cPanelStride = 32 * np_;
+    params.wTileStride = static_cast<int64_t>(cols) * kp_;
+    params.cTileStride = static_cast<int64_t>(un) * 128;
+    params.aKStep = 128;
+    params.wKStep = 4;
+
+    auto accReg = [&](int c) { return kFirstAccReg + c; };
+    auto spilled = [&](int c) { return c >= maxAccRegs; };
+    auto spillOff = [&](int c) {
+        return static_cast<int64_t>(c - maxAccRegs) * 128;
+    };
+
+    LoopNestBuilder nest(prog_, params);
+    nest.emit(
+        uk,
+        [&](int) {
+            for (int c = 0; c < cols; ++c) {
+                if (!spilled(c)) {
+                    prog_.push(makeVsplatw(vreg(accReg(c)), sreg(0)));
+                } else {
+                    prog_.push(makeVsplatw(vreg(kSpillStage), sreg(0)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage), spillOff(c)));
+                }
+            }
+        },
+        [&](int o, int u) {
+            const int in = u % 2;
+            prog_.push(makeVload(vreg(in), sreg(kRegAK),
+                                 static_cast<int64_t>(u) * 128 +
+                                     static_cast<int64_t>(o) * 32 * kp_));
+            for (int c = 0; c < cols; ++c) {
+                const WTemp w = wtemp(u * cols + c);
+                prog_.push(makeLoad(Opcode::LOADW, sreg(w.packedReg),
+                                    sreg(kRegWK),
+                                    static_cast<int64_t>(c) * kp_ + 4 * u));
+                if (!spilled(c)) {
+                    prog_.push(makeVrmpy(vreg(accReg(c)), vreg(in),
+                                         sreg(w.packedReg)));
+                } else {
+                    prog_.push(makeVload(vreg(kSpillStage),
+                                         sreg(kRegScratch), spillOff(c)));
+                    prog_.push(makeVrmpy(vreg(kSpillStage), vreg(in),
+                                         sreg(w.packedReg)));
+                    prog_.push(makeVstore(sreg(kRegScratch),
+                                          vreg(kSpillStage), spillOff(c)));
+                }
+            }
+        },
+        [&](int o) {
+            for (int q = 0; q < un; ++q) {
+                // Bring the four column accumulators into registers.
+                int src[4];
+                for (int i = 0; i < 4; ++i) {
+                    const int c = 4 * q + i;
+                    if (spilled(c)) {
+                        const int stage = kSpillStage + (i % 2);
+                        prog_.push(makeVload(vreg(stage),
+                                             sreg(kRegScratch),
+                                             spillOff(c)));
+                        // Immediately interleave to free the stage pair:
+                        // handled by using distinct temporaries below.
+                        prog_.push(makeVecBinary(Opcode::VMOV,
+                                                 vreg(20 + i), vreg(stage),
+                                                 vreg(stage)));
+                        src[i] = 20 + i;
+                    } else {
+                        src[i] = accReg(c);
+                    }
+                }
+                // Word-interleave column pairs, narrow to halfwords.
+                prog_.push(makeVshuff(Opcode::VSHUFF, vreg(24),
+                                      vreg(src[0]), vreg(src[1]),
+                                      /*laneLog2=*/2));
+                prog_.push(makeVshuff(Opcode::VSHUFF, vreg(26),
+                                      vreg(src[2]), vreg(src[3]),
+                                      /*laneLog2=*/2));
+                prog_.push(makeVasr(Opcode::VASRWH, vreg(28), vreg(24),
+                                    config_.shiftWordHalf));
+                prog_.push(makeVasr(Opcode::VASRWH, vreg(29), vreg(26),
+                                    config_.shiftWordHalf));
+                // Interleave 4-byte units -> full row-major halfword order,
+                // then narrow to the 4-column uint8 output block.
+                prog_.push(makeVshuff(Opcode::VSHUFF, vreg(24), vreg(28),
+                                      vreg(29), /*laneLog2=*/2));
+                prog_.push(makeVasr(Opcode::VASRHUB, vreg(22), vreg(24),
+                                    config_.shiftHalfByte));
+                prog_.push(makeVstore(sreg(kRegCCol), vreg(22),
+                                      static_cast<int64_t>(q) * 128 +
+                                          static_cast<int64_t>(o) * 32 *
+                                              np_));
+            }
+        });
+}
+
+std::vector<uint8_t>
+MatMulKernel::packInput(const uint8_t *rowMajor) const
+{
+    // Zero-extend the K dimension to kp, then apply the panel layout.
+    std::vector<int8_t> extended(
+        static_cast<size_t>(shape_.m * kp_), 0);
+    for (int64_t r = 0; r < shape_.m; ++r)
+        for (int64_t c = 0; c < shape_.k; ++c)
+            extended[static_cast<size_t>(r * kp_ + c)] =
+                static_cast<int8_t>(rowMajor[r * shape_.k + c]);
+
+    std::vector<int8_t> packed;
+    tensor::packMatrix(extended.data(), shape_.m, kp_,
+                       schemeLayout(config_.scheme), packed);
+    std::vector<uint8_t> out(static_cast<size_t>(buffers_.inputBytes), 0);
+    GCD2_ASSERT(packed.size() <= out.size(), "input packing overflow");
+    std::copy(packed.begin(), packed.end(),
+              reinterpret_cast<int8_t *>(out.data()));
+    return out;
+}
+
+std::vector<uint8_t>
+MatMulKernel::packWeights(const int8_t *rowMajor) const
+{
+    std::vector<uint8_t> out(static_cast<size_t>(buffers_.weightBytes), 0);
+    if (config_.scheme == MatMulScheme::Vmpy) {
+        // Column-major with each weight byte replicated into a word, so
+        // the kernel's LOADW directly yields the 4-splat vmpy operand.
+        for (int64_t k = 0; k < shape_.k; ++k)
+            for (int64_t n = 0; n < shape_.n; ++n)
+                for (int64_t r = 0; r < 4; ++r)
+                    out[static_cast<size_t>((n * kp_ + k) * 4 + r)] =
+                        static_cast<uint8_t>(rowMajor[k * shape_.n + n]);
+        return out;
+    }
+    // Column-major np x kp with zero padding; vmpa/vrmpy read the weight
+    // word for column n, group k at byte offset n * kp + k.
+    for (int64_t k = 0; k < shape_.k; ++k)
+        for (int64_t n = 0; n < shape_.n; ++n)
+            out[static_cast<size_t>(n * kp_ + k)] =
+                static_cast<uint8_t>(rowMajor[k * shape_.n + n]);
+    return out;
+}
+
+std::vector<uint8_t>
+MatMulKernel::unpackOutput(const uint8_t *packed) const
+{
+    std::vector<int8_t> rowMajor;
+    tensor::unpackMatrix(reinterpret_cast<const int8_t *>(packed), shape_.m,
+                         np_, schemeLayout(config_.scheme), rowMajor);
+    std::vector<uint8_t> out(
+        static_cast<size_t>(shape_.m * shape_.n));
+    for (int64_t r = 0; r < shape_.m; ++r)
+        for (int64_t c = 0; c < shape_.n; ++c)
+            out[static_cast<size_t>(r * shape_.n + c)] =
+                static_cast<uint8_t>(rowMajor[r * np_ + c]);
+    return out;
+}
+
+std::vector<uint8_t>
+MatMulKernel::reference(const uint8_t *a, const int8_t *w,
+                        const MatMulShape &shape, const MatMulConfig &config)
+{
+    std::vector<uint8_t> out(static_cast<size_t>(shape.m * shape.n));
+    for (int64_t m = 0; m < shape.m; ++m) {
+        for (int64_t n = 0; n < shape.n; ++n) {
+            auto aAt = [&](int64_t k) {
+                return k < shape.k
+                           ? static_cast<int32_t>(a[m * shape.k + k])
+                           : 0;
+            };
+            auto wAt = [&](int64_t k) {
+                return k < shape.k
+                           ? static_cast<int32_t>(w[k * shape.n + n])
+                           : 0;
+            };
+            uint8_t result = 0;
+            switch (config.scheme) {
+              case MatMulScheme::Vmpy: {
+                // 16-bit accumulator, one wraparound per product.
+                int16_t acc = 0;
+                for (int64_t k = 0; k < shape.k; ++k)
+                    acc = static_cast<int16_t>(acc + aAt(k) * wAt(k));
+                result = static_cast<uint8_t>(std::clamp<int64_t>(
+                    tensor::roundShift(acc, config.shift16), 0, 255));
+                break;
+              }
+              case MatMulScheme::Vmpa: {
+                // Two 16-bit accumulators (k-even pairs and k-odd pairs),
+                // each wrapping once per instruction (two products), then
+                // folded with a wrapping VADDH.
+                int16_t lo = 0, hi = 0;
+                const int64_t kp = (shape.k + 3) / 4 * 4;
+                for (int64_t k = 0; k < kp; k += 4) {
+                    lo = static_cast<int16_t>(lo + aAt(k) * wAt(k) +
+                                              aAt(k + 1) * wAt(k + 1));
+                    hi = static_cast<int16_t>(hi + aAt(k + 2) * wAt(k + 2) +
+                                              aAt(k + 3) * wAt(k + 3));
+                }
+                const auto acc = static_cast<int16_t>(lo + hi);
+                result = static_cast<uint8_t>(std::clamp<int64_t>(
+                    tensor::roundShift(acc, config.shift16), 0, 255));
+                break;
+              }
+              case MatMulScheme::Vrmpy: {
+                // 32-bit accumulator, VASRWH then VASRHUB epilogue.
+                int32_t acc = 0;
+                for (int64_t k = 0; k < shape.k; ++k)
+                    acc += aAt(k) * wAt(k);
+                const int16_t half = tensor::sat16(
+                    tensor::roundShift(acc, config.shiftWordHalf));
+                result = static_cast<uint8_t>(std::clamp<int64_t>(
+                    tensor::roundShift(half, config.shiftHalfByte), 0,
+                    255));
+                break;
+              }
+            }
+            out[static_cast<size_t>(m * shape.n + n)] = result;
+        }
+    }
+    return out;
+}
+
+} // namespace gcd2::kernels

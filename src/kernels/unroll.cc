@@ -1,0 +1,99 @@
+#include "kernels/unroll.h"
+
+#include <algorithm>
+
+namespace gcd2::kernels {
+
+const char *
+unrollStrategyName(UnrollStrategy strategy)
+{
+    switch (strategy) {
+      case UnrollStrategy::None:
+        return "none";
+      case UnrollStrategy::Outer:
+        return "out";
+      case UnrollStrategy::Mid:
+        return "mid";
+      case UnrollStrategy::Mid2:
+        return "mid2";
+      case UnrollStrategy::Adaptive:
+        return "gcd2";
+      case UnrollStrategy::Exhaustive:
+        return "exhaustive";
+    }
+    return "?";
+}
+
+OutputShapeClass
+classifyOutputShape(int64_t m, int64_t n)
+{
+    if (n * 4 <= m)
+        return OutputShapeClass::Skinny;
+    if (m * 4 <= n)
+        return OutputShapeClass::Fat;
+    return OutputShapeClass::NearSquare;
+}
+
+UnrollChoice
+adaptiveUnroll(const MatMulShape &shape, MatMulScheme scheme)
+{
+    // Columns consumed per unit of the column-tile factor.
+    const int colsPerUnit = scheme == MatMulScheme::Vmpy  ? 1
+                            : scheme == MatMulScheme::Vmpa ? 2
+                                                           : 4;
+    UnrollChoice choice;
+    switch (classifyOutputShape(shape.m, shape.n)) {
+      case OutputShapeClass::Skinny:
+        // Few output columns: widen the reduction instead.
+        choice = UnrollChoice{1, 2, 4};
+        break;
+      case OutputShapeClass::NearSquare:
+        // The paper's exhaustive search lands on 4-4 here.
+        choice = UnrollChoice{1, 4, 4};
+        break;
+      case OutputShapeClass::Fat:
+        // Many output columns: maximize live accumulators (without
+        // spilling) and keep k modest.
+        choice = UnrollChoice{1, 8, 2};
+        break;
+    }
+
+    // Never request more column tiles than the output provides, and stay
+    // within the no-spill accumulator budget.
+    const int maxTiles = static_cast<int>(
+        std::max<int64_t>(1, (shape.n + colsPerUnit - 1) / colsPerUnit));
+    choice.cols = std::min(choice.cols, maxTiles);
+    const int noSpillLimit = scheme == MatMulScheme::Vmpy  ? 8
+                             : scheme == MatMulScheme::Vmpa ? 4
+                                                            : 4;
+    choice.cols = std::min(choice.cols, noSpillLimit);
+
+    // Keep k-unrolling within the reduction depth.
+    const int kStep = scheme == MatMulScheme::Vmpy ? 1 : 4;
+    const int maxK = static_cast<int>(
+        std::max<int64_t>(1, (shape.k + kStep - 1) / kStep));
+    choice.k = std::min(choice.k, maxK);
+    return choice;
+}
+
+std::vector<UnrollChoice>
+unrollCandidates()
+{
+    std::vector<UnrollChoice> grid;
+    for (int outer : {1, 2})
+        for (int cols : {1, 2, 4, 8})
+            for (int k : {1, 2, 4, 8})
+                grid.push_back(UnrollChoice{outer, cols, k});
+    return grid;
+}
+
+MatMulConfig
+withUnroll(MatMulConfig config, const UnrollChoice &choice)
+{
+    config.unrollOut = choice.outer;
+    config.unrollCols = choice.cols;
+    config.unrollK = choice.k;
+    return config;
+}
+
+} // namespace gcd2::kernels

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Loop-unrolling strategies (Section IV-C, "Impact of Unrolling").
+ *
+ * GCD2 uses a low-cost shape-adaptive heuristic: the output tensor shape
+ * (skinny / near-square / fat) picks the unroll setting directly, instead
+ * of an exhaustive search over factor combinations. The alternatives the
+ * paper compares against in Fig. 12 are expressible here too: unrolling
+ * only the outer-most loop (Out), only the mid loop (Mid), no unrolling,
+ * and exhaustive search over a candidate grid.
+ */
+#ifndef GCD2_KERNELS_UNROLL_H
+#define GCD2_KERNELS_UNROLL_H
+
+#include <vector>
+
+#include "kernels/matmul.h"
+
+namespace gcd2::kernels {
+
+/** One unroll setting: (outer panels, column tiles, k steps). */
+struct UnrollChoice
+{
+    int outer = 1;
+    int cols = 1;
+    int k = 1;
+};
+
+/** The strategies compared in Fig. 12. */
+enum class UnrollStrategy : uint8_t
+{
+    None,       ///< factor 1 everywhere
+    Outer,      ///< unroll the outer-most (row panel) loop only
+    Mid,        ///< unroll the mid (output column) loop only (factor 4)
+    Mid2,       ///< fixed mid-loop factor 2 (library-default unrolling)
+    Adaptive,   ///< GCD2: shape-adaptive selection
+    Exhaustive, ///< search the candidate grid (expensive)
+};
+
+const char *unrollStrategyName(UnrollStrategy strategy);
+
+/** Output-shape classes driving the adaptive heuristic. */
+enum class OutputShapeClass : uint8_t { Skinny, NearSquare, Fat };
+
+/** Classify an output matrix (M rows x N columns). */
+OutputShapeClass classifyOutputShape(int64_t m, int64_t n);
+
+/**
+ * GCD2's shape-adaptive unroll choice for a matmul on @p scheme.
+ * Skinny outputs (tall, few columns) lean on k-unrolling, fat outputs on
+ * wide column tiles, near-square outputs on a balanced 4-4 setting.
+ */
+UnrollChoice adaptiveUnroll(const MatMulShape &shape, MatMulScheme scheme);
+
+/** Candidate grid used by the Exhaustive strategy and Fig. 12 sweeps. */
+std::vector<UnrollChoice> unrollCandidates();
+
+/** Apply a choice to a config. */
+MatMulConfig withUnroll(MatMulConfig config, const UnrollChoice &choice);
+
+} // namespace gcd2::kernels
+
+#endif // GCD2_KERNELS_UNROLL_H

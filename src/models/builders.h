@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared block builders for the model zoo: convolution + activation,
+ * residual bottlenecks, squeeze-excite, inverted residuals, and
+ * transformer layers.
+ */
+#ifndef GCD2_MODELS_BUILDERS_H
+#define GCD2_MODELS_BUILDERS_H
+
+#include "graph/graph.h"
+
+namespace gcd2::models {
+
+using graph::Graph;
+using graph::NodeAttrs;
+using graph::NodeId;
+using graph::OpType;
+
+/** Declare a model input of the given shape. */
+NodeId input(Graph &g, std::vector<int64_t> shape);
+
+/** Declare a constant (weights / tables) of the given shape. */
+NodeId constant(Graph &g, std::vector<int64_t> shape);
+
+/** Conv2D; relu=true appends a Clamp (fused later by the pass). */
+NodeId conv(Graph &g, NodeId x, int64_t outC, int64_t k, int64_t stride,
+            int64_t pad, bool relu = true);
+
+/** Depthwise 3x3 (or kxk) convolution with optional activation. */
+NodeId dwConv(Graph &g, NodeId x, int64_t k, int64_t stride, int64_t pad,
+              bool relu = true);
+
+/** MatMul with a fresh constant weight (in features -> out features). */
+NodeId dense(Graph &g, NodeId x, int64_t outFeatures, bool relu = false);
+
+/** Residual add of two branches. */
+NodeId add(Graph &g, NodeId a, NodeId b);
+
+/** Squeeze-and-excite block (GAP -> 1x1 reduce -> 1x1 expand -> scale). */
+NodeId squeezeExcite(Graph &g, NodeId x, int64_t channels,
+                     int64_t reduced);
+
+/** ResNet bottleneck (1x1 -> 3x3 -> 1x1 + shortcut). */
+NodeId bottleneck(Graph &g, NodeId x, int64_t inC, int64_t midC,
+                  int64_t outC, int64_t stride);
+
+/** MobileNet-style inverted residual (expand -> dw -> project [+ SE]). */
+NodeId invertedResidual(Graph &g, NodeId x, int64_t inC, int64_t expand,
+                        int64_t outC, int64_t stride, bool se);
+
+/** Transformer encoder layer (pre-norm MHSA + FFN). */
+NodeId transformerLayer(Graph &g, NodeId x, int64_t seq, int64_t hidden,
+                        int64_t heads, int64_t ffn);
+
+/** Finish a graph: Output node, run the optimization pipeline. */
+void finish(Graph &g, NodeId result);
+
+} // namespace gcd2::models
+
+#endif // GCD2_MODELS_BUILDERS_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic model zoo: structurally faithful builders for the ten DNNs of
+ * the paper's evaluation (Table IV).
+ *
+ * Weights are synthetic (the graphs carry shapes, not values -- kernels
+ * receive seeded random tensors at execution time), but the operator mix,
+ * tensor shapes, operator counts, and MAC totals track the real networks,
+ * since those are what determine inference latency (the paper itself notes
+ * the dataset/values have negligible latency impact).
+ */
+#ifndef GCD2_MODELS_ZOO_H
+#define GCD2_MODELS_ZOO_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gcd2::models {
+
+/** The ten evaluation models. */
+enum class ModelId : uint8_t
+{
+    MobileNetV3,
+    EfficientNetB0,
+    ResNet50,
+    FST,
+    CycleGAN,
+    WdsrB,
+    EfficientDetD0,
+    PixOr,
+    TinyBert,
+    Conformer,
+};
+
+/** Static metadata mirroring Table IV's descriptive columns. */
+struct ModelInfo
+{
+    ModelId id;
+    const char *name;
+    const char *type;
+    const char *task;
+    /** Paper-reported numbers for cross-checking (Table IV). */
+    double paperGMacs;
+    int paperOperators;
+};
+
+/** All models in Table IV order. */
+const std::vector<ModelInfo> &allModels();
+
+const ModelInfo &modelInfo(ModelId id);
+
+/** Build the (optimized-shape-inferred) computational graph of a model. */
+graph::Graph buildModel(ModelId id);
+
+} // namespace gcd2::models
+
+#endif // GCD2_MODELS_ZOO_H

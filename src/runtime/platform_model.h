@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytic models of the *other* hardware the paper compares against
+ * (Table I mobile CPU/GPU, Table V EdgeTPU / Jetson Xavier).
+ *
+ * These devices are context for the DSP results, not reproduction
+ * targets: each is modeled as an effective MAC throughput plus a power
+ * figure calibrated to the paper's published rows, driven by our models'
+ * MAC counts. The DSP rows of the same tables come from the simulator.
+ */
+#ifndef GCD2_RUNTIME_PLATFORM_MODEL_H
+#define GCD2_RUNTIME_PLATFORM_MODEL_H
+
+#include <cstdint>
+
+namespace gcd2::runtime {
+
+/** An accelerator modeled by effective throughput and power. */
+struct PlatformModel
+{
+    const char *name;
+    double effectiveGmacsPerSec; ///< sustained, end-to-end
+    double watts;
+    /** Fixed per-inference overhead (dispatch, transfers). */
+    double overheadMs;
+
+    double
+    latencyMs(int64_t macs) const
+    {
+        return static_cast<double>(macs) / (effectiveGmacsPerSec * 1e6) +
+               overheadMs;
+    }
+
+    double fps(int64_t macs) const { return 1000.0 / latencyMs(macs); }
+    double fpw(int64_t macs) const { return fps(macs) / watts; }
+};
+
+/**
+ * Table I context devices (Samsung Galaxy S20, TFLite): calibrated so
+ * EfficientNet-b0 / ResNet / PixOr / CycleGAN land near the published
+ * latencies (11.3/34.4/64.6/477 ms CPU, 9.1/13.9/43/450 ms GPU).
+ */
+inline constexpr PlatformModel kMobileCpuInt8{"CPU (int8)", 55.0, 2.9,
+                                              3.0};
+inline constexpr PlatformModel kMobileGpuFp16{"GPU (float16)", 240.0, 3.2,
+                                              6.5};
+
+/** Table V embedded accelerators (published figures). */
+struct AcceleratorRow
+{
+    const char *platform;
+    const char *device;
+    double fps;
+    double watts;
+
+    double fpw() const { return fps / watts; }
+};
+
+inline constexpr AcceleratorRow kEdgeTpu{"EdgeTPU", "Edge TPU (int8)",
+                                         17.8, 2.0};
+inline constexpr AcceleratorRow kJetsonFp16{
+    "Jetson Xavier", "GPU + DLA (fp16)", 291.0, 30.0};
+inline constexpr AcceleratorRow kJetsonInt8{
+    "Jetson Xavier", "GPU + DLA (int8)", 1100.0, 30.0};
+
+} // namespace gcd2::runtime
+
+#endif // GCD2_RUNTIME_PLATFORM_MODEL_H

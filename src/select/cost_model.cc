@@ -1,0 +1,519 @@
+#include "select/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "kernels/conv.h"
+#include "kernels/runner.h"
+
+namespace gcd2::select {
+
+using graph::NodeId;
+using graph::OpType;
+using kernels::EwOp;
+using kernels::MatMulScheme;
+using kernels::MatMulShape;
+using kernels::UnrollChoice;
+using kernels::UnrollStrategy;
+using tensor::Layout;
+
+namespace {
+
+int64_t
+roundUp(int64_t v, int64_t unit)
+{
+    return (v + unit - 1) / unit * unit;
+}
+
+int
+panelRowsOf(MatMulScheme scheme)
+{
+    return tensor::layoutPanelRows(kernels::schemeLayout(scheme));
+}
+
+int
+colsPerUnitOf(MatMulScheme scheme)
+{
+    return scheme == MatMulScheme::Vmpy  ? 1
+           : scheme == MatMulScheme::Vmpa ? 2
+                                          : 4;
+}
+
+/** Scalar-division cycles per row for reductions (DIV + glue). */
+constexpr uint64_t kScalarDivCycles = 56;
+/** Reciprocal-lookup cycles per row when the LUT optimization is on. */
+constexpr uint64_t kLutDivCycles = 8;
+
+NodeExecStats
+fromTiming(const kernels::KernelRunResult &run)
+{
+    NodeExecStats stats;
+    stats.cycles = run.stats.cycles;
+    stats.instructions = run.stats.instructionsExecuted;
+    stats.packets = run.stats.packetsExecuted;
+    stats.bytesLoaded = run.stats.bytesLoaded;
+    stats.bytesStored = run.stats.bytesStored;
+    return stats;
+}
+
+/** Analytic data-movement stats: @p vectors 128-byte vectors each way. */
+NodeExecStats
+analyticCopy(int64_t vectors, uint64_t cyclesPerVector)
+{
+    NodeExecStats stats;
+    stats.cycles = static_cast<uint64_t>(vectors) * cyclesPerVector + 8;
+    stats.instructions = static_cast<uint64_t>(vectors) * 3;
+    stats.packets = std::max<uint64_t>(1, stats.cycles / 3);
+    stats.bytesLoaded = static_cast<uint64_t>(vectors) * 128;
+    stats.bytesStored = static_cast<uint64_t>(vectors) * 128;
+    return stats;
+}
+
+} // namespace
+
+NodeExecStats &
+NodeExecStats::operator+=(const NodeExecStats &other)
+{
+    cycles += other.cycles;
+    instructions += other.instructions;
+    packets += other.packets;
+    bytesLoaded += other.bytesLoaded;
+    bytesStored += other.bytesStored;
+    return *this;
+}
+
+NodeExecStats
+NodeExecStats::scaled(double factor) const
+{
+    NodeExecStats out;
+    out.cycles = static_cast<uint64_t>(static_cast<double>(cycles) * factor);
+    out.instructions =
+        static_cast<uint64_t>(static_cast<double>(instructions) * factor);
+    out.packets =
+        static_cast<uint64_t>(static_cast<double>(packets) * factor);
+    out.bytesLoaded =
+        static_cast<uint64_t>(static_cast<double>(bytesLoaded) * factor);
+    out.bytesStored =
+        static_cast<uint64_t>(static_cast<double>(bytesStored) * factor);
+    return out;
+}
+
+CostModel::CostModel(CostModelOptions options) : options_(options) {}
+
+NodeExecStats &
+CostModel::cached(const std::string &key, bool &hit)
+{
+    const auto [it, inserted] = cache_.try_emplace(key);
+    hit = !inserted;
+    return it->second;
+}
+
+NodeExecStats
+CostModel::matmulTileStats(MatMulScheme scheme, const UnrollChoice &choice,
+                           int64_t k)
+{
+    std::ostringstream key;
+    key << "mm|" << static_cast<int>(scheme) << "|" << choice.outer << "|"
+        << choice.cols << "|" << choice.k << "|" << k << "|"
+        << static_cast<int>(options_.packOptions.policy);
+    bool hit = false;
+    NodeExecStats &entry = cached(key.str(), hit);
+    if (hit)
+        return entry;
+
+    // One row panel x one column tile, full reduction depth: every other
+    // tile of the kernel does identical work, so scaling is exact.
+    MatMulShape tile;
+    tile.m = static_cast<int64_t>(panelRowsOf(scheme)) * choice.outer;
+    tile.k = k;
+    tile.n = static_cast<int64_t>(colsPerUnitOf(scheme)) * choice.cols;
+    kernels::MatMulConfig config;
+    config.scheme = scheme;
+    config = kernels::withUnroll(config, choice);
+
+    const kernels::MatMulKernel kernel(tile, config);
+    const kernels::KernelRunResult run =
+        kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
+                           options_.packOptions);
+    entry = fromTiming(run);
+
+    // 16-bit accumulator drain: vmpy/vmpa accumulate 8-bit products into
+    // halfword lanes, which is only overflow-safe for a bounded number of
+    // accumulation steps; production kernels periodically widen the
+    // partial sums into 32-bit lanes. The generated kernels implement the
+    // drain-free building block; the model charges the periodic widening
+    // (one widen + re-zero sequence per live accumulator pair every 32
+    // reduction steps), which is what makes vrmpy (native 32-bit
+    // accumulation) win deep reductions -- the shape-dependent
+    // instruction trade-off behind Table II and Fig. 10.
+    if (scheme != MatMulScheme::Vrmpy) {
+
+        const int accPairs =
+            choice.cols * (scheme == MatMulScheme::Vmpa ? 2 : 1);
+        // Drain every 32 reduction steps (requantized-operand headroom in
+        // the halfword lanes); each drain reads the pair, widen-adds into
+        // the 32-bit partials and re-zeroes it -- ~14 cycles per pair
+        // through the single shift and permute units.
+        const int64_t drains = std::max<int64_t>(0, (k + 31) / 32 - 1);
+        const uint64_t extraCycles = static_cast<uint64_t>(drains) *
+                                     static_cast<uint64_t>(accPairs) * 14;
+        entry.cycles += extraCycles;
+        entry.instructions += static_cast<uint64_t>(drains) *
+                              static_cast<uint64_t>(accPairs) * 8;
+    }
+    return entry;
+}
+
+NodeExecStats
+CostModel::matmulStats(const MatMulShape &shape, MatMulScheme scheme,
+                       uint64_t extraCycles)
+{
+    const int panel = panelRowsOf(scheme);
+    const int unit = colsPerUnitOf(scheme);
+
+    auto scaledTotal = [&](const UnrollChoice &choice) {
+        const int64_t panelSpan =
+            static_cast<int64_t>(panel) * choice.outer;
+        const int64_t tileSpan =
+            static_cast<int64_t>(unit) * choice.cols;
+        const double panels = static_cast<double>(
+            roundUp(shape.m, panelSpan) / panelSpan);
+        const double tiles = static_cast<double>(
+            roundUp(shape.n, tileSpan) / tileSpan);
+        return matmulTileStats(scheme, choice, shape.k)
+            .scaled(panels * tiles);
+    };
+
+    UnrollChoice choice{1, 1, 1};
+    switch (options_.unroll) {
+      case UnrollStrategy::None:
+        break;
+      case UnrollStrategy::Outer:
+        choice = UnrollChoice{4, 1, 1};
+        break;
+      case UnrollStrategy::Mid:
+        choice = UnrollChoice{1, 4, 1};
+        break;
+      case UnrollStrategy::Mid2:
+        choice = UnrollChoice{1, 2, 1};
+        break;
+      case UnrollStrategy::Adaptive:
+        choice = kernels::adaptiveUnroll(shape, scheme);
+        break;
+      case UnrollStrategy::Exhaustive: {
+        uint64_t best = UINT64_MAX;
+        for (const UnrollChoice &candidate : kernels::unrollCandidates()) {
+            const uint64_t cycles = scaledTotal(candidate).cycles;
+            if (cycles < best) {
+                best = cycles;
+                choice = candidate;
+            }
+        }
+        break;
+      }
+    }
+
+    NodeExecStats stats = scaledTotal(choice);
+    stats.cycles += extraCycles;
+    return stats;
+}
+
+NodeExecStats
+CostModel::depthwiseRowStats(int stride)
+{
+    std::ostringstream key;
+    key << "dwrow|" << stride << "|"
+        << static_cast<int>(options_.packOptions.policy);
+    bool hit = false;
+    NodeExecStats &entry = cached(key.str(), hit);
+    if (hit)
+        return entry;
+
+    kernels::DepthwiseConfig config;
+    config.channels = 1;
+    config.stride = stride;
+    config.inH = stride == 2 ? 5 : 4; // two output rows
+    config.inW = 256;
+    const kernels::DepthwiseKernel kernel(config);
+    const kernels::KernelRunResult run =
+        kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
+                           options_.packOptions);
+    entry = fromTiming(run).scaled(0.5); // per output row tile
+    return entry;
+}
+
+NodeExecStats
+CostModel::elementwiseStats(EwOp op, int64_t length)
+{
+    const bool scalarOp = op == EwOp::Div || op == EwOp::DivLut;
+    const int64_t simLen =
+        std::min<int64_t>(length, scalarOp ? 512 : 8192);
+
+    std::ostringstream key;
+    key << "ew|" << static_cast<int>(op) << "|" << simLen << "|"
+        << static_cast<int>(options_.packOptions.policy);
+    bool hit = false;
+    NodeExecStats &entry = cached(key.str(), hit);
+    if (!hit) {
+        kernels::EwConfig config;
+        config.op = op;
+        config.length = simLen;
+        const kernels::ElementwiseKernel kernel(config);
+        const kernels::KernelRunResult run =
+            kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
+                               options_.packOptions);
+        entry = fromTiming(run);
+    }
+
+    const double factor =
+        static_cast<double>(length) / static_cast<double>(simLen);
+    return factor == 1.0 ? entry : entry.scaled(factor);
+}
+
+NodeExecStats
+CostModel::computeStats(const graph::Graph &graph, NodeId id,
+                        const ExecutionPlan &plan)
+{
+    const graph::Node &node = graph.node(id);
+    const MatrixView view = matrixView(node.shape);
+    const int64_t elements = node.shape.elements();
+    // Elementwise work covers the plan layout's padding too.
+    const int64_t paddedElements =
+        tensor::packedByteSize(plan.inLayout, view.rows, view.cols);
+    const int64_t rows = std::max<int64_t>(1, view.rows);
+    const uint64_t perRowDiv =
+        options_.lutOptimization ? kLutDivCycles : kScalarDivCycles;
+
+    switch (node.op) {
+      case OpType::Input:
+      case OpType::Constant:
+      case OpType::Output:
+      case OpType::Reshape: // zero-copy view in row-major
+        return {};
+
+      case OpType::Conv2D: {
+        const tensor::Shape &in = graph.node(node.inputs[0]).shape;
+        kernels::ConvShape conv;
+        conv.inC = in.dim(0);
+        conv.inH = in.dim(1);
+        conv.inW = in.dim(2);
+        conv.outC = node.attrs.outC;
+        conv.kH = node.attrs.kH;
+        conv.kW = node.attrs.kW;
+        conv.strideH = node.attrs.strideH;
+        conv.strideW = node.attrs.strideW;
+        conv.padH = node.attrs.padH;
+        conv.padW = node.attrs.padW;
+
+        uint64_t im2col = 0;
+        NodeExecStats extraTraffic;
+        if (!conv.isPointwise()) {
+            const int64_t patchBytes = conv.matmulShape().m *
+                                       conv.matmulShape().k;
+            im2col = static_cast<uint64_t>(
+                4 * (patchBytes / dsp::kVectorBytes) + 16);
+            extraTraffic.bytesLoaded =
+                static_cast<uint64_t>(patchBytes);
+            extraTraffic.bytesStored =
+                static_cast<uint64_t>(patchBytes);
+            extraTraffic.instructions = static_cast<uint64_t>(
+                3 * (patchBytes / dsp::kVectorBytes));
+        }
+        NodeExecStats stats =
+            matmulStats(conv.matmulShape(), plan.scheme, im2col);
+        stats += extraTraffic;
+        if (node.attrs.fusedLut) {
+            // Fused nonlinearity: one extra VLUT per output vector in the
+            // epilogue (permute-unit bound), vs. a whole separate pass.
+            stats.cycles += static_cast<uint64_t>(
+                (node.shape.elements() + 127) / 128);
+        }
+        if (node.attrs.fusedAdd) {
+            // Fused residual: stream the second operand through the
+            // epilogue (one load + one byte-average per output vector).
+            const uint64_t vectors = static_cast<uint64_t>(
+                (node.shape.elements() + 127) / 128);
+            stats.cycles += 2 * vectors;
+            stats.bytesLoaded += vectors * 128;
+            stats.instructions += 2 * vectors;
+        }
+        return stats;
+      }
+
+      case OpType::MatMul: {
+        const tensor::Shape &a = graph.node(node.inputs[0]).shape;
+        MatMulShape shape;
+        shape.m = a.dim(a.rank() - 2);
+        shape.k = a.dim(a.rank() - 1);
+        shape.n = node.shape.dim(node.shape.rank() - 1);
+        const int64_t batch =
+            std::max<int64_t>(1, a.elements() / (shape.m * shape.k));
+        NodeExecStats stats = matmulStats(shape, plan.scheme, 0);
+        if (batch != 1)
+            stats = stats.scaled(static_cast<double>(batch));
+        if (node.attrs.fusedLut) {
+            stats.cycles += static_cast<uint64_t>(
+                (node.shape.elements() + 127) / 128);
+        }
+        if (node.attrs.fusedAdd) {
+            const uint64_t vectors = static_cast<uint64_t>(
+                (node.shape.elements() + 127) / 128);
+            stats.cycles += 2 * vectors;
+            stats.bytesLoaded += vectors * 128;
+            stats.instructions += 2 * vectors;
+        }
+        return stats;
+      }
+
+      case OpType::DepthwiseConv2D: {
+        const int64_t c = node.shape.dim(0);
+        const int64_t oh = node.shape.dim(1);
+        const int64_t ow = node.shape.dim(2);
+        const int stride = node.attrs.strideW == 1 ? 1 : 2;
+        // Stride-2 tiles yield 128 outputs per pass, stride-1 tiles 256.
+        const int64_t tileOut = stride == 2 ? 128 : 256;
+        double rowTiles = static_cast<double>(c) *
+                          static_cast<double>(oh) *
+                          static_cast<double>((ow + tileOut - 1) /
+                                              tileOut);
+        // The canonical tile is 3x3; other kernel extents scale by taps.
+        rowTiles *= static_cast<double>(node.attrs.kH * node.attrs.kW) /
+                    9.0;
+        return depthwiseRowStats(stride).scaled(rowTiles);
+      }
+
+      case OpType::Add:
+      case OpType::Sub:
+      case OpType::Mul:
+        return elementwiseStats(EwOp::Add, paddedElements);
+
+      case OpType::Div: {
+        if (options_.lutOptimization) {
+            // Reciprocal lookup + multiply: two LUT-class passes.
+            NodeExecStats stats =
+                elementwiseStats(EwOp::Lut, paddedElements);
+            stats += elementwiseStats(EwOp::Lut, paddedElements);
+            return stats;
+        }
+        return elementwiseStats(EwOp::Div, paddedElements);
+      }
+
+      case OpType::Pow:
+      case OpType::Sigmoid:
+      case OpType::Tanh:
+      case OpType::Gelu:
+        // Vectorizing byte-table lookups with VLUT is itself one of the
+        // "other optimizations"; without it the nonlinearity runs as a
+        // scalar lookup loop.
+        return elementwiseStats(options_.lutOptimization ? EwOp::Lut
+                                                         : EwOp::DivLut,
+                                paddedElements);
+
+      case OpType::Clamp:
+        return elementwiseStats(EwOp::Clamp, paddedElements);
+
+      case OpType::Softmax: {
+        // exp lookup + row-sum reduce + per-row normalization.
+        NodeExecStats stats = elementwiseStats(
+            options_.lutOptimization ? EwOp::Lut : EwOp::DivLut,
+            elements);
+        stats += elementwiseStats(EwOp::Add, elements); // reduction tree
+        if (options_.lutOptimization) {
+            stats += elementwiseStats(EwOp::Lut, elements); // recip scale
+            stats.cycles += static_cast<uint64_t>(rows) * kLutDivCycles;
+        } else {
+            stats += elementwiseStats(EwOp::Div, elements);
+            stats.cycles += static_cast<uint64_t>(rows) *
+                            kScalarDivCycles;
+        }
+        return stats;
+      }
+
+      case OpType::LayerNorm: {
+        // mean + variance reductions, then a scale/shift pass.
+        NodeExecStats stats = elementwiseStats(EwOp::Add, elements);
+        stats += elementwiseStats(EwOp::Add, elements);
+        stats += elementwiseStats(EwOp::Lut, elements);
+        stats.cycles += static_cast<uint64_t>(rows) * perRowDiv;
+        return stats;
+      }
+
+      case OpType::MaxPool:
+      case OpType::AvgPool: {
+        const int64_t window = node.attrs.poolK * node.attrs.poolK;
+        const int64_t passes = (window + 1) / 2;
+        const EwOp op = node.op == OpType::MaxPool ? EwOp::MaxPool
+                                                   : EwOp::AvgPool;
+        return elementwiseStats(op, 2 * elements)
+            .scaled(static_cast<double>(passes));
+      }
+
+      case OpType::GlobalAvgPool: {
+        const int64_t inElements =
+            graph.node(node.inputs[0]).shape.elements();
+        NodeExecStats stats = elementwiseStats(EwOp::Add, inElements);
+        stats.cycles +=
+            static_cast<uint64_t>(node.shape.elements()) * perRowDiv;
+        return stats;
+      }
+
+      case OpType::Upsample:
+      case OpType::Concat:
+        return analyticCopy((elements + 127) / 128, 3);
+
+      case OpType::Transpose:
+        return analyticCopy((elements + 127) / 128, 4);
+
+      case OpType::kNumOps:
+        break;
+    }
+    GCD2_PANIC("unhandled op in cost model");
+}
+
+std::vector<ExecutionPlan>
+CostModel::costedPlans(const graph::Graph &graph, NodeId id)
+{
+    std::vector<ExecutionPlan> plans = enumeratePlans(graph, id);
+    for (ExecutionPlan &plan : plans)
+        plan.cycles = computeStats(graph, id, plan).cycles;
+    return plans;
+}
+
+NodeExecStats
+CostModel::planStats(const graph::Graph &graph, NodeId id,
+                     const ExecutionPlan &plan)
+{
+    return computeStats(graph, id, plan);
+}
+
+uint64_t
+CostModel::transformCost(const tensor::Shape &shape, Layout from,
+                         Layout to) const
+{
+    const MatrixView view = matrixView(shape);
+    return tensor::layoutTransformCycles(from, to, view.rows, view.cols);
+}
+
+NodeExecStats
+CostModel::transformStats(const tensor::Shape &shape, Layout from,
+                          Layout to) const
+{
+    NodeExecStats stats;
+    stats.cycles = transformCost(shape, from, to);
+    if (stats.cycles == 0)
+        return stats;
+    const MatrixView view = matrixView(shape);
+    const int64_t inBytes =
+        tensor::packedByteSize(from, view.rows, view.cols);
+    const int64_t outBytes =
+        tensor::packedByteSize(to, view.rows, view.cols);
+    stats.bytesLoaded = static_cast<uint64_t>(inBytes);
+    stats.bytesStored = static_cast<uint64_t>(outBytes);
+    stats.instructions =
+        static_cast<uint64_t>(3 * ((inBytes + outBytes) / 128));
+    stats.packets = std::max<uint64_t>(1, stats.cycles / 3);
+    return stats;
+}
+
+} // namespace gcd2::select

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Simulator-backed operator cost model.
+ *
+ * Cost(ep_i(O)) from Section IV-A: the cycles of executing operator O
+ * under plan ep_i, assuming inputs already sit in the plan's layout (the
+ * layout-transformation term TC is separate). Matmul-family operators are
+ * costed by *simulating one kernel tile* (one row panel x one column tile,
+ * full reduction depth) on the DSP timing simulator and scaling by the
+ * panel/tile trip counts -- exact, because the generated kernels do
+ * identical work per tile (padding included). Elementwise and pooling
+ * operators scale a simulated canonical length; reductions and
+ * normalizations use documented compositions of simulated primitives.
+ *
+ * The options mirror the ablations of the paper's Fig. 9/11/12: which
+ * VLIW packer generates the code, which unrolling strategy is used, and
+ * whether the division-to-lookup-table optimization is applied.
+ */
+#ifndef GCD2_SELECT_COST_MODEL_H
+#define GCD2_SELECT_COST_MODEL_H
+
+#include <map>
+#include <string>
+
+#include "graph/graph.h"
+#include "kernels/elementwise.h"
+#include "kernels/unroll.h"
+#include "select/plan.h"
+#include "vliw/packer.h"
+
+namespace gcd2::select {
+
+/** Cost-model configuration (the Fig. 9 optimization toggles). */
+struct CostModelOptions
+{
+    vliw::PackOptions packOptions{};
+    kernels::UnrollStrategy unroll = kernels::UnrollStrategy::Adaptive;
+    /** "Other optimizations": replace divisions with table lookups. */
+    bool lutOptimization = true;
+};
+
+/** Architectural event totals for one node execution (scaled). */
+struct NodeExecStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t packets = 0;
+    uint64_t bytesLoaded = 0;
+    uint64_t bytesStored = 0;
+
+    NodeExecStats &operator+=(const NodeExecStats &other);
+    NodeExecStats scaled(double factor) const;
+};
+
+/** Memoizing cost model. */
+class CostModel
+{
+  public:
+    explicit CostModel(CostModelOptions options = {});
+
+    const CostModelOptions &options() const { return options_; }
+
+    /** Candidate plans of a node with cycles filled in. */
+    std::vector<ExecutionPlan> costedPlans(const graph::Graph &graph,
+                                           graph::NodeId id);
+
+    /** Full event statistics of a node under a plan. */
+    NodeExecStats planStats(const graph::Graph &graph, graph::NodeId id,
+                            const ExecutionPlan &plan);
+
+    /** TC: cycles to transform a tensor between layouts (0 if equal). */
+    uint64_t transformCost(const tensor::Shape &shape, tensor::Layout from,
+                           tensor::Layout to) const;
+
+    /** Event statistics of a layout transformation (for reporting). */
+    NodeExecStats transformStats(const tensor::Shape &shape,
+                                 tensor::Layout from,
+                                 tensor::Layout to) const;
+
+    /**
+     * Stats of a standalone matmul kernel under this model's unroll
+     * strategy and packer (tile-simulated and scaled; also used by the
+     * per-kernel compiler baselines).
+     */
+    NodeExecStats matmulStats(const kernels::MatMulShape &shape,
+                              kernels::MatMulScheme scheme,
+                              uint64_t extraCycles);
+
+  private:
+    NodeExecStats matmulTileStats(kernels::MatMulScheme scheme,
+                                  const kernels::UnrollChoice &choice,
+                                  int64_t k);
+    NodeExecStats depthwiseRowStats(int stride);
+    NodeExecStats elementwiseStats(kernels::EwOp op, int64_t length);
+    NodeExecStats computeStats(const graph::Graph &graph, graph::NodeId id,
+                               const ExecutionPlan &plan);
+
+    /** Per-canonical-run simulated stats, keyed by a descriptor string. */
+    NodeExecStats &cached(const std::string &key, bool &hit);
+
+    CostModelOptions options_;
+    std::map<std::string, NodeExecStats> cache_;
+};
+
+} // namespace gcd2::select
+
+#endif // GCD2_SELECT_COST_MODEL_H

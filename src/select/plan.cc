@@ -1,0 +1,78 @@
+#include "select/plan.h"
+
+#include "common/logging.h"
+
+namespace gcd2::select {
+
+using graph::OpType;
+using kernels::MatMulScheme;
+using tensor::Layout;
+
+bool
+isLayoutAgnostic(OpType op)
+{
+    switch (op) {
+      case OpType::Add:
+      case OpType::Mul:
+      case OpType::Sub:
+      case OpType::Div:
+      case OpType::Pow:
+      case OpType::Clamp:
+      case OpType::Sigmoid:
+      case OpType::Tanh:
+      case OpType::Gelu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::vector<ExecutionPlan>
+enumeratePlans(const graph::Graph &graph, graph::NodeId id)
+{
+    const graph::Node &node = graph.node(id);
+    std::vector<ExecutionPlan> plans;
+
+    if (graph::isMatMulFamily(node.op)) {
+        for (MatMulScheme scheme :
+             {MatMulScheme::Vmpy, MatMulScheme::Vmpa,
+              MatMulScheme::Vrmpy}) {
+            ExecutionPlan plan;
+            plan.scheme = scheme;
+            plan.inLayout = kernels::schemeLayout(scheme);
+            plan.outLayout = kernels::schemeLayout(scheme);
+            plans.push_back(plan);
+        }
+        return plans;
+    }
+
+    if (isLayoutAgnostic(node.op)) {
+        for (Layout layout : {Layout::RowMajor, Layout::OneColumn,
+                              Layout::TwoColumn, Layout::FourColumn}) {
+            ExecutionPlan plan;
+            plan.inLayout = layout;
+            plan.outLayout = layout;
+            plans.push_back(plan);
+        }
+        return plans;
+    }
+
+    // Layout-pinned ops: a single row-major plan.
+    plans.push_back(ExecutionPlan{});
+    return plans;
+}
+
+MatrixView
+matrixView(const tensor::Shape &shape)
+{
+    MatrixView view;
+    if (shape.rank() == 0) {
+        return view;
+    }
+    view.cols = shape.dim(shape.rank() - 1);
+    GCD2_ASSERT(view.cols > 0, "empty tensor in matrix view");
+    view.rows = shape.elements() / view.cols;
+    return view;
+}
+
+} // namespace gcd2::select

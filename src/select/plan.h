@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution plans: the per-operator choices the global optimizer selects
+ * (Section IV-A).
+ *
+ * Every operator has a set of candidate plans EP(O). For matmul-family
+ * operators a plan is one of the SIMD multiply schemes with its input and
+ * output layout; elementwise operators run unchanged in any layout
+ * (byte-position-independent math), so they offer one layout-preserving
+ * plan per layout; layout-sensitive operators (pooling, shape ops,
+ * normalizations, depthwise) are pinned to row-major -- which is exactly
+ * what creates the desirable partitioning edges of Section IV-B.
+ */
+#ifndef GCD2_SELECT_PLAN_H
+#define GCD2_SELECT_PLAN_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "kernels/matmul.h"
+#include "tensor/layout.h"
+
+namespace gcd2::select {
+
+/** One candidate implementation of an operator. */
+struct ExecutionPlan
+{
+    /** SIMD multiply scheme (matmul-family plans only). */
+    kernels::MatMulScheme scheme = kernels::MatMulScheme::Vrmpy;
+    /** Layout every (tensor) input must arrive in. */
+    tensor::Layout inLayout = tensor::Layout::RowMajor;
+    /** Layout the output tensor is produced in. */
+    tensor::Layout outLayout = tensor::Layout::RowMajor;
+    /** Execution cost in cycles, filled by the cost model. */
+    uint64_t cycles = 0;
+
+    bool
+    isMatMulPlan() const
+    {
+        return inLayout != tensor::Layout::RowMajor ||
+               outLayout != tensor::Layout::RowMajor;
+    }
+};
+
+/**
+ * Enumerate the candidate plans of a node (costs not yet filled).
+ * Never empty; single-element for layout-pinned operators.
+ */
+std::vector<ExecutionPlan> enumeratePlans(const graph::Graph &graph,
+                                          graph::NodeId id);
+
+/** Does the op execute identically under any layout (plan per layout)? */
+bool isLayoutAgnostic(graph::OpType op);
+
+/**
+ * Matrix view of a tensor for layout packing/transform costing:
+ * (rows = elements / last-dim, cols = last-dim).
+ */
+struct MatrixView
+{
+    int64_t rows = 1;
+    int64_t cols = 1;
+};
+
+MatrixView matrixView(const tensor::Shape &shape);
+
+} // namespace gcd2::select
+
+#endif // GCD2_SELECT_PLAN_H

@@ -1,0 +1,453 @@
+#include "select/selector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/logging.h"
+
+namespace gcd2::select {
+
+using graph::NodeId;
+using graph::OpType;
+
+namespace {
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+PlanTable::PlanTable(const graph::Graph &graph, CostModel &model)
+    : graph_(&graph), model_(&model)
+{
+    plans_.resize(graph.size());
+    for (const graph::Node &node : graph.nodes()) {
+        if (node.dead)
+            continue;
+        plans_[static_cast<size_t>(node.id)] =
+            model.costedPlans(graph, node.id);
+        for (NodeId in : node.inputs)
+            if (!graph.node(in).dead)
+                edges_.emplace_back(in, node.id);
+        if (plans_[static_cast<size_t>(node.id)].size() > 1)
+            freeNodes_.push_back(node.id);
+    }
+}
+
+uint64_t
+PlanTable::tc(NodeId producer, NodeId consumer, int producerPlan,
+              int consumerPlan) const
+{
+    const graph::Node &src = graph_->node(producer);
+    // Constants (weights, tables) are packed at compile time: free.
+    if (src.op == OpType::Constant)
+        return 0;
+    const ExecutionPlan &from =
+        plans_[static_cast<size_t>(producer)]
+              [static_cast<size_t>(producerPlan)];
+    const ExecutionPlan &to =
+        plans_[static_cast<size_t>(consumer)]
+              [static_cast<size_t>(consumerPlan)];
+    return model_->transformCost(src.shape, from.outLayout, to.inLayout);
+}
+
+uint64_t
+aggCost(const PlanTable &table, const Selection &selection)
+{
+    const graph::Graph &graph = table.graph();
+    uint64_t total = 0;
+    for (const graph::Node &node : graph.nodes()) {
+        if (node.dead)
+            continue;
+        const int plan =
+            selection.planIndex[static_cast<size_t>(node.id)];
+        GCD2_ASSERT(plan >= 0, "live node " << node.id << " unselected");
+        total += table.plans(node.id)[static_cast<size_t>(plan)].cycles;
+    }
+    for (const auto &[src, dst] : table.edges()) {
+        total += table.tc(src, dst,
+                          selection.planIndex[static_cast<size_t>(src)],
+                          selection.planIndex[static_cast<size_t>(dst)]);
+    }
+    return total;
+}
+
+namespace {
+
+Selection
+emptySelection(const PlanTable &table)
+{
+    Selection sel;
+    sel.planIndex.assign(table.graph().size(), -1);
+    for (const graph::Node &node : table.graph().nodes())
+        if (!node.dead)
+            sel.planIndex[static_cast<size_t>(node.id)] = 0;
+    return sel;
+}
+
+/**
+ * Branch-and-bound optimal assignment of @p subset (free nodes), given
+ * that every node with planIndex >= 0 outside the subset is already
+ * decided. Edges to undecided nodes outside the subset are ignored
+ * (their chunks pay the cost when they are solved).
+ */
+void
+solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
+                   Selection &sel, uint64_t &evaluations)
+{
+    const size_t n = subset.size();
+    if (n == 0)
+        return;
+
+    std::vector<int> posOf(table.graph().size(), -1);
+    for (size_t i = 0; i < n; ++i)
+        posOf[static_cast<size_t>(subset[i])] = static_cast<int>(i);
+
+    // Mark subset nodes as undecided for base-cost computation.
+    for (NodeId id : subset)
+        sel.planIndex[static_cast<size_t>(id)] = -1;
+
+    // base[i][p]: node cost + TC on edges whose other endpoint is already
+    // decided outside the subset.
+    std::vector<std::vector<uint64_t>> base(n);
+    for (size_t i = 0; i < n; ++i) {
+        const auto &plans = table.plans(subset[i]);
+        base[i].resize(plans.size());
+        for (size_t p = 0; p < plans.size(); ++p)
+            base[i][p] = plans[p].cycles;
+    }
+
+    struct PairEdge
+    {
+        int a, b; // positions in subset, a < b in iteration order
+        std::vector<std::vector<uint64_t>> tc;
+    };
+    std::vector<PairEdge> pairs;
+    // pairsAt[i]: pair edges whose later endpoint is i.
+    std::vector<std::vector<int>> pairsAt(n);
+
+    for (const auto &[src, dst] : table.edges()) {
+        const int pi = posOf[static_cast<size_t>(src)];
+        const int pj = posOf[static_cast<size_t>(dst)];
+        if (pi >= 0 && pj >= 0) {
+            PairEdge edge;
+            edge.a = std::min(pi, pj);
+            edge.b = std::max(pi, pj);
+            const auto &aPlans = table.plans(subset[edge.a]);
+            const auto &bPlans = table.plans(subset[edge.b]);
+            edge.tc.assign(aPlans.size(),
+                           std::vector<uint64_t>(bPlans.size(), 0));
+            for (size_t pa = 0; pa < aPlans.size(); ++pa)
+                for (size_t pb = 0; pb < bPlans.size(); ++pb) {
+                    const int srcPlan = pi == edge.a
+                                            ? static_cast<int>(pa)
+                                            : static_cast<int>(pb);
+                    const int dstPlan = pi == edge.a
+                                            ? static_cast<int>(pb)
+                                            : static_cast<int>(pa);
+                    edge.tc[pa][pb] =
+                        table.tc(src, dst, srcPlan, dstPlan);
+                }
+            pairsAt[static_cast<size_t>(edge.b)].push_back(
+                static_cast<int>(pairs.size()));
+            pairs.push_back(std::move(edge));
+        } else if (pi >= 0 || pj >= 0) {
+            // One endpoint inside: fold into base if the outside endpoint
+            // is decided.
+            const int inside = pi >= 0 ? pi : pj;
+            const NodeId outsideId = pi >= 0 ? dst : src;
+            const int outsidePlan =
+                sel.planIndex[static_cast<size_t>(outsideId)];
+            if (outsidePlan < 0)
+                continue;
+            auto &row = base[static_cast<size_t>(inside)];
+            for (size_t p = 0; p < row.size(); ++p) {
+                const int srcPlan =
+                    pi >= 0 ? static_cast<int>(p) : outsidePlan;
+                const int dstPlan =
+                    pi >= 0 ? outsidePlan : static_cast<int>(p);
+                row[p] += table.tc(src, dst, srcPlan, dstPlan);
+            }
+        }
+    }
+
+    // Admissible remainder bound: best base cost of each later node.
+    std::vector<uint64_t> suffixLb(n + 1, 0);
+    for (size_t i = n; i-- > 0;)
+        suffixLb[i] = suffixLb[i + 1] +
+                      *std::min_element(base[i].begin(), base[i].end());
+
+    std::vector<int> current(n, 0), best(n, 0);
+    uint64_t bestCost = UINT64_MAX;
+
+    // Iterative depth-first branch and bound.
+    std::vector<uint64_t> partial(n + 1, 0);
+    size_t depth = 0;
+    current.assign(n, -1);
+    while (true) {
+        if (current[depth] + 1 >=
+            static_cast<int>(base[depth].size())) {
+            // Exhausted this level: backtrack.
+            current[depth] = -1;
+            if (depth == 0)
+                break;
+            --depth;
+            continue;
+        }
+        ++current[depth];
+        ++evaluations;
+
+        uint64_t cost = partial[depth] +
+                        base[depth][static_cast<size_t>(current[depth])];
+        for (int e : pairsAt[depth]) {
+            const PairEdge &edge = pairs[static_cast<size_t>(e)];
+            cost += edge.tc[static_cast<size_t>(
+                current[static_cast<size_t>(edge.a)])]
+                           [static_cast<size_t>(current[depth])];
+        }
+        if (cost + suffixLb[depth + 1] >= bestCost)
+            continue; // prune
+        if (depth + 1 == n) {
+            bestCost = cost;
+            best = current;
+            continue;
+        }
+        partial[depth + 1] = cost;
+        ++depth;
+    }
+
+    GCD2_ASSERT(bestCost != UINT64_MAX, "branch and bound found nothing");
+    for (size_t i = 0; i < n; ++i)
+        sel.planIndex[static_cast<size_t>(subset[i])] = best[i];
+}
+
+/** Connected components of the free nodes via free-free edges. */
+std::vector<std::vector<NodeId>>
+freeComponents(const PlanTable &table)
+{
+    const auto &free = table.freeNodes();
+    std::vector<int> comp(table.graph().size(), -1);
+    for (NodeId id : free)
+        comp[static_cast<size_t>(id)] = static_cast<int>(id);
+
+    // Union-find (path-halving).
+    std::vector<int> parent(table.graph().size());
+    for (size_t i = 0; i < parent.size(); ++i)
+        parent[i] = static_cast<int>(i);
+    auto find = [&](int x) {
+        while (parent[static_cast<size_t>(x)] != x) {
+            parent[static_cast<size_t>(x)] =
+                parent[static_cast<size_t>(
+                    parent[static_cast<size_t>(x)])];
+            x = parent[static_cast<size_t>(x)];
+        }
+        return x;
+    };
+    for (const auto &[src, dst] : table.edges()) {
+        if (comp[static_cast<size_t>(src)] >= 0 &&
+            comp[static_cast<size_t>(dst)] >= 0) {
+            parent[static_cast<size_t>(find(src))] = find(dst);
+        }
+    }
+
+    std::map<int, std::vector<NodeId>> byRoot;
+    for (NodeId id : free)
+        byRoot[find(id)].push_back(id);
+
+    std::vector<std::vector<NodeId>> components;
+    for (auto &[root, nodes] : byRoot) {
+        std::sort(nodes.begin(), nodes.end()); // topological (append) order
+        components.push_back(std::move(nodes));
+    }
+    return components;
+}
+
+} // namespace
+
+SelectorResult
+selectLocal(const PlanTable &table)
+{
+    const auto start = std::chrono::steady_clock::now();
+    SelectorResult result;
+    result.selection = emptySelection(table);
+    for (const graph::Node &node : table.graph().nodes()) {
+        if (node.dead)
+            continue;
+        const auto &plans = table.plans(node.id);
+        int bestPlan = 0;
+        for (size_t p = 1; p < plans.size(); ++p) {
+            if (plans[p].cycles < plans[static_cast<size_t>(bestPlan)]
+                                      .cycles)
+                bestPlan = static_cast<int>(p);
+        }
+        result.selection.planIndex[static_cast<size_t>(node.id)] =
+            bestPlan;
+        result.evaluations += plans.size();
+    }
+    result.selection.totalCost = aggCost(table, result.selection);
+    result.seconds = elapsedSeconds(start);
+    return result;
+}
+
+SelectorResult
+selectChainDp(const PlanTable &table)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const graph::Graph &graph = table.graph();
+
+    // Eq. 2, generalized from chains to in-trees: process in topological
+    // order; dp[v][p] = Cost(ep_p(v)) + sum over inputs of
+    // min_q (dp[in][q] + TC(ep_q(in), ep_p(v))).
+    std::vector<std::vector<uint64_t>> dp(graph.size());
+    std::vector<std::vector<std::vector<int>>> choice(graph.size());
+    SelectorResult result;
+    result.selection = emptySelection(table);
+
+    for (const graph::Node &node : graph.nodes()) {
+        if (node.dead)
+            continue;
+        const auto &plans = table.plans(node.id);
+        dp[static_cast<size_t>(node.id)].resize(plans.size());
+        choice[static_cast<size_t>(node.id)].resize(plans.size());
+        for (size_t p = 0; p < plans.size(); ++p) {
+            uint64_t cost = plans[p].cycles;
+            auto &picks = choice[static_cast<size_t>(node.id)][p];
+            for (NodeId in : node.inputs) {
+                if (graph.node(in).dead)
+                    continue;
+                const auto &inDp = dp[static_cast<size_t>(in)];
+                uint64_t bestIn = UINT64_MAX;
+                int bestQ = 0;
+                for (size_t q = 0; q < inDp.size(); ++q) {
+                    const uint64_t c =
+                        inDp[q] + table.tc(in, node.id,
+                                           static_cast<int>(q),
+                                           static_cast<int>(p));
+                    ++result.evaluations;
+                    if (c < bestIn) {
+                        bestIn = c;
+                        bestQ = static_cast<int>(q);
+                    }
+                }
+                cost += bestIn;
+                picks.push_back(bestQ);
+            }
+            dp[static_cast<size_t>(node.id)][p] = cost;
+        }
+    }
+
+    // Reconstruct from the outputs downward. Multi-consumer producers get
+    // the first visitor's choice; the reported cost is re-evaluated, so
+    // the result stays a valid (if then possibly suboptimal) selection.
+    std::vector<bool> assigned(graph.size(), false);
+    std::vector<std::pair<NodeId, int>> work;
+    for (const graph::Node &node : graph.nodes())
+        if (!node.dead && node.op == OpType::Output)
+            work.emplace_back(node.id, 0);
+    while (!work.empty()) {
+        const auto [id, plan] = work.back();
+        work.pop_back();
+        if (assigned[static_cast<size_t>(id)])
+            continue;
+        assigned[static_cast<size_t>(id)] = true;
+        result.selection.planIndex[static_cast<size_t>(id)] = plan;
+        const graph::Node &node = graph.node(id);
+        size_t liveInput = 0;
+        for (NodeId in : node.inputs) {
+            if (graph.node(in).dead)
+                continue;
+            work.emplace_back(
+                in, choice[static_cast<size_t>(id)]
+                          [static_cast<size_t>(plan)][liveInput]);
+            ++liveInput;
+        }
+    }
+
+    result.selection.totalCost = aggCost(table, result.selection);
+    result.seconds = elapsedSeconds(start);
+    return result;
+}
+
+SelectorResult
+selectGlobalOptimal(const PlanTable &table, size_t maxFreeNodes)
+{
+    GCD2_REQUIRE(table.freeNodes().size() <= maxFreeNodes,
+                 "global optimal search over "
+                     << table.freeNodes().size()
+                     << " free operators would take too long (cap "
+                     << maxFreeNodes << ")");
+    const auto start = std::chrono::steady_clock::now();
+    SelectorResult result;
+    result.selection = emptySelection(table);
+    solveSubsetOptimal(table, table.freeNodes(), result.selection,
+                       result.evaluations);
+    result.selection.totalCost = aggCost(table, result.selection);
+    result.seconds = elapsedSeconds(start);
+    return result;
+}
+
+SelectorResult
+selectGcd2Partitioned(const PlanTable &table, int maxPartition)
+{
+    GCD2_REQUIRE(maxPartition >= 1, "partition bound must be positive");
+    const auto start = std::chrono::steady_clock::now();
+
+    SelectorResult result;
+    result.selection = emptySelection(table);
+
+    // Layout-pinned operators are forced; components of free operators
+    // between them can be optimized independently (the cost-optimal
+    // partitioning of Definition IV.1: pinned nodes fix the layout on
+    // every crossing edge).
+    for (std::vector<NodeId> &component : freeComponents(table)) {
+        if (static_cast<int>(component.size()) <= maxPartition) {
+            solveSubsetOptimal(table, component, result.selection,
+                               result.evaluations);
+            continue;
+        }
+        // Oversized component: cut into topological chunks and solve them
+        // in order with earlier decisions fixed ("complementary edges"),
+        // then polish chunk boundaries with overlapping re-solves --
+        // each window is re-optimized exactly, conditioned on the rest,
+        // so every polish step is monotone in Agg_Cost.
+        std::vector<NodeId> chunk;
+        auto flush = [&]() {
+            if (!chunk.empty()) {
+                solveSubsetOptimal(table, chunk, result.selection,
+                                   result.evaluations);
+                chunk.clear();
+            }
+        };
+        for (size_t i = 0; i < component.size(); ++i) {
+            chunk.push_back(component[i]);
+            if (static_cast<int>(chunk.size()) >= maxPartition)
+                flush();
+        }
+        flush();
+
+        const size_t window = static_cast<size_t>(maxPartition);
+        const size_t stride = std::max<size_t>(1, window / 2);
+        for (size_t start = stride; start < component.size();
+             start += stride) {
+            const size_t end =
+                std::min(component.size(), start + window);
+            const std::vector<NodeId> slice(
+                component.begin() + static_cast<long>(start),
+                component.begin() + static_cast<long>(end));
+            solveSubsetOptimal(table, slice, result.selection,
+                               result.evaluations);
+        }
+    }
+
+    result.selection.totalCost = aggCost(table, result.selection);
+    result.seconds = elapsedSeconds(start);
+    return result;
+}
+
+} // namespace gcd2::select

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Global layout & instruction selection (Sections IV-A and IV-B).
+ *
+ * The optimization problem: pick one execution plan per operator so that
+ *   Agg_Cost(G) = sum_v Cost(ep_v) + sum_e TC(ep_src(e), ep_dst(e))
+ * is minimal (Eq. 1). Solvers provided:
+ *
+ *  - Local: per-operator argmin, ignoring transformation costs (the
+ *    "local optimal" baseline of Fig. 10).
+ *  - ChainDp: the exact O(V * k^2) dynamic program of Eq. 2; exact for
+ *    linear chains and in-trees (every vertex feeds one consumer).
+ *  - GlobalOptimal: branch-and-bound exhaustive search over all
+ *    free-choice operators (exponential; the Fig. 10 "global optimal").
+ *  - Gcd2Partitioned: the paper's solution -- split the graph at
+ *    desirable partitioning edges (single-predecessor layout-pinned
+ *    operators and profitable-transformation edges naturally pin
+ *    layouts), bound each partition by a maximum operator count (the
+ *    "GCD2(13)" / "GCD2(17)" parameter), and solve partitions
+ *    independently and optimally.
+ */
+#ifndef GCD2_SELECT_SELECTOR_H
+#define GCD2_SELECT_SELECTOR_H
+
+#include <vector>
+
+#include "select/cost_model.h"
+
+namespace gcd2::select {
+
+/** One plan choice per node (index into PlanTable::plans). */
+struct Selection
+{
+    std::vector<int> planIndex; ///< -1 for dead nodes
+    uint64_t totalCost = 0;     ///< Agg_Cost of the selection
+};
+
+/** Costed plans of every live node plus transformation-cost queries. */
+class PlanTable
+{
+  public:
+    PlanTable(const graph::Graph &graph, CostModel &model);
+
+    const graph::Graph &graph() const { return *graph_; }
+
+    const std::vector<ExecutionPlan> &
+    plans(graph::NodeId id) const
+    {
+        return plans_[static_cast<size_t>(id)];
+    }
+
+    /** TC along edge producer->consumer under the given plan indices. */
+    uint64_t tc(graph::NodeId producer, graph::NodeId consumer,
+                int producerPlan, int consumerPlan) const;
+
+    /** All (producer, consumer) tensor edges between live nodes. */
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>> &
+    edges() const
+    {
+        return edges_;
+    }
+
+    /** Nodes with more than one candidate plan. */
+    const std::vector<graph::NodeId> &freeNodes() const
+    {
+        return freeNodes_;
+    }
+
+  private:
+    const graph::Graph *graph_;
+    CostModel *model_;
+    std::vector<std::vector<ExecutionPlan>> plans_;
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges_;
+    std::vector<graph::NodeId> freeNodes_;
+};
+
+/** Evaluate Agg_Cost (Eq. 1) of a complete selection. */
+uint64_t aggCost(const PlanTable &table, const Selection &selection);
+
+/** Solver telemetry for the Fig. 10 search-time comparison. */
+struct SelectorResult
+{
+    Selection selection;
+    double seconds = 0.0;        ///< wall-clock search time
+    uint64_t evaluations = 0;    ///< plan combinations examined
+};
+
+SelectorResult selectLocal(const PlanTable &table);
+
+SelectorResult selectChainDp(const PlanTable &table);
+
+/**
+ * Exhaustive global optimum via branch-and-bound.
+ * @param maxFreeNodes refuse (fatal) above this many free nodes so
+ *        benches cannot accidentally run for hours.
+ */
+SelectorResult selectGlobalOptimal(const PlanTable &table,
+                                   size_t maxFreeNodes = 22);
+
+/** The paper's partitioned solver with bounded sub-graph size. */
+SelectorResult selectGcd2Partitioned(const PlanTable &table,
+                                     int maxPartition = 13);
+
+} // namespace gcd2::select
+
+#endif // GCD2_SELECT_SELECTOR_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's matrix data layouts (Fig. 2) and their transformations.
+ *
+ * Each SIMD multiply instruction demands a specific panel layout of the
+ * (logical row-major) operand matrix:
+ *
+ *  - OneColumn (vmpy): 128-row panels stored column-major. Loading one
+ *    vector grabs one column of a panel; all 128 values multiply by the
+ *    same splatted weight byte.
+ *  - TwoColumn (vmpa): 64-row panels; two adjacent columns interleaved per
+ *    row, so a vector pair covers 64 rows x 4 columns.
+ *  - FourColumn (vrmpy): 32-row panels; four adjacent columns per row, so
+ *    each 4-byte group is one vrmpy reduction input.
+ *  - RowMajor: plain C order (the layout tensors arrive in).
+ *
+ * Rows pad to the panel height and columns to the column-group width; the
+ * padded totals reproduce the "Total Data Size w/ Pad" column of Table II.
+ */
+#ifndef GCD2_TENSOR_LAYOUT_H
+#define GCD2_TENSOR_LAYOUT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gcd2::tensor {
+
+/** Matrix storage layouts from the paper. */
+enum class Layout : uint8_t
+{
+    RowMajor,
+    OneColumn,  ///< vmpy: 128-row panels, column-major
+    TwoColumn,  ///< vmpa: 64-row panels, column pairs
+    FourColumn, ///< vrmpy: 32-row panels, column quads
+};
+
+const char *layoutName(Layout layout);
+
+/** Panel height (row padding unit) of a layout. */
+int layoutPanelRows(Layout layout);
+
+/** Column group width (column padding unit) of a layout. */
+int layoutColGroup(Layout layout);
+
+/** Rows rounded up to the layout's panel height. */
+int64_t paddedRows(Layout layout, int64_t rows);
+
+/** Columns rounded up to the layout's column group. */
+int64_t paddedCols(Layout layout, int64_t cols);
+
+/** Total bytes of an int8 rows x cols matrix stored in @p layout. */
+int64_t packedByteSize(Layout layout, int64_t rows, int64_t cols);
+
+/**
+ * Linear byte offset of logical element (r, c) in the packed buffer.
+ * Padding positions are the offsets not reachable from valid (r, c).
+ */
+int64_t layoutOffset(Layout layout, int64_t rows, int64_t cols, int64_t r,
+                     int64_t c);
+
+/**
+ * Pack a row-major int8 matrix into @p layout. The output buffer is
+ * resized to packedByteSize and padding bytes are zero-filled (zero is the
+ * additive identity of the accumulators, so padded lanes never corrupt
+ * results).
+ */
+void packMatrix(const int8_t *rowMajor, int64_t rows, int64_t cols,
+                Layout layout, std::vector<int8_t> &out);
+
+/** Inverse of packMatrix. */
+void unpackMatrix(const int8_t *packed, int64_t rows, int64_t cols,
+                  Layout layout, std::vector<int8_t> &rowMajorOut);
+
+/**
+ * Transform a packed matrix directly between two layouts (the
+ * "data transformation" whose cost the global optimizer weighs).
+ */
+void transformMatrix(const int8_t *packed, int64_t rows, int64_t cols,
+                     Layout from, Layout to, std::vector<int8_t> &out);
+
+/**
+ * Estimated DSP cycles of transforming rows x cols int8 data from one
+ * layout to another: every vector must be loaded, permuted, and stored
+ * back. Zero when the layouts already agree.
+ */
+uint64_t layoutTransformCycles(Layout from, Layout to, int64_t rows,
+                               int64_t cols);
+
+} // namespace gcd2::tensor
+
+#endif // GCD2_TENSOR_LAYOUT_H

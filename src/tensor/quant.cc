@@ -1,0 +1,92 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gcd2::tensor {
+
+int64_t
+roundShift(int64_t value, int shift)
+{
+    if (shift <= 0)
+        return value;
+    return (value + (int64_t{1} << (shift - 1))) >> shift;
+}
+
+int8_t
+sat8(int32_t value)
+{
+    return static_cast<int8_t>(std::clamp(value, -128, 127));
+}
+
+int16_t
+sat16(int64_t value)
+{
+    return static_cast<int16_t>(
+        std::clamp<int64_t>(value, INT16_MIN, INT16_MAX));
+}
+
+int8_t
+requantize16(int16_t acc, int shift)
+{
+    return sat8(static_cast<int32_t>(roundShift(acc, shift)));
+}
+
+int8_t
+requantize32(int32_t acc, int shiftToHalf, int shiftToByte)
+{
+    const int16_t half = sat16(roundShift(acc, shiftToHalf));
+    return sat8(static_cast<int32_t>(roundShift(half, shiftToByte)));
+}
+
+int
+chooseShiftForRange(int64_t maxAbsAccumulator, int64_t targetMaxAbs)
+{
+    GCD2_REQUIRE(targetMaxAbs > 0, "target range must be positive");
+    int shift = 0;
+    int64_t v = maxAbsAccumulator;
+    while (v > targetMaxAbs && shift < 31) {
+        v >>= 1;
+        ++shift;
+    }
+    return shift;
+}
+
+std::vector<int8_t>
+quantizeLinear(const float *data, size_t n, const QuantParams &params)
+{
+    std::vector<int8_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        const float scaled = data[i] / params.scale +
+                             static_cast<float>(params.zeroPoint);
+        out[i] = sat8(static_cast<int32_t>(std::lround(scaled)));
+    }
+    return out;
+}
+
+std::vector<float>
+dequantizeLinear(const int8_t *data, size_t n, const QuantParams &params)
+{
+    std::vector<float> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = (static_cast<float>(data[i]) -
+                  static_cast<float>(params.zeroPoint)) *
+                 params.scale;
+    return out;
+}
+
+QuantParams
+chooseQuantParams(float minValue, float maxValue)
+{
+    GCD2_REQUIRE(minValue <= maxValue, "empty range");
+    const float maxAbs =
+        std::max(std::abs(minValue), std::abs(maxValue));
+    QuantParams params;
+    params.scale = maxAbs > 0.0f ? maxAbs / 127.0f : 1.0f;
+    params.zeroPoint = 0;
+    return params;
+}
+
+} // namespace gcd2::tensor

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Post-training quantization helpers.
+ *
+ * The reproduction follows the paper's setting: 8-bit weights and
+ * activations, 16/32-bit accumulation, and a requantization epilogue that
+ * the kernels implement with the narrowing vector shifts (VASRWH then
+ * VASRHB). To keep the simulated epilogue exact, requantization uses
+ * power-of-two scales (round-to-nearest shifts with saturation) -- the
+ * same family of multiplier-free requantization used by integer-only
+ * deployments when scales are constrained to powers of two.
+ */
+#ifndef GCD2_TENSOR_QUANT_H
+#define GCD2_TENSOR_QUANT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcd2::tensor {
+
+/** Affine quantization parameters of a tensor. */
+struct QuantParams
+{
+    float scale = 1.0f;
+    int32_t zeroPoint = 0;
+};
+
+/** Round-to-nearest arithmetic right shift (matches VASR semantics). */
+int64_t roundShift(int64_t value, int shift);
+
+/** Saturate to int8 / int16. */
+int8_t sat8(int32_t value);
+int16_t sat16(int64_t value);
+
+/**
+ * Requantize a 16-bit accumulator to int8 with one narrowing shift
+ * (the VASRHB path used after vmpy/vmpa).
+ */
+int8_t requantize16(int16_t acc, int shift);
+
+/**
+ * Requantize a 32-bit accumulator to int8 through the two-stage
+ * VASRWH -> VASRHB pipeline used after vrmpy.
+ */
+int8_t requantize32(int32_t acc, int shiftToHalf, int shiftToByte);
+
+/**
+ * Pick the smallest shift so that the largest-magnitude accumulator fits
+ * int8 after requantize16/32 (kernel generators use this to derive
+ * epilogue shifts from operand ranges).
+ */
+int chooseShiftForRange(int64_t maxAbsAccumulator, int64_t targetMaxAbs);
+
+/** Quantize float data linearly to int8 with the given parameters. */
+std::vector<int8_t> quantizeLinear(const float *data, size_t n,
+                                   const QuantParams &params);
+
+/** Dequantize int8 data back to float. */
+std::vector<float> dequantizeLinear(const int8_t *data, size_t n,
+                                    const QuantParams &params);
+
+/** Derive symmetric quantization parameters from a float range. */
+QuantParams chooseQuantParams(float minValue, float maxValue);
+
+} // namespace gcd2::tensor
+
+#endif // GCD2_TENSOR_QUANT_H

@@ -1,0 +1,39 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace gcd2::tensor {
+
+const char *
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::Int8:
+        return "int8";
+      case DType::UInt8:
+        return "uint8";
+      case DType::Int16:
+        return "int16";
+      case DType::Int32:
+        return "int32";
+      case DType::Float:
+        return "float";
+    }
+    return "?";
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            oss << "x";
+        oss << dims_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace gcd2::tensor

@@ -1,0 +1,48 @@
+#include "vliw/cfg.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gcd2::vliw {
+
+const BasicBlock &
+Cfg::largestBlock() const
+{
+    GCD2_REQUIRE(!blocks.empty(), "empty CFG");
+    return *std::max_element(blocks.begin(), blocks.end(),
+                             [](const BasicBlock &a, const BasicBlock &b) {
+                                 return a.size() < b.size();
+                             });
+}
+
+Cfg
+buildCfg(const dsp::Program &prog)
+{
+    std::vector<bool> leader(prog.code.size() + 1, false);
+    leader[0] = true;
+    leader[prog.code.size()] = true;
+
+    for (size_t target : prog.labels) {
+        GCD2_ASSERT(target != SIZE_MAX, "unbound label in program");
+        GCD2_ASSERT(target <= prog.code.size(), "label out of range");
+        leader[target] = true;
+    }
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        if (prog.code[i].isBranch() && i + 1 <= prog.code.size())
+            leader[i + 1] = true;
+    }
+
+    Cfg cfg;
+    size_t begin = 0;
+    for (size_t i = 1; i <= prog.code.size(); ++i) {
+        if (leader[i]) {
+            if (i > begin)
+                cfg.blocks.push_back(BasicBlock{begin, i});
+            begin = i;
+        }
+    }
+    return cfg;
+}
+
+} // namespace gcd2::vliw

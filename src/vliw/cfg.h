@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Control-flow graph over DSP programs.
+ *
+ * Basic blocks are maximal straight-line regions: a block begins at
+ * instruction 0, at every label target, and after every branch; it ends
+ * before the next block begins. The packers schedule one block at a time
+ * (Algorithm 1 of the paper iterates `for each block in cfg.block`).
+ */
+#ifndef GCD2_VLIW_CFG_H
+#define GCD2_VLIW_CFG_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/isa.h"
+
+namespace gcd2::vliw {
+
+/** A half-open instruction index range [begin, end). */
+struct BasicBlock
+{
+    size_t begin = 0;
+    size_t end = 0;
+
+    size_t size() const { return end - begin; }
+};
+
+/** The blocks of a program, in program order. */
+struct Cfg
+{
+    std::vector<BasicBlock> blocks;
+
+    /**
+     * The block whose computation kernel a cost model should inspect:
+     * the largest block, which for generated kernels is the innermost
+     * loop body (paper Section IV-C).
+     */
+    const BasicBlock &largestBlock() const;
+};
+
+/** Partition @p prog into basic blocks. */
+Cfg buildCfg(const dsp::Program &prog);
+
+} // namespace gcd2::vliw
+
+#endif // GCD2_VLIW_CFG_H

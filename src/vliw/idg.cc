@@ -1,0 +1,185 @@
+#include "vliw/idg.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace gcd2::vliw {
+
+using dsp::DepKind;
+using dsp::Dependency;
+
+Idg::Idg(const dsp::Program &prog, const BasicBlock &block,
+         const dsp::AliasAnalysis &alias, SoftDepPolicy policy)
+    : block_(block)
+{
+    const size_t n = block.size();
+    nodes_.resize(n);
+    removed_.assign(n, false);
+    remaining_ = n;
+
+    for (size_t i = 0; i < n; ++i)
+        nodes_[i].latency = prog.code[block.begin + i].info().latency;
+
+    // Pairwise classification. Edges always point forward in program
+    // order; transitively implied edges are kept (they are harmless for
+    // freedom/critical-path queries and make penalty lookups direct).
+    for (size_t j = 0; j < n; ++j) {
+        for (size_t i = 0; i < j; ++i) {
+            Dependency dep = dsp::classifyDependency(
+                prog.code[block.begin + i], prog.code[block.begin + j],
+                alias.mayAlias(block.begin + i, block.begin + j));
+            if (dep.kind == DepKind::None)
+                continue;
+            if (policy == SoftDepPolicy::AsHard &&
+                dep.kind == DepKind::Soft && dep.penalty > 0) {
+                dep = Dependency{DepKind::Hard, 0};
+            }
+            nodes_[i].succs.push_back(
+                IdgEdge{static_cast<int>(j), dep.kind, dep.penalty});
+            nodes_[j].preds.push_back(
+                IdgEdge{static_cast<int>(i), dep.kind, dep.penalty});
+        }
+    }
+
+    // Keep every instruction at or before the block-terminating branch.
+    if (n > 0 && prog.code[block.end - 1].isBranch()) {
+        const size_t branch = n - 1;
+        for (size_t i = 0; i + 1 < n; ++i) {
+            const bool hasEdge = std::any_of(
+                nodes_[i].succs.begin(), nodes_[i].succs.end(),
+                [&](const IdgEdge &e) {
+                    return e.other == static_cast<int>(branch);
+                });
+            if (!hasEdge) {
+                // Ordering-only edge: co-packing with the branch is always
+                // legal and free, under every policy.
+                nodes_[i].succs.push_back(
+                    IdgEdge{static_cast<int>(branch), DepKind::Soft, 0});
+                nodes_[branch].preds.push_back(
+                    IdgEdge{static_cast<int>(i), DepKind::Soft, 0});
+            }
+        }
+    }
+
+    // i.order: longest-path rank from the artificial entry. Nodes are in
+    // topological (program) order already.
+    for (size_t j = 0; j < n; ++j) {
+        int order = 0;
+        for (const IdgEdge &e : nodes_[j].preds)
+            order = std::max(order, nodes_[e.other].order + 1);
+        nodes_[j].order = order;
+    }
+
+    // i.pred: transitive predecessor count via forward bitset sweep.
+    const size_t words = (n + 63) / 64;
+    std::vector<uint64_t> reach(n * words, 0);
+    for (size_t j = 0; j < n; ++j) {
+        uint64_t *mine = reach.data() + j * words;
+        for (const IdgEdge &e : nodes_[j].preds) {
+            const uint64_t *theirs =
+                reach.data() + static_cast<size_t>(e.other) * words;
+            for (size_t w = 0; w < words; ++w)
+                mine[w] |= theirs[w];
+            mine[e.other / 64] |= 1ULL << (e.other % 64);
+        }
+        int count = 0;
+        for (size_t w = 0; w < words; ++w)
+            count += std::popcount(mine[w]);
+        nodes_[j].predCount = count;
+    }
+}
+
+void
+Idg::remove(size_t i)
+{
+    GCD2_ASSERT(!removed_[i], "node " << i << " removed twice");
+    removed_[i] = true;
+    --remaining_;
+}
+
+std::vector<size_t>
+Idg::criticalPath() const
+{
+    const size_t n = nodes_.size();
+    // Longest accumulated latency from each remaining node to any exit,
+    // computed in reverse topological (reverse program) order.
+    std::vector<int64_t> dist(n, INT64_MIN);
+    std::vector<int> next(n, -1);
+
+    for (size_t ri = n; ri-- > 0;) {
+        if (removed_[ri])
+            continue;
+        dist[ri] = nodes_[ri].latency;
+        for (const IdgEdge &e : nodes_[ri].succs) {
+            const auto j = static_cast<size_t>(e.other);
+            if (removed_[j])
+                continue;
+            if (nodes_[ri].latency + dist[j] > dist[ri]) {
+                dist[ri] = nodes_[ri].latency + dist[j];
+                next[ri] = e.other;
+            }
+        }
+    }
+
+    // The path starts at the remaining *source* (no remaining preds) with
+    // the largest distance.
+    int best = -1;
+    for (size_t i = 0; i < n; ++i) {
+        if (removed_[i])
+            continue;
+        const bool isSource = std::none_of(
+            nodes_[i].preds.begin(), nodes_[i].preds.end(),
+            [&](const IdgEdge &e) {
+                return !removed_[static_cast<size_t>(e.other)];
+            });
+        if (!isSource)
+            continue;
+        if (best < 0 || dist[i] > dist[static_cast<size_t>(best)])
+            best = static_cast<int>(i);
+    }
+
+    std::vector<size_t> path;
+    for (int cur = best; cur >= 0; cur = next[static_cast<size_t>(cur)])
+        path.push_back(static_cast<size_t>(cur));
+    return path;
+}
+
+bool
+Idg::isFree(size_t i, const std::vector<size_t> &candidatePacket) const
+{
+    if (removed_[i])
+        return false;
+    for (const IdgEdge &e : nodes_[i].succs) {
+        const auto j = static_cast<size_t>(e.other);
+        const bool inPacket =
+            std::find(candidatePacket.begin(), candidatePacket.end(), j) !=
+            candidatePacket.end();
+        if (inPacket) {
+            // Successor shares the packet under construction: only legal
+            // across a soft edge.
+            if (e.kind != DepKind::Soft)
+                return false;
+        } else if (!removed_[j]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<size_t>
+Idg::freeInstructions(const std::vector<size_t> &candidatePacket) const
+{
+    std::vector<size_t> free;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const bool inPacket =
+            std::find(candidatePacket.begin(), candidatePacket.end(), i) !=
+            candidatePacket.end();
+        if (!inPacket && isFree(i, candidatePacket))
+            free.push_back(i);
+    }
+    return free;
+}
+
+} // namespace gcd2::vliw

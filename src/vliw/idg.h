@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Instruction Dependency Graph (IDG) for one basic block.
+ *
+ * Vertices are the block's instructions; edges carry the hard/soft
+ * classification from dsp::classifyDependency. Matches the structure used
+ * by Algorithm 1 and Fig. 5 of the paper: solid (hard) and dotted (soft)
+ * edges, per-node rank (distance from the artificial entry), transitive
+ * predecessor counts, and critical-path extraction by accumulated latency.
+ */
+#ifndef GCD2_VLIW_IDG_H
+#define GCD2_VLIW_IDG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/alias.h"
+#include "dsp/deps.h"
+#include "vliw/cfg.h"
+
+namespace gcd2::vliw {
+
+/** How the packer should interpret soft dependencies (ablations, §V-C). */
+enum class SoftDepPolicy : uint8_t
+{
+    Aware,  ///< GCD2 SDA: pack across soft edges, penalize the stall
+    AsHard, ///< "soft_to_hard": soft edges forbid co-packing
+    AsNone, ///< "soft_to_none": pack across soft edges, ignore the stall
+};
+
+/** One classified dependency edge. */
+struct IdgEdge
+{
+    int other;          ///< node index at the far end
+    dsp::DepKind kind;  ///< Soft or Hard (None edges are not stored)
+    int penalty;        ///< stall cycles if co-packed (soft only)
+};
+
+/** Per-instruction dependency-graph node. */
+struct IdgNode
+{
+    std::vector<IdgEdge> succs;
+    std::vector<IdgEdge> preds;
+    int order = 0;     ///< longest-path distance from the entry (i.order)
+    int predCount = 0; ///< transitive predecessor count (i.pred)
+    int latency = 0;   ///< pipeline occupancy (i.lat)
+};
+
+/**
+ * The dependency graph of one basic block, with the bookkeeping the SDA
+ * packer needs (node removal, critical-path queries on the remaining
+ * sub-graph).
+ */
+class Idg
+{
+  public:
+    /**
+     * Build the IDG for @p block of @p prog.
+     *
+     * @param policy AsHard upgrades every soft edge to hard at build time;
+     *        Aware/AsNone keep the classification (AsNone only changes the
+     *        packer's scoring, not graph structure).
+     *
+     * If the block ends in a branch, soft zero-penalty ordering edges are
+     * added from every other instruction to the branch so that no
+     * instruction is scheduled after the control transfer.
+     */
+    Idg(const dsp::Program &prog, const BasicBlock &block,
+        const dsp::AliasAnalysis &alias, SoftDepPolicy policy);
+
+    size_t size() const { return nodes_.size(); }
+    const IdgNode &node(size_t i) const { return nodes_[i]; }
+
+    /** Program instruction index of node @p i. */
+    size_t instIndex(size_t i) const { return block_.begin + i; }
+
+    bool removed(size_t i) const { return removed_[i]; }
+
+    /** Remove a scheduled node from the remaining sub-graph. */
+    void remove(size_t i);
+
+    size_t remainingCount() const { return remaining_; }
+
+    /**
+     * Critical path (by summed latency) through the *remaining* nodes,
+     * returned entry-to-exit. Empty iff no nodes remain.
+     */
+    std::vector<size_t> criticalPath() const;
+
+    /**
+     * A node is free when every not-yet-removed successor is reachable
+     * only through soft edges into the set @p candidatePacket (nodes that
+     * will share the packet). With an empty packet this reduces to
+     * "no unscheduled successors".
+     */
+    bool isFree(size_t i, const std::vector<size_t> &candidatePacket) const;
+
+    /** All currently free nodes given the current packet contents. */
+    std::vector<size_t>
+    freeInstructions(const std::vector<size_t> &candidatePacket) const;
+
+  private:
+    BasicBlock block_;
+    std::vector<IdgNode> nodes_;
+    std::vector<bool> removed_;
+    size_t remaining_ = 0;
+};
+
+} // namespace gcd2::vliw
+
+#endif // GCD2_VLIW_IDG_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * VLIW instruction packing algorithms.
+ *
+ * The centerpiece is the paper's Soft-Dependencies-Aware (SDA) packer
+ * (Algorithm 1): bottom-up, critical-path seeded, with the Eq. 4 scoring
+ * function and a stall penalty for co-packing across soft dependencies.
+ * The ablations from Section V-C (soft_to_hard, soft_to_none) and the
+ * baseline packetizers used to model Halide/TVM/RAKE back-ends (in-order
+ * and top-down list scheduling, both soft-dependency-blind) share the same
+ * entry point.
+ */
+#ifndef GCD2_VLIW_PACKER_H
+#define GCD2_VLIW_PACKER_H
+
+#include "dsp/packet.h"
+#include "vliw/idg.h"
+
+namespace gcd2::vliw {
+
+/** Which packing algorithm to run. */
+enum class PackPolicy : uint8_t
+{
+    Sda,        ///< GCD2: soft-dependency-aware (Algorithm 1)
+    SoftToHard, ///< SDA structure, soft deps may never share a packet
+    SoftToNone, ///< SDA structure, soft-dep stall penalty ignored
+    InOrder,    ///< greedy in-order packetizer (Halide-style back-end)
+    ListSched,  ///< top-down critical-path list scheduler (TVM/RAKE-style)
+};
+
+/** Tunables of the SDA scoring function (Eq. 4). */
+struct PackOptions
+{
+    PackPolicy policy = PackPolicy::Sda;
+    /** Weight `w`: order/pred importance vs. latency similarity. */
+    double w = 0.6;
+    /** Scale applied to the soft-dependency stall penalty `p`. */
+    double penaltyScale = 8.0;
+};
+
+/** Pack a program into VLIW packets under the given policy. */
+dsp::PackedProgram pack(const dsp::Program &prog,
+                        const PackOptions &opts = {});
+
+/** Human-readable policy name (bench output). */
+const char *packPolicyName(PackPolicy policy);
+
+} // namespace gcd2::vliw
+
+#endif // GCD2_VLIW_PACKER_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Kernel-compiler baseline tests: the Fig. 7 / Table III relationships
+ * between Halide/TVM/RAKE-like compilers and GCD_b / GCD2.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/kernel_compilers.h"
+
+namespace gcd2::baselines {
+namespace {
+
+TEST(KernelCompilersTest, EightUniqueResnetKernels)
+{
+    const auto &kernels = resnetConvKernels();
+    ASSERT_EQ(kernels.size(), 8u);
+    for (const auto &shape : kernels) {
+        EXPECT_GT(shape.macs(), 0);
+        EXPECT_GT(shape.outH(), 0);
+    }
+    // Table III's three representatives: 7x7, 1x1, 3x3.
+    EXPECT_EQ(kernels[0].kH, 7);
+    EXPECT_EQ(kernels[1].kH, 1);
+    EXPECT_EQ(kernels[7].kH, 3);
+}
+
+TEST(KernelCompilersTest, Gcd2BeatsEveryBaselineOnEveryKernel)
+{
+    for (const auto &shape : resnetConvKernels()) {
+        const auto gcd2 = compileConv(shape, KernelCompiler::Gcd2);
+        for (KernelCompiler other :
+             {KernelCompiler::Halide, KernelCompiler::Tvm,
+              KernelCompiler::Rake}) {
+            const auto result = compileConv(shape, other);
+            EXPECT_LT(gcd2.cycles, result.cycles)
+                << kernelCompilerName(other);
+        }
+    }
+}
+
+TEST(KernelCompilersTest, GcdBIsBetweenBaselinesAndGcd2)
+{
+    // GCD_b carries the tensor optimizations but not SDA packing: it must
+    // beat the soft-dependency-blind compilers and lose (or tie) to GCD2.
+    for (const auto &shape : resnetConvKernels()) {
+        const auto gcdB = compileConv(shape, KernelCompiler::GcdB);
+        const auto gcd2 = compileConv(shape, KernelCompiler::Gcd2);
+        const auto halide = compileConv(shape, KernelCompiler::Halide);
+        EXPECT_LT(gcdB.cycles, halide.cycles);
+        EXPECT_LE(gcd2.cycles, gcdB.cycles);
+    }
+}
+
+TEST(KernelCompilersTest, Gcd2ExecutesFewerPackets)
+{
+    // Fig. 7 right plot: fewer executed packets than every baseline.
+    for (const auto &shape : resnetConvKernels()) {
+        const auto gcd2 = compileConv(shape, KernelCompiler::Gcd2);
+        for (KernelCompiler other :
+             {KernelCompiler::Halide, KernelCompiler::Tvm,
+              KernelCompiler::Rake}) {
+            const auto result = compileConv(shape, other);
+            EXPECT_LT(gcd2.dynamicPackets, result.dynamicPackets)
+                << kernelCompilerName(other);
+        }
+    }
+}
+
+TEST(KernelCompilersTest, SelectionRespondsToShape)
+{
+    // Instruction-selecting compilers must not be constant across shapes:
+    // deep reductions favor vrmpy (32-bit accumulation), shallow ones the
+    // 16-bit schemes.
+    kernels::ConvShape shallow;
+    shallow.inC = 8;
+    shallow.inH = shallow.inW = 56;
+    shallow.outC = 64;
+    kernels::ConvShape deep = shallow;
+    deep.inC = 512;
+
+    const auto shallowPick = compileConv(shallow, KernelCompiler::Gcd2);
+    const auto deepPick = compileConv(deep, KernelCompiler::Gcd2);
+    EXPECT_NE(static_cast<int>(shallowPick.scheme),
+              static_cast<int>(deepPick.scheme));
+    EXPECT_EQ(deepPick.scheme, kernels::MatMulScheme::Vrmpy);
+}
+
+TEST(KernelCompilersTest, FixedLoweringCompilersAlwaysUseVrmpy)
+{
+    for (const auto &shape : resnetConvKernels()) {
+        EXPECT_EQ(compileConv(shape, KernelCompiler::Halide).scheme,
+                  kernels::MatMulScheme::Vrmpy);
+        EXPECT_EQ(compileConv(shape, KernelCompiler::Tvm).scheme,
+                  kernels::MatMulScheme::Vrmpy);
+    }
+}
+
+} // namespace
+} // namespace gcd2::baselines

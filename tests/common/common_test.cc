@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Common-utility tests: deterministic RNG, table formatting, logging
+ * macros, geometric means.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace gcd2 {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SeedsProduceDistinctStreams)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-5, 7);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 7);
+    }
+    // Degenerate single-value range.
+    EXPECT_EQ(rng.uniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ByteVectorsCoverTheRange)
+{
+    Rng rng(13);
+    const auto bytes = rng.uint8Vector(4096);
+    int histogram[4] = {0, 0, 0, 0};
+    for (uint8_t b : bytes)
+        ++histogram[b / 64];
+    for (int bucket : histogram)
+        EXPECT_GT(bucket, 4096 / 8);
+}
+
+TEST(TableTest, AlignsColumnsAndValidatesArity)
+{
+    Table table({"a", "bbbb"});
+    table.addRow({"xx", "y"});
+    EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("| a  | bbbb |"), std::string::npos);
+    EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 1u);
+}
+
+TEST(TableTest, Formatters)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+    EXPECT_EQ(fmtSpeedup(2.789), "2.8x");
+    EXPECT_EQ(fmtSpeedup(1.0, 2), "1.00x");
+}
+
+TEST(TableTest, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_THROW(geometricMean({}), FatalError);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), FatalError);
+}
+
+TEST(LoggingTest, MacroSemantics)
+{
+    EXPECT_THROW(GCD2_FATAL("user error " << 42), FatalError);
+    EXPECT_THROW(GCD2_PANIC("bug " << 42), PanicError);
+    EXPECT_NO_THROW(GCD2_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(GCD2_ASSERT(false, "broken"), PanicError);
+    EXPECT_NO_THROW(GCD2_REQUIRE(true, "fine"));
+    EXPECT_THROW(GCD2_REQUIRE(false, "bad input"), FatalError);
+
+    try {
+        GCD2_FATAL("value=" << 7);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace gcd2

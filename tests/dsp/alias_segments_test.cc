@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Segment-based alias disambiguation tests (Program::noaliasRegs).
+ */
+#include <gtest/gtest.h>
+
+#include "dsp/alias.h"
+
+namespace gcd2::dsp {
+namespace {
+
+TEST(AliasSegmentsTest, DeclaredSegmentsNeverAlias)
+{
+    Program prog;
+    prog.noaliasRegs = {1, 2};
+    prog.push(makeVstore(sreg(1), vreg(0), 0));
+    prog.push(makeVload(vreg(1), sreg(2), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_FALSE(alias.mayAlias(0, 1));
+}
+
+TEST(AliasSegmentsTest, DerivedPointersInheritTheSegment)
+{
+    Program prog;
+    prog.noaliasRegs = {1, 2};
+    prog.push(makeMov(sreg(5), sreg(1)));          // r5 <- segment 0
+    prog.push(makeAddi(sreg(6), sreg(2), 128));    // r6 <- segment 1
+    prog.push(makeVstore(sreg(5), vreg(0), 0));
+    prog.push(makeVload(vreg(1), sreg(6), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_FALSE(alias.mayAlias(2, 3));
+}
+
+TEST(AliasSegmentsTest, PointerArithmeticWithOffsetsKeepsSegment)
+{
+    Program prog;
+    prog.noaliasRegs = {1, 2};
+    prog.push(makeMovi(sreg(7), 256));                       // offset
+    prog.push(makeBinary(Opcode::ADD, sreg(8), sreg(1), sreg(7)));
+    prog.push(makeVstore(sreg(8), vreg(0), 0));
+    prog.push(makeVload(vreg(1), sreg(2), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_FALSE(alias.mayAlias(2, 3));
+}
+
+TEST(AliasSegmentsTest, MixedSegmentsAreConservative)
+{
+    Program prog;
+    prog.noaliasRegs = {1, 2};
+    // r9 joins two different segments: unknown.
+    prog.push(makeBinary(Opcode::ADD, sreg(9), sreg(1), sreg(2)));
+    prog.push(makeVstore(sreg(9), vreg(0), 0));
+    prog.push(makeVload(vreg(1), sreg(1), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_TRUE(alias.mayAlias(1, 2));
+}
+
+TEST(AliasSegmentsTest, OverwrittenSeedLosesItsSegment)
+{
+    Program prog;
+    prog.noaliasRegs = {1, 2};
+    prog.push(makeMovi(sreg(1), 0x400)); // r1 no longer the declared base
+    prog.push(makeVstore(sreg(1), vreg(0), 0));
+    prog.push(makeVload(vreg(1), sreg(2), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_TRUE(alias.mayAlias(1, 2));
+}
+
+TEST(AliasSegmentsTest, LoadedValuesAreNotPointers)
+{
+    Program prog;
+    prog.noaliasRegs = {1, 2};
+    prog.push(makeLoad(Opcode::LOADW, sreg(10), sreg(1), 0));
+    prog.push(makeVstore(sreg(10), vreg(0), 0)); // data used as address
+    prog.push(makeVload(vreg(1), sreg(2), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_TRUE(alias.mayAlias(1, 2));
+}
+
+TEST(AliasSegmentsTest, WithoutDeclarationEverythingMayAlias)
+{
+    Program prog;
+    prog.push(makeVstore(sreg(1), vreg(0), 0));
+    prog.push(makeVload(vreg(1), sreg(2), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_TRUE(alias.mayAlias(0, 1));
+}
+
+} // namespace
+} // namespace gcd2::dsp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Dependency-classification tests (Section IV-C of the paper).
+ */
+#include <gtest/gtest.h>
+
+#include "dsp/alias.h"
+#include "dsp/deps.h"
+
+namespace gcd2::dsp {
+namespace {
+
+TEST(DepsTest, ScalarRawIsSoft)
+{
+    // Fig. 4 (a): a load feeding a consumer is a soft dependency.
+    const auto load = makeLoad(Opcode::LOADW, sreg(1), sreg(0), 0);
+    const auto add = makeBinary(Opcode::ADD, sreg(3), sreg(2), sreg(1));
+    const Dependency dep = classifyDependency(load, add, false);
+    EXPECT_EQ(dep.kind, DepKind::Soft);
+    EXPECT_EQ(dep.penalty, 1);
+
+    // Scalar add feeding a store's data: also soft (Fig. 4 (b)).
+    const auto store = makeStore(Opcode::STOREW, sreg(4), sreg(3), 0);
+    const Dependency dep2 = classifyDependency(add, store, false);
+    EXPECT_EQ(dep2.kind, DepKind::Soft);
+}
+
+TEST(DepsTest, ScalarMultiplyRawHasLargerPenalty)
+{
+    const auto mul = makeBinary(Opcode::MUL, sreg(1), sreg(2), sreg(3));
+    const auto use = makeAddi(sreg(4), sreg(1), 1);
+    const Dependency dep = classifyDependency(mul, use, false);
+    EXPECT_EQ(dep.kind, DepKind::Soft);
+    EXPECT_EQ(dep.penalty, 2);
+}
+
+TEST(DepsTest, VectorRawIsHard)
+{
+    const auto vload = makeVload(vreg(1), sreg(0), 0);
+    const auto vadd = makeVecBinary(Opcode::VADDB, vreg(3), vreg(1), vreg(2));
+    EXPECT_EQ(classifyDependency(vload, vadd, false).kind, DepKind::Hard);
+
+    // Accumulator chains (same vrmpy destination) are RAW+WAW: hard.
+    const auto acc1 = makeVrmpy(vreg(4), vreg(1), sreg(2));
+    const auto acc2 = makeVrmpy(vreg(4), vreg(2), sreg(2));
+    EXPECT_EQ(classifyDependency(acc1, acc2, false).kind, DepKind::Hard);
+}
+
+TEST(DepsTest, PairRegistersOverlap)
+{
+    // vmpy writes v6 and v7; a reader of v7 has a hard RAW.
+    const auto mpy = makeVmpy(Opcode::VMPY, vreg(6), vreg(1), sreg(2));
+    const auto use = makeVecBinary(Opcode::VADDH, vreg(8), vreg(7), vreg(3));
+    EXPECT_EQ(classifyDependency(mpy, use, false).kind, DepKind::Hard);
+
+    // vmpa reads a pair source: v4 and v5.
+    const auto writer = makeVload(vreg(5), sreg(0), 0);
+    const auto mpa = makeVmpa(Opcode::VMPA, vreg(8), vreg(4), sreg(2));
+    EXPECT_EQ(classifyDependency(writer, mpa, false).kind, DepKind::Hard);
+}
+
+TEST(DepsTest, WawIsHardWarIsFreeSoft)
+{
+    const auto w1 = makeMovi(sreg(1), 1);
+    const auto w2 = makeMovi(sreg(1), 2);
+    EXPECT_EQ(classifyDependency(w1, w2, false).kind, DepKind::Hard);
+
+    const auto read = makeAddi(sreg(2), sreg(1), 0);
+    const auto write = makeMovi(sreg(1), 3);
+    const Dependency war = classifyDependency(read, write, false);
+    EXPECT_EQ(war.kind, DepKind::Soft);
+    EXPECT_EQ(war.penalty, 0);
+}
+
+TEST(DepsTest, IndependentInstructionsHaveNoDependency)
+{
+    const auto a = makeBinary(Opcode::ADD, sreg(1), sreg(2), sreg(3));
+    const auto b = makeBinary(Opcode::ADD, sreg(4), sreg(5), sreg(6));
+    EXPECT_EQ(classifyDependency(a, b, false).kind, DepKind::None);
+}
+
+TEST(DepsTest, MemoryOrderingRespectsAliasInfo)
+{
+    const auto store = makeStore(Opcode::STOREW, sreg(1), sreg(2), 0);
+    const auto load = makeLoad(Opcode::LOADW, sreg(3), sreg(1), 0);
+    EXPECT_EQ(classifyDependency(store, load, true).kind, DepKind::Hard);
+    EXPECT_EQ(classifyDependency(store, load, false).kind, DepKind::None);
+
+    // Loads never conflict with loads.
+    const auto load2 = makeLoad(Opcode::LOADW, sreg(4), sreg(1), 0);
+    EXPECT_EQ(classifyDependency(load, load2, true).kind, DepKind::None);
+}
+
+TEST(AliasTest, SameBaseDisjointOffsetsDoNotAlias)
+{
+    Program prog;
+    prog.push(makeVstore(sreg(1), vreg(2), 0));
+    prog.push(makeVload(vreg(3), sreg(1), kVectorBytes)); // disjoint
+    prog.push(makeVload(vreg(4), sreg(1), 64));           // overlaps store
+    AliasAnalysis alias(prog);
+    EXPECT_FALSE(alias.mayAlias(0, 1));
+    EXPECT_TRUE(alias.mayAlias(0, 2));
+}
+
+TEST(AliasTest, RedefinedBaseIsConservative)
+{
+    Program prog;
+    prog.push(makeVstore(sreg(1), vreg(2), 0));
+    prog.push(makeAddi(sreg(1), sreg(1), 512));
+    prog.push(makeVload(vreg(3), sreg(1), kVectorBytes));
+    AliasAnalysis alias(prog);
+    // Base changed between the accesses: must assume aliasing.
+    EXPECT_TRUE(alias.mayAlias(0, 2));
+}
+
+TEST(AliasTest, DifferentBasesAreConservative)
+{
+    Program prog;
+    prog.push(makeVstore(sreg(1), vreg(2), 0));
+    prog.push(makeVload(vreg(3), sreg(2), 0));
+    AliasAnalysis alias(prog);
+    EXPECT_TRUE(alias.mayAlias(0, 1));
+}
+
+} // namespace
+} // namespace gcd2::dsp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Timing-model tests: soft-dependency stalls and cross-packet register
+ * interlocks must match the paper's Fig. 4 examples exactly.
+ */
+#include <gtest/gtest.h>
+
+#include "dsp/timing_sim.h"
+
+namespace gcd2::dsp {
+namespace {
+
+/** Build a trivially packed program: each instruction alone. */
+PackedProgram
+onePerPacket(const Program &prog)
+{
+    PackedProgram packed;
+    packed.program = prog;
+    for (size_t i = 0; i < prog.code.size(); ++i)
+        packed.packets.push_back(Packet{{i}});
+    packed.labelPacket.assign(prog.labels.size(), 0);
+    for (size_t l = 0; l < prog.labels.size(); ++l)
+        packed.labelPacket[l] = prog.labels[l];
+    return packed;
+}
+
+TEST(TimingSimTest, Fig4LoadUsePackedTakesFourCycles)
+{
+    // Fig. 4 (a): load (3 cycles) + dependent add (3 cycles). Packed
+    // together: 4 cycles. Split into two packets: 6 cycles.
+    Program prog;
+    prog.push(makeLoad(Opcode::LOADW, sreg(1), sreg(0), 0));
+    prog.push(makeBinary(Opcode::ADD, sreg(3), sreg(2), sreg(1)));
+
+    Memory mem(256);
+
+    PackedProgram together;
+    together.program = prog;
+    together.packets.push_back(Packet{{0, 1}});
+    TimingSimulator simTogether(mem);
+    const TimingStats packedStats = simTogether.run(together, true);
+    EXPECT_EQ(packedStats.cycles, 4u);
+    EXPECT_EQ(packedStats.stallCycles, 1u);
+
+    TimingSimulator simSplit(mem);
+    const TimingStats splitStats = simSplit.run(onePerPacket(prog), true);
+    EXPECT_EQ(splitStats.cycles, 6u);
+    // Split across packets the consumer waits out the load's write-back:
+    // two interlock stall cycles.
+    EXPECT_EQ(splitStats.stallCycles, 2u);
+}
+
+TEST(TimingSimTest, Fig4StoreAfterWritePackedTakesFourCycles)
+{
+    // Fig. 4 (b): add computing r3 + store of r3.
+    Program prog;
+    prog.push(makeBinary(Opcode::ADD, sreg(3), sreg(1), sreg(2)));
+    prog.push(makeStore(Opcode::STOREW, sreg(4), sreg(3), 0));
+
+    Memory mem(256);
+    PackedProgram together;
+    together.program = prog;
+    together.packets.push_back(Packet{{0, 1}});
+    TimingSimulator sim(mem);
+    EXPECT_EQ(sim.run(together, true).cycles, 4u);
+}
+
+TEST(TimingSimTest, SoftDependencyChainsAccumulate)
+{
+    // r1 -> r2 -> r3 chained adds in one packet: 3 + 1 + 1 = 5 cycles.
+    Program prog;
+    prog.push(makeAddi(sreg(1), sreg(0), 1));
+    prog.push(makeAddi(sreg(2), sreg(1), 1));
+    prog.push(makeAddi(sreg(3), sreg(2), 1));
+
+    Memory mem(64);
+    PackedProgram packed;
+    packed.program = prog;
+    packed.packets.push_back(Packet{{0, 1, 2}});
+    TimingSimulator sim(mem);
+    const TimingStats stats = sim.run(packed, true);
+    EXPECT_EQ(stats.cycles, 5u);
+    // Cumulative overlap delays: +1 for the second add, +2 for the third.
+    EXPECT_EQ(stats.stallCycles, 3u);
+    EXPECT_EQ(sim.regs().scalar[3], 3u);
+}
+
+TEST(TimingSimTest, IndependentPacketCostIsMaxLatency)
+{
+    Program prog;
+    prog.push(makeMovi(sreg(1), 1));                            // lat 3
+    prog.push(makeBinary(Opcode::MUL, sreg(2), sreg(3), sreg(4))); // lat 4
+    prog.push(makeMovi(sreg(5), 2));                            // lat 3
+
+    Memory mem(64);
+    PackedProgram packed;
+    packed.program = prog;
+    packed.packets.push_back(Packet{{0, 1, 2}});
+    TimingSimulator sim(mem);
+    EXPECT_EQ(sim.run(packed, true).cycles, 4u);
+}
+
+TEST(TimingSimTest, LoopTimingCountsEveryIteration)
+{
+    Program prog;
+    const int loop = prog.newLabel();
+    prog.push(makeMovi(sreg(1), 5));
+    prog.bindLabel(loop);
+    prog.push(makeAddi(sreg(1), sreg(1), -1));
+    prog.push(makeJumpNz(sreg(1), loop));
+
+    // Packets: {movi}, {addi, jumpnz} -- the branch soft-depends on the
+    // addi (penalty 1), so the loop packet costs max(3, 1+2) = 3.
+    PackedProgram packed;
+    packed.program = prog;
+    packed.packets.push_back(Packet{{0}});
+    packed.packets.push_back(Packet{{1, 2}});
+    packed.labelPacket = {1};
+
+    Memory mem(64);
+    TimingSimulator sim(mem);
+    const TimingStats stats = sim.run(packed, true);
+    EXPECT_EQ(stats.packetsExecuted, 1u + 5u);
+    EXPECT_EQ(stats.cycles, 3u + 5u * 3u);
+    EXPECT_EQ(sim.regs().scalar[1], 0u);
+}
+
+TEST(TimingSimTest, UtilizationAndBandwidthCounters)
+{
+    Program prog;
+    prog.push(makeVload(vreg(1), sreg(0), 0));
+    prog.push(makeVload(vreg(2), sreg(0), 128));
+    prog.push(makeVstore(sreg(0), vreg(3), 256));
+
+    Memory mem(1024);
+    PackedProgram packed;
+    packed.program = prog;
+    packed.packets.push_back(Packet{{0, 1}});
+    packed.packets.push_back(Packet{{2}});
+    TimingSimulator sim(mem);
+    const TimingStats stats = sim.run(packed, true);
+    EXPECT_EQ(stats.bytesLoaded, 256u);
+    EXPECT_EQ(stats.bytesStored, 128u);
+    EXPECT_EQ(stats.instructionsExecuted, 3u);
+    EXPECT_DOUBLE_EQ(stats.slotUtilization(), 3.0 / 8.0);
+    EXPECT_GT(stats.memoryBandwidth(), 0.0);
+}
+
+TEST(TimingSimTest, ValidationRejectsHardDepInPacket)
+{
+    Program prog;
+    prog.push(makeVload(vreg(1), sreg(0), 0));
+    prog.push(makeVecBinary(Opcode::VADDB, vreg(2), vreg(1), vreg(3)));
+
+    PackedProgram bad;
+    bad.program = prog;
+    bad.packets.push_back(Packet{{0, 1}});
+    EXPECT_THROW(validatePackedProgram(bad), PanicError);
+}
+
+TEST(TimingSimTest, ValidationRejectsMissingInstruction)
+{
+    Program prog;
+    prog.push(makeMovi(sreg(1), 1));
+    prog.push(makeMovi(sreg(2), 2));
+
+    PackedProgram bad;
+    bad.program = prog;
+    bad.packets.push_back(Packet{{0}});
+    EXPECT_THROW(validatePackedProgram(bad), PanicError);
+}
+
+} // namespace
+} // namespace gcd2::dsp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sub-graph extraction tests (the Fig. 10 methodology).
+ */
+#include <gtest/gtest.h>
+
+#include "graph/subgraph.h"
+#include "models/zoo.h"
+
+namespace gcd2::graph {
+namespace {
+
+TEST(SubgraphTest, WindowHasRequestedOperatorCount)
+{
+    const Graph resnet = models::buildModel(models::ModelId::ResNet50);
+    for (int64_t count : {1, 5, 10, 25}) {
+        const Graph sub = extractOperatorWindow(resnet, 4, count);
+        EXPECT_EQ(sub.operatorCount(), count) << "window size " << count;
+    }
+}
+
+TEST(SubgraphTest, WindowIsSelfContained)
+{
+    const Graph resnet = models::buildModel(models::ModelId::ResNet50);
+    const Graph sub = extractOperatorWindow(resnet, 0, 12);
+
+    int outputs = 0;
+    for (const Node &node : sub.nodes()) {
+        if (node.dead)
+            continue;
+        EXPECT_GT(node.shape.elements(), 0) << node.name;
+        if (node.op == OpType::Output)
+            ++outputs;
+        for (NodeId in : node.inputs)
+            EXPECT_LT(in, node.id);
+    }
+    EXPECT_GE(outputs, 1);
+}
+
+TEST(SubgraphTest, BoundaryValuesBecomeInputs)
+{
+    const Graph resnet = models::buildModel(models::ModelId::ResNet50);
+    // A window starting mid-network must materialize its incoming
+    // activations as Input nodes with the producer's shape.
+    const Graph sub = extractOperatorWindow(resnet, 10, 5);
+    int inputs = 0;
+    for (const Node &node : sub.nodes())
+        if (!node.dead && node.op == OpType::Input)
+            ++inputs;
+    EXPECT_GE(inputs, 1);
+}
+
+TEST(SubgraphTest, OutOfRangeWindowIsRejected)
+{
+    const Graph resnet = models::buildModel(models::ModelId::ResNet50);
+    EXPECT_THROW(extractOperatorWindow(resnet, 0, 100000), FatalError);
+}
+
+TEST(SubgraphTest, MacsAreASubsetOfTheParent)
+{
+    const Graph resnet = models::buildModel(models::ModelId::ResNet50);
+    const Graph sub = extractOperatorWindow(resnet, 4, 20);
+    EXPECT_GT(sub.totalMacs(), 0);
+    EXPECT_LT(sub.totalMacs(), resnet.totalMacs());
+}
+
+} // namespace
+} // namespace gcd2::graph

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Integration tests: multi-operator pipelines executed *functionally*
+ * through packed kernels on the simulator, including the host-visible
+ * layout transformations between stages -- the end-to-end data path a
+ * compiled model would take, verified against pure host references.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernels/conv.h"
+#include "kernels/elementwise.h"
+#include "kernels/runner.h"
+#include "tensor/layout.h"
+
+namespace gcd2 {
+namespace {
+
+using kernels::ConvKernel;
+using kernels::ConvShape;
+using kernels::ElementwiseKernel;
+using kernels::EwConfig;
+using kernels::EwOp;
+using kernels::MatMulConfig;
+using kernels::MatMulScheme;
+
+/** Run a conv kernel, returning the NCHW uint8 output. */
+std::vector<uint8_t>
+runConv(const ConvShape &shape, const MatMulConfig &config,
+        const uint8_t *input, const int8_t *filters)
+{
+    const ConvKernel kernel(shape, config);
+    const auto packedIn = kernel.packInput(input);
+    const auto packedW = kernel.packWeights(filters);
+    const auto raw = kernels::runKernel(kernel.program(), kernel.buffers(),
+                                        packedIn, packedW, {},
+                                        /*validate=*/true);
+    return kernel.unpackOutput(raw.output.data());
+}
+
+std::vector<uint8_t>
+runAdd(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    EwConfig config;
+    config.op = EwOp::Add;
+    config.length = static_cast<int64_t>(a.size());
+    const ElementwiseKernel kernel(config);
+    const auto raw = kernels::runKernel(
+        kernel.program(), kernel.buffers(), kernel.packInput(a.data()),
+        kernel.packSecond(b.data()), {}, /*validate=*/true);
+    return kernel.unpackOutput(raw.output.data());
+}
+
+TEST(PipelineTest, ConvAddConvResidualBlockMatchesHostReference)
+{
+    // conv1 -> (residual avg with input') -> conv2, every stage executed
+    // as packed DSP code; the host reference composes the per-kernel
+    // exact references the same way the runtime composes kernels.
+    ConvShape conv1;
+    conv1.inC = 8;
+    conv1.inH = conv1.inW = 12;
+    conv1.outC = 8;
+    conv1.kH = conv1.kW = 3;
+    conv1.padH = conv1.padW = 1;
+
+    ConvShape conv2 = conv1;
+
+    MatMulConfig config;
+    config.scheme = MatMulScheme::Vrmpy;
+    config.shiftWordHalf = 8;
+    config.shiftHalfByte = 4;
+
+    Rng rng(77);
+    const auto input = rng.uint8Vector(
+        static_cast<size_t>(conv1.inC * conv1.inH * conv1.inW));
+    const auto w1 = rng.int8Vector(static_cast<size_t>(
+        conv1.outC * conv1.inC * conv1.kH * conv1.kW));
+    const auto w2 = rng.int8Vector(static_cast<size_t>(
+        conv2.outC * conv2.inC * conv2.kH * conv2.kW));
+
+    // Simulated pipeline.
+    const auto y1 = runConv(conv1, config, input.data(), w1.data());
+    const auto sum = runAdd(y1, input); // same shape: residual merge
+    const auto y2 = runConv(conv2, config, sum.data(), w2.data());
+
+    // Host reference pipeline.
+    const auto r1 =
+        ConvKernel::reference(input.data(), w1.data(), conv1, config);
+    EwConfig addCfg;
+    addCfg.op = EwOp::Add;
+    addCfg.length = static_cast<int64_t>(r1.size());
+    const auto rsum =
+        ElementwiseKernel::reference(r1.data(), input.data(), addCfg);
+    const auto r2 =
+        ConvKernel::reference(rsum.data(), w2.data(), conv2, config);
+
+    EXPECT_EQ(y2, r2);
+}
+
+TEST(PipelineTest, MixedSchemePipelineWithLayoutTransform)
+{
+    // Stage 1 produces a 2-column tensor (vmpa); stage 2 consumes
+    // 4-column (vrmpy). Verify that transforming the packed intermediate
+    // directly between layouts -- the data movement the global optimizer
+    // prices as TC -- preserves the pipeline result exactly.
+    const kernels::MatMulShape stage1{64, 48, 40};
+    const kernels::MatMulShape stage2{64, 40, 24};
+
+    MatMulConfig vmpaCfg;
+    vmpaCfg.scheme = MatMulScheme::Vmpa;
+    MatMulConfig vrmpyCfg;
+    vrmpyCfg.scheme = MatMulScheme::Vrmpy;
+
+    Rng rng(99);
+    const auto a =
+        rng.uint8Vector(static_cast<size_t>(stage1.m * stage1.k));
+    const auto w1 =
+        rng.int8Vector(static_cast<size_t>(stage1.k * stage1.n));
+    const auto w2 =
+        rng.int8Vector(static_cast<size_t>(stage2.k * stage2.n));
+
+    // Stage 1 on the simulator (vmpa kernel, 2-column output).
+    const kernels::MatMulKernel k1(stage1, vmpaCfg);
+    const auto run1 = kernels::runMatMul(k1, a.data(), w1.data(), {}, true);
+
+    // Host-side re-pack of the row-major intermediate mirrors the packed
+    // transform (transformMatrix is the same permutation the TC models).
+    std::vector<int8_t> asTwoCol;
+    tensor::packMatrix(
+        reinterpret_cast<const int8_t *>(run1.output.data()), stage1.m,
+        stage1.n, tensor::Layout::TwoColumn, asTwoCol);
+    std::vector<int8_t> asFourCol;
+    tensor::transformMatrix(asTwoCol.data(), stage1.m, stage1.n,
+                            tensor::Layout::TwoColumn,
+                            tensor::Layout::FourColumn, asFourCol);
+    std::vector<int8_t> roundTrip;
+    tensor::unpackMatrix(asFourCol.data(), stage1.m, stage1.n,
+                         tensor::Layout::FourColumn, roundTrip);
+    ASSERT_EQ(0, std::memcmp(roundTrip.data(), run1.output.data(),
+                             roundTrip.size()));
+
+    // Stage 2 consumes the transformed tensor.
+    const kernels::MatMulKernel k2(stage2, vrmpyCfg);
+    const auto run2 = kernels::runMatMul(
+        k2, reinterpret_cast<const uint8_t *>(roundTrip.data()), w2.data(),
+        {}, true);
+
+    const auto ref1 = kernels::MatMulKernel::reference(a.data(), w1.data(),
+                                                       stage1, vmpaCfg);
+    const auto ref2 = kernels::MatMulKernel::reference(
+        ref1.data(), w2.data(), stage2, vrmpyCfg);
+    EXPECT_EQ(run2.output, ref2);
+}
+
+TEST(PipelineTest, DepthwiseThenPointwiseSeparableBlock)
+{
+    // MobileNet-style separable block: depthwise 3x3 stride 2 then a
+    // pointwise conv, both simulated.
+    kernels::DepthwiseConfig dw;
+    dw.channels = 4;
+    dw.inH = 9;
+    dw.inW = 64;
+    const kernels::DepthwiseKernel dwKernel(dw);
+
+    Rng rng(55);
+    const auto input = rng.uint8Vector(
+        static_cast<size_t>(dw.channels * dw.inH * dw.inW));
+    const auto filters =
+        rng.int8Vector(static_cast<size_t>(dw.channels * 9));
+    const auto pwFilters =
+        rng.int8Vector(static_cast<size_t>(12 * dw.channels));
+
+    const auto rawDw = kernels::runKernel(
+        dwKernel.program(), dwKernel.buffers(),
+        dwKernel.packInput(input.data()),
+        dwKernel.packWeights(filters.data()), {}, true);
+    const auto dwOut = dwKernel.unpackOutput(rawDw.output.data());
+
+    ConvShape pw;
+    pw.inC = dw.channels;
+    pw.inH = dw.outH();
+    pw.inW = dw.outW();
+    pw.outC = 12;
+    MatMulConfig config;
+    config.scheme = MatMulScheme::Vmpa;
+    const auto out = runConv(pw, config, dwOut.data(), pwFilters.data());
+
+    // Host reference composition.
+    const auto dwRef = kernels::DepthwiseKernel::reference(
+        input.data(), filters.data(), dw);
+    const auto ref = ConvKernel::reference(dwRef.data(), pwFilters.data(),
+                                           pw, config);
+    EXPECT_EQ(out, ref);
+}
+
+} // namespace
+} // namespace gcd2

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Conv2D (im2col + matmul) and depthwise (vtmpy) kernel correctness.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernels/conv.h"
+#include "kernels/runner.h"
+#include "kernels/unroll.h"
+
+namespace gcd2::kernels {
+namespace {
+
+struct ConvOperands
+{
+    std::vector<uint8_t> input;  // NCHW
+    std::vector<int8_t> filters; // OIHW
+};
+
+ConvOperands
+makeConvOperands(const ConvShape &shape, uint64_t seed)
+{
+    Rng rng(seed);
+    ConvOperands ops;
+    ops.input = rng.uint8Vector(
+        static_cast<size_t>(shape.inC * shape.inH * shape.inW));
+    ops.filters = rng.int8Vector(
+        static_cast<size_t>(shape.outC * shape.inC * shape.kH * shape.kW));
+    return ops;
+}
+
+void
+expectConvMatches(const ConvShape &shape, MatMulScheme scheme,
+                  uint64_t seed)
+{
+    MatMulConfig config;
+    config.scheme = scheme;
+    config.shiftWordHalf = 8;
+    config.shiftHalfByte = 4;
+    const ConvKernel kernel(shape, config);
+    const ConvOperands ops = makeConvOperands(shape, seed);
+
+    const auto input = kernel.packInput(ops.input.data());
+    const auto weights = kernel.packWeights(ops.filters.data());
+    const KernelRunResult raw =
+        runKernel(kernel.program(), kernel.buffers(), input, weights, {},
+                  /*validate=*/true);
+    const auto got = kernel.unpackOutput(raw.output.data());
+    const auto expect = ConvKernel::reference(ops.input.data(),
+                                              ops.filters.data(), shape,
+                                              config);
+    EXPECT_EQ(got, expect) << schemeName(scheme);
+}
+
+TEST(ConvTest, PointwiseConvMatchesReference)
+{
+    ConvShape shape;
+    shape.inC = 16;
+    shape.inH = 8;
+    shape.inW = 8;
+    shape.outC = 24;
+    for (MatMulScheme scheme :
+         {MatMulScheme::Vmpy, MatMulScheme::Vmpa, MatMulScheme::Vrmpy})
+        expectConvMatches(shape, scheme, 11);
+}
+
+TEST(ConvTest, ThreeByThreeStridedPaddedConvMatchesReference)
+{
+    ConvShape shape;
+    shape.inC = 8;
+    shape.inH = 14;
+    shape.inW = 14;
+    shape.outC = 12;
+    shape.kH = 3;
+    shape.kW = 3;
+    shape.strideH = 2;
+    shape.strideW = 2;
+    shape.padH = 1;
+    shape.padW = 1;
+    for (MatMulScheme scheme :
+         {MatMulScheme::Vmpy, MatMulScheme::Vmpa, MatMulScheme::Vrmpy})
+        expectConvMatches(shape, scheme, 13);
+}
+
+TEST(ConvTest, SevenBySevenInputStemMatchesReference)
+{
+    // ResNet-style stem: 3 input channels, 7x7 kernel, stride 2.
+    ConvShape shape;
+    shape.inC = 3;
+    shape.inH = 16;
+    shape.inW = 16;
+    shape.outC = 8;
+    shape.kH = 7;
+    shape.kW = 7;
+    shape.strideH = 2;
+    shape.strideW = 2;
+    shape.padH = 3;
+    shape.padW = 3;
+    expectConvMatches(shape, MatMulScheme::Vrmpy, 17);
+}
+
+TEST(ConvTest, ShapeArithmetic)
+{
+    ConvShape shape;
+    shape.inC = 64;
+    shape.inH = 56;
+    shape.inW = 56;
+    shape.outC = 64;
+    shape.kH = 1;
+    shape.kW = 1;
+    EXPECT_TRUE(shape.isPointwise());
+    EXPECT_EQ(shape.outH(), 56);
+    EXPECT_EQ(shape.matmulShape().m, 56 * 56);
+    EXPECT_EQ(shape.matmulShape().k, 64);
+    EXPECT_EQ(shape.macs(), 56LL * 56 * 64 * 64);
+
+    const ConvKernel pointwise(shape, MatMulConfig{});
+    EXPECT_EQ(pointwise.im2colCycles(), 0u);
+
+    shape.kH = shape.kW = 3;
+    shape.padH = shape.padW = 1;
+    EXPECT_FALSE(shape.isPointwise());
+    const ConvKernel padded(shape, MatMulConfig{});
+    EXPECT_GT(padded.im2colCycles(), 0u);
+}
+
+class DepthwiseStride : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DepthwiseStride, MatchesReferenceAcrossWidths)
+{
+    for (int64_t inW : {64, 200, 256}) {
+        DepthwiseConfig config;
+        config.stride = GetParam();
+        config.channels = 3;
+        config.inH = 9;
+        config.inW = inW;
+        config.shift16 = 5;
+
+        Rng rng(static_cast<uint64_t>(inW) * 10 +
+                static_cast<uint64_t>(config.stride));
+        const auto input = rng.uint8Vector(static_cast<size_t>(
+            config.channels * config.inH * config.inW));
+        const auto filters =
+            rng.int8Vector(static_cast<size_t>(config.channels * 9));
+
+        const DepthwiseKernel kernel(config);
+        const auto raw = runKernel(kernel.program(), kernel.buffers(),
+                                   kernel.packInput(input.data()),
+                                   kernel.packWeights(filters.data()), {},
+                                   /*validate=*/true);
+        EXPECT_EQ(kernel.unpackOutput(raw.output.data()),
+                  DepthwiseKernel::reference(input.data(), filters.data(),
+                                             config))
+            << "stride " << config.stride << " width " << inW;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, DepthwiseStride, ::testing::Values(1, 2),
+                         [](const auto &info) {
+                             return "stride" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(DepthwiseTest, StrideOneCostsMoreThanStrideTwoPerOutputRow)
+{
+    // The even/odd double pass roughly doubles the per-tile work but also
+    // produces twice the outputs: cycles per output element stay similar.
+    auto cyclesFor = [](int stride) {
+        DepthwiseConfig config;
+        config.stride = stride;
+        config.channels = 2;
+        config.inH = stride == 2 ? 11 : 7;
+        config.inW = 256;
+        const DepthwiseKernel kernel(config);
+        const auto raw = runKernel(kernel.program(), kernel.buffers(), {},
+                                   {}, {});
+        return static_cast<double>(raw.stats.cycles) /
+               static_cast<double>(config.outH() * config.outW() *
+                                   config.channels);
+    };
+    const double perOut1 = cyclesFor(1);
+    const double perOut2 = cyclesFor(2);
+    EXPECT_LT(perOut1, 2.0 * perOut2);
+    EXPECT_GT(perOut1, 0.5 * perOut2);
+}
+
+TEST(DepthwiseTest, MatchesReference)
+{
+    DepthwiseConfig config;
+    config.channels = 6;
+    config.inH = 11;
+    config.inW = 200;
+    config.shift16 = 6;
+
+    Rng rng(23);
+    const auto input = rng.uint8Vector(
+        static_cast<size_t>(config.channels * config.inH * config.inW));
+    const auto filters =
+        rng.int8Vector(static_cast<size_t>(config.channels * 9));
+
+    const DepthwiseKernel kernel(config);
+    const auto packedIn = kernel.packInput(input.data());
+    const auto packedW = kernel.packWeights(filters.data());
+    const KernelRunResult raw =
+        runKernel(kernel.program(), kernel.buffers(), packedIn, packedW,
+                  {}, /*validate=*/true);
+    const auto got = kernel.unpackOutput(raw.output.data());
+    const auto expect = DepthwiseKernel::reference(
+        input.data(), filters.data(), config);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(DepthwiseTest, UnrolledRowsStayCorrect)
+{
+    DepthwiseConfig config;
+    config.channels = 3;
+    config.inH = 19; // outH = 9, not divisible by 2
+    config.inW = 128;
+    EXPECT_THROW((DepthwiseKernel{[&] {
+                     auto c = config;
+                     c.unrollRows = 2;
+                     return c;
+                 }()}),
+                 FatalError);
+
+    config.inH = 21; // outH = 10
+    config.unrollRows = 2;
+    Rng rng(29);
+    const auto input = rng.uint8Vector(
+        static_cast<size_t>(config.channels * config.inH * config.inW));
+    const auto filters =
+        rng.int8Vector(static_cast<size_t>(config.channels * 9));
+    const DepthwiseKernel kernel(config);
+    const auto raw = runKernel(kernel.program(), kernel.buffers(),
+                               kernel.packInput(input.data()),
+                               kernel.packWeights(filters.data()), {},
+                               true);
+    EXPECT_EQ(kernel.unpackOutput(raw.output.data()),
+              DepthwiseKernel::reference(input.data(), filters.data(),
+                                         config));
+}
+
+TEST(UnrollTest, ShapeClassification)
+{
+    EXPECT_EQ(classifyOutputShape(1024, 32), OutputShapeClass::Skinny);
+    EXPECT_EQ(classifyOutputShape(32, 1024), OutputShapeClass::Fat);
+    EXPECT_EQ(classifyOutputShape(128, 128), OutputShapeClass::NearSquare);
+    EXPECT_EQ(classifyOutputShape(128, 256), OutputShapeClass::NearSquare);
+}
+
+TEST(UnrollTest, AdaptiveChoiceRespectsBudgets)
+{
+    // Fat output on vrmpy: wide column tiles but never beyond the
+    // no-spill budget.
+    const UnrollChoice fat =
+        adaptiveUnroll(MatMulShape{32, 64, 2048}, MatMulScheme::Vrmpy);
+    EXPECT_LE(fat.cols, 4);
+    EXPECT_GT(fat.cols, 1);
+
+    // Tiny output: never unroll past the problem size.
+    const UnrollChoice tiny =
+        adaptiveUnroll(MatMulShape{16, 4, 2}, MatMulScheme::Vmpy);
+    EXPECT_LE(tiny.cols, 2);
+    EXPECT_LE(tiny.k, 4);
+
+    // Near-square lands on the paper's 4-4.
+    const UnrollChoice square =
+        adaptiveUnroll(MatMulShape{256, 256, 256}, MatMulScheme::Vmpy);
+    EXPECT_EQ(square.cols, 4);
+    EXPECT_EQ(square.k, 4);
+}
+
+TEST(UnrollTest, AdaptiveBeatsNoUnrollOnNearSquare)
+{
+    const MatMulShape shape{128, 64, 64};
+    Rng rng(5);
+    const auto a =
+        rng.uint8Vector(static_cast<size_t>(shape.m * shape.k));
+    const auto w = rng.int8Vector(static_cast<size_t>(shape.k * shape.n));
+
+    MatMulConfig base;
+    base.scheme = MatMulScheme::Vrmpy;
+
+    const MatMulKernel plain(shape, base);
+    const MatMulKernel adaptive(
+        shape, withUnroll(base, adaptiveUnroll(shape, base.scheme)));
+
+    const auto plainRun = runMatMul(plain, a.data(), w.data());
+    const auto adaptiveRun = runMatMul(adaptive, a.data(), w.data());
+    EXPECT_EQ(plainRun.output, adaptiveRun.output);
+    EXPECT_LT(adaptiveRun.stats.cycles, plainRun.stats.cycles);
+}
+
+} // namespace
+} // namespace gcd2::kernels

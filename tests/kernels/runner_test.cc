@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Kernel-runner harness tests: buffer layout guards, determinism, and
+ * packing-policy invariance of results.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernels/elementwise.h"
+#include "kernels/runner.h"
+
+namespace gcd2::kernels {
+namespace {
+
+TEST(RunnerTest, RejectsOversizedInputs)
+{
+    EwConfig config;
+    config.op = EwOp::Requant;
+    config.length = 128;
+    const ElementwiseKernel kernel(config);
+
+    const std::vector<uint8_t> tooBig(
+        static_cast<size_t>(kernel.buffers().inputBytes) + 1, 0);
+    EXPECT_THROW(runKernel(kernel.program(), kernel.buffers(), tooBig, {}),
+                 FatalError);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns)
+{
+    const MatMulShape shape{64, 32, 16};
+    const MatMulKernel kernel(shape, {});
+    Rng rng(1);
+    const auto a = rng.uint8Vector(static_cast<size_t>(shape.m * shape.k));
+    const auto w = rng.int8Vector(static_cast<size_t>(shape.k * shape.n));
+
+    const auto first = runMatMul(kernel, a.data(), w.data());
+    const auto second = runMatMul(kernel, a.data(), w.data());
+    EXPECT_EQ(first.output, second.output);
+    EXPECT_EQ(first.stats.cycles, second.stats.cycles);
+    EXPECT_EQ(first.stats.packetsExecuted, second.stats.packetsExecuted);
+}
+
+TEST(RunnerTest, PackingPolicyNeverChangesResults)
+{
+    // Cycles differ by policy; architectural results may not.
+    EwConfig config;
+    config.op = EwOp::Clamp;
+    config.length = 777;
+    config.clampLo = 10;
+    config.clampHi = 240;
+    const ElementwiseKernel kernel(config);
+
+    Rng rng(9);
+    const auto a = rng.uint8Vector(777);
+    const auto packedIn = kernel.packInput(a.data());
+
+    std::vector<uint8_t> reference;
+    for (vliw::PackPolicy policy :
+         {vliw::PackPolicy::Sda, vliw::PackPolicy::SoftToHard,
+          vliw::PackPolicy::SoftToNone, vliw::PackPolicy::InOrder,
+          vliw::PackPolicy::ListSched}) {
+        vliw::PackOptions opts;
+        opts.policy = policy;
+        const auto raw = runKernel(kernel.program(), kernel.buffers(),
+                                   packedIn, {}, opts, /*validate=*/true);
+        const auto out = kernel.unpackOutput(raw.output.data());
+        if (reference.empty())
+            reference = out;
+        else
+            EXPECT_EQ(out, reference) << vliw::packPolicyName(policy);
+    }
+}
+
+TEST(RunnerTest, StatsAccountInstructionsAndBytes)
+{
+    EwConfig config;
+    config.op = EwOp::Add;
+    config.length = 1024;
+    const ElementwiseKernel kernel(config);
+    Rng rng(4);
+    const auto a = rng.uint8Vector(1024);
+    const auto b = rng.uint8Vector(1024);
+
+    const auto raw = runKernel(kernel.program(), kernel.buffers(),
+                               kernel.packInput(a.data()),
+                               kernel.packSecond(b.data()));
+    // Two operand streams in, one out.
+    EXPECT_GE(raw.stats.bytesLoaded, 2 * 1024u);
+    EXPECT_GE(raw.stats.bytesStored, 1024u);
+    EXPECT_GT(raw.stats.instructionsExecuted, 0u);
+    EXPECT_GE(raw.staticInstructions, 10u);
+    EXPECT_LE(raw.staticPackets, raw.staticInstructions);
+}
+
+} // namespace
+} // namespace gcd2::kernels

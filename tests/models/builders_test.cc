@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Block-builder tests: the structural helpers the zoo composes (SE,
+ * bottleneck, inverted residual, transformer layer) must produce the
+ * canonical operator patterns and shapes.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/passes.h"
+#include "models/builders.h"
+
+namespace gcd2::models {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::OpType;
+
+int
+countOps(const Graph &g, OpType type)
+{
+    int count = 0;
+    for (const auto &node : g.nodes())
+        if (!node.dead && node.op == type)
+            ++count;
+    return count;
+}
+
+TEST(BuildersTest, SqueezeExciteShapePreservingGate)
+{
+    Graph g;
+    NodeId x = input(g, {32, 14, 14});
+    NodeId se = squeezeExcite(g, x, 32, 8);
+    g.add(OpType::Output, {se});
+    graph::inferShapes(g);
+
+    EXPECT_EQ(g.node(se).shape, tensor::Shape({32, 14, 14}));
+    EXPECT_EQ(countOps(g, OpType::GlobalAvgPool), 1);
+    EXPECT_EQ(countOps(g, OpType::Sigmoid), 1);
+    EXPECT_EQ(countOps(g, OpType::Mul), 1);
+    EXPECT_EQ(countOps(g, OpType::Conv2D), 2); // squeeze + expand
+}
+
+TEST(BuildersTest, BottleneckShortcutAppearsOnlyWhenNeeded)
+{
+    // Same channels, stride 1: identity shortcut, 3 convs.
+    Graph g1;
+    NodeId x1 = input(g1, {64, 8, 8});
+    bottleneck(g1, x1, 64, 16, 64, 1);
+    g1.add(OpType::Output, {static_cast<NodeId>(g1.size() - 1)});
+    graph::inferShapes(g1);
+    EXPECT_EQ(countOps(g1, OpType::Conv2D), 3);
+
+    // Channel change: projection shortcut adds a 4th conv.
+    Graph g2;
+    NodeId x2 = input(g2, {64, 8, 8});
+    bottleneck(g2, x2, 64, 16, 128, 1);
+    g2.add(OpType::Output, {static_cast<NodeId>(g2.size() - 1)});
+    graph::inferShapes(g2);
+    EXPECT_EQ(countOps(g2, OpType::Conv2D), 4);
+}
+
+TEST(BuildersTest, InvertedResidualConnectsOnlyWhenShapesMatch)
+{
+    Graph g;
+    NodeId x = input(g, {24, 10, 10});
+    NodeId same = invertedResidual(g, x, 24, 96, 24, 1, /*se=*/false);
+    g.add(OpType::Output, {same});
+    graph::inferShapes(g);
+    EXPECT_EQ(countOps(g, OpType::Add), 1); // residual present
+
+    Graph g2;
+    NodeId x2 = input(g2, {24, 10, 10});
+    NodeId strided = invertedResidual(g2, x2, 24, 96, 24, 2, false);
+    g2.add(OpType::Output, {strided});
+    graph::inferShapes(g2);
+    EXPECT_EQ(countOps(g2, OpType::Add), 0); // stride breaks the skip
+    EXPECT_EQ(g2.node(strided).shape, tensor::Shape({24, 5, 5}));
+}
+
+TEST(BuildersTest, TransformerLayerStructure)
+{
+    Graph g;
+    NodeId x = input(g, {64, 128});
+    NodeId y = transformerLayer(g, x, 64, 128, 4, 512);
+    g.add(OpType::Output, {y});
+    graph::inferShapes(g);
+
+    EXPECT_EQ(g.node(y).shape, tensor::Shape({64, 128}));
+    // Q, K, V, attention scores, context, projection, 2 FFN = 8 matmuls.
+    EXPECT_EQ(countOps(g, OpType::MatMul), 8);
+    EXPECT_EQ(countOps(g, OpType::Softmax), 1);
+    EXPECT_EQ(countOps(g, OpType::LayerNorm), 2);
+    EXPECT_EQ(countOps(g, OpType::Gelu), 1);
+    // Head split/merge shape plumbing.
+    EXPECT_GE(countOps(g, OpType::Transpose), 4);
+    EXPECT_GE(countOps(g, OpType::Reshape), 4);
+}
+
+TEST(BuildersTest, AttentionShapesCarryHeads)
+{
+    Graph g;
+    NodeId x = input(g, {16, 32});
+    transformerLayer(g, x, 16, 32, 2, 64);
+    graph::inferShapes(g);
+    bool sawScores = false;
+    for (const auto &node : g.nodes()) {
+        if (node.dead || node.op != OpType::Softmax)
+            continue;
+        EXPECT_EQ(node.shape, tensor::Shape({2, 16, 16}));
+        sawScores = true;
+    }
+    EXPECT_TRUE(sawScores);
+}
+
+} // namespace
+} // namespace gcd2::models

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Model-zoo tests: every Table IV model builds, passes shape inference,
+ * and lands near the paper's reported MAC totals.
+ */
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace gcd2::models {
+namespace {
+
+class ZooModels : public ::testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(ZooModels, BuildsAndMatchesPaperMacs)
+{
+    const ModelInfo &info = modelInfo(GetParam());
+    const graph::Graph g = buildModel(GetParam());
+
+    EXPECT_GT(g.operatorCount(), 0);
+
+    // MAC totals must track Table IV within 15% (the builders are
+    // calibrated against the paper's numbers).
+    const double gmacs = static_cast<double>(g.totalMacs()) / 1e9;
+    EXPECT_GT(gmacs, 0.85 * info.paperGMacs) << info.name;
+    EXPECT_LT(gmacs, 1.15 * info.paperGMacs) << info.name;
+
+    // Every live node has a resolved, non-empty shape.
+    for (const auto &node : g.nodes()) {
+        if (node.dead)
+            continue;
+        EXPECT_GT(node.shape.elements(), 0)
+            << info.name << " node " << node.name;
+    }
+
+    // Exactly one Output; every non-output live node feeds something.
+    const auto succ = g.successors();
+    int outputs = 0;
+    for (const auto &node : g.nodes()) {
+        if (node.dead)
+            continue;
+        if (node.op == graph::OpType::Output) {
+            ++outputs;
+            continue;
+        }
+        EXPECT_FALSE(succ[static_cast<size_t>(node.id)].empty())
+            << info.name << " dangling node " << node.name;
+    }
+    EXPECT_EQ(outputs, 1) << info.name;
+}
+
+std::string
+zooModelName(const ::testing::TestParamInfo<ModelId> &info)
+{
+    std::string name = modelInfo(info.param).name;
+    std::string out;
+    for (char c : name)
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += c;
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooModels,
+    ::testing::Values(ModelId::MobileNetV3, ModelId::EfficientNetB0,
+                      ModelId::ResNet50, ModelId::FST, ModelId::CycleGAN,
+                      ModelId::WdsrB, ModelId::EfficientDetD0,
+                      ModelId::PixOr, ModelId::TinyBert,
+                      ModelId::Conformer),
+    zooModelName);
+
+TEST(ZooTest, TransformersUseMatMulsNotConvs)
+{
+    const graph::Graph bert = buildModel(ModelId::TinyBert);
+    int matmuls = 0, convs = 0, softmaxes = 0;
+    for (const auto &node : bert.nodes()) {
+        if (node.dead)
+            continue;
+        if (node.op == graph::OpType::MatMul)
+            ++matmuls;
+        if (node.op == graph::OpType::Conv2D)
+            ++convs;
+        if (node.op == graph::OpType::Softmax)
+            ++softmaxes;
+    }
+    EXPECT_EQ(convs, 0);
+    EXPECT_GE(matmuls, 6 * 6); // >= 6 matmuls per layer, 6 layers
+    EXPECT_EQ(softmaxes, 6);   // one attention softmax per layer
+}
+
+TEST(ZooTest, VisionModelsContainLayoutTransformBoundaries)
+{
+    // The partitioning heuristic keys on Reshape/Transpose boundaries;
+    // the transformer and super-resolution models must provide them.
+    for (ModelId id : {ModelId::WdsrB, ModelId::TinyBert,
+                       ModelId::Conformer}) {
+        const graph::Graph g = buildModel(id);
+        int shapeOps = 0;
+        for (const auto &node : g.nodes())
+            if (!node.dead && graph::isLayoutTransformOp(node.op))
+                ++shapeOps;
+        EXPECT_GT(shapeOps, 0) << modelInfo(id).name;
+    }
+}
+
+} // namespace
+} // namespace gcd2::models

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end compiler tests: the Fig. 6 pipeline produces consistent
+ * statistics, the optimization toggles move latency the right way, and
+ * the framework baselines rank as the paper reports.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/frameworks.h"
+#include "runtime/power_model.h"
+
+namespace gcd2::runtime {
+namespace {
+
+using baselines::Framework;
+using models::ModelId;
+
+TEST(CompilerTest, CompiledModelHasConsistentStats)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    const CompiledModel compiled = compile(g);
+
+    EXPECT_GT(compiled.totals.cycles, 0u);
+    EXPECT_GT(compiled.totals.instructions, 0u);
+    EXPECT_GT(compiled.latencyMs(), 0.0);
+    EXPECT_GT(compiled.utilization(), 0.0);
+    EXPECT_LE(compiled.utilization(), 1.0);
+    EXPECT_GT(compiled.bandwidth(), 0.0);
+    EXPECT_EQ(compiled.liveOperators, g.operatorCount());
+}
+
+TEST(CompilerTest, SelectionModesRankAsExpected)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+
+    CompileOptions gcd2;
+    gcd2.selection = SelectionMode::Gcd2;
+    CompileOptions local;
+    local.selection = SelectionMode::Local;
+
+    const uint64_t gcd2Cost =
+        compile(g, gcd2).selection.totalCost;
+    const uint64_t localCost =
+        compile(g, local).selection.totalCost;
+    // Global selection never loses to local-only decisions (Eq. 1).
+    EXPECT_LE(gcd2Cost, localCost);
+}
+
+TEST(CompilerTest, OptimizationTogglesReduceLatency)
+{
+    // Fig. 9's incremental story, checked where each optimization has
+    // leverage: layout selection and packing on the layout-diverse WDSR
+    // graph, the LUT optimization on the softmax/gelu-heavy TinyBERT.
+    CompileOptions none;
+    none.selection = SelectionMode::Uniform;
+    none.cost.packOptions.policy = vliw::PackPolicy::SoftToHard;
+    none.cost.unroll = kernels::UnrollStrategy::None;
+    none.cost.lutOptimization = false;
+    none.libraryStyleBoundaries = true;
+
+    CompileOptions withLayout = none;
+    withLayout.selection = SelectionMode::Gcd2;
+    withLayout.libraryStyleBoundaries = false;
+
+    CompileOptions withVliw = withLayout;
+    withVliw.cost.packOptions.policy = vliw::PackPolicy::Sda;
+    withVliw.cost.unroll = kernels::UnrollStrategy::Adaptive;
+
+    const graph::Graph wdsr = models::buildModel(ModelId::WdsrB);
+    const double t0 = compile(wdsr, none).latencyMs();
+    const double t1 = compile(wdsr, withLayout).latencyMs();
+    const double t2 = compile(wdsr, withVliw).latencyMs();
+    EXPECT_LT(t1, t0) << "layout selection must help";
+    EXPECT_LT(t2, t1) << "SDA packing + unrolling must help";
+
+    CompileOptions withOther = withVliw;
+    withOther.cost.lutOptimization = true;
+    const graph::Graph bert = models::buildModel(ModelId::TinyBert);
+    const double bertNoLut = compile(bert, withVliw).latencyMs();
+    const double bertLut = compile(bert, withOther).latencyMs();
+    EXPECT_LT(bertLut, bertNoLut) << "division/lookup vectorization must "
+                                     "help softmax-heavy models";
+}
+
+TEST(FrameworksTest, SupportMatrixMatchesTableIV)
+{
+    EXPECT_FALSE(baselines::supportsModel(Framework::TfLite,
+                                          ModelId::TinyBert));
+    EXPECT_FALSE(baselines::supportsModel(Framework::TfLite,
+                                          ModelId::Conformer));
+    EXPECT_FALSE(
+        baselines::supportsModel(Framework::Snpe, ModelId::TinyBert));
+    EXPECT_FALSE(baselines::supportsModel(Framework::Snpe,
+                                          ModelId::EfficientDetD0));
+    EXPECT_TRUE(baselines::supportsModel(Framework::TfLite,
+                                         ModelId::EfficientDetD0));
+    for (const auto &info : models::allModels())
+        EXPECT_TRUE(baselines::supportsModel(Framework::Gcd2, info.id));
+}
+
+TEST(FrameworksTest, Gcd2BeatsBothBaselinesOnSupportedModels)
+{
+    for (ModelId id : {ModelId::MobileNetV3, ModelId::ResNet50,
+                       ModelId::WdsrB}) {
+        const auto gcd2 = baselines::runFramework(Framework::Gcd2, id);
+        const auto tflite =
+            baselines::runFramework(Framework::TfLite, id);
+        const auto snpe = baselines::runFramework(Framework::Snpe, id);
+        ASSERT_TRUE(gcd2 && tflite && snpe);
+        EXPECT_LT(gcd2->latencyMs(), snpe->latencyMs());
+        EXPECT_LT(snpe->latencyMs(), tflite->latencyMs());
+        // Speedups in the paper's regime (1.5x - 6x over TFLite).
+        const double overT = tflite->latencyMs() / gcd2->latencyMs();
+        EXPECT_GT(overT, 1.4);
+        EXPECT_LT(overT, 7.0);
+    }
+}
+
+TEST(FrameworksTest, Gcd2HasBestUtilizationAndBandwidth)
+{
+    // Fig. 8: TFLite and SNPE reach only 86-95% of GCD2's utilization
+    // and bandwidth.
+    const ModelId id = ModelId::ResNet50;
+    const auto gcd2 = baselines::runFramework(Framework::Gcd2, id);
+    const auto tflite = baselines::runFramework(Framework::TfLite, id);
+    ASSERT_TRUE(gcd2 && tflite);
+    EXPECT_GT(gcd2->bandwidth(), tflite->bandwidth());
+}
+
+TEST(PowerModelTest, EfficiencyRelationships)
+{
+    const DspPowerModel power;
+    const auto gcd2 =
+        baselines::runFramework(Framework::Gcd2, ModelId::ResNet50);
+    const auto tflite =
+        baselines::runFramework(Framework::TfLite, ModelId::ResNet50);
+    ASSERT_TRUE(gcd2 && tflite);
+
+    // GCD2 draws a bit more power (better utilization)...
+    EXPECT_GE(power.watts(*gcd2), 0.95 * power.watts(*tflite));
+    // ...but wins clearly on frames per Watt (Fig. 13 / Table V).
+    EXPECT_GT(framesPerWatt(*gcd2, power),
+              1.3 * framesPerWatt(*tflite, power));
+    // Absolute power in the paper's 2-4 W window.
+    EXPECT_GT(power.watts(*gcd2), 1.5);
+    EXPECT_LT(power.watts(*gcd2), 4.5);
+}
+
+} // namespace
+} // namespace gcd2::runtime

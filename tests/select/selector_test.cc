@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Global selection tests: Eq. 1 accounting, the Eq. 2 chain DP matching
+ * exhaustive search on chains, the partitioned GCD2 solver approaching
+ * the global optimum, and the local baseline paying transformation costs.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/passes.h"
+#include "models/builders.h"
+#include "select/selector.h"
+
+namespace gcd2::select {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::OpType;
+using models::add;
+using models::conv;
+using models::input;
+
+/** A linear chain of n pointwise convolutions (every plan free). */
+Graph
+convChain(int n, int64_t channels = 32, int64_t hw = 16)
+{
+    Graph g;
+    NodeId x = input(g, {channels, hw, hw});
+    for (int i = 0; i < n; ++i)
+        x = conv(g, x, channels, 1, 1, 0, /*relu=*/false);
+    g.add(OpType::Output, {x});
+    graph::optimize(g);
+    return g;
+}
+
+/** A diamond: conv -> (conv, conv) -> add -> conv. */
+Graph
+diamond()
+{
+    Graph g;
+    NodeId x = input(g, {32, 16, 16});
+    NodeId stem = conv(g, x, 32, 1, 1, 0, false);
+    NodeId a = conv(g, stem, 32, 1, 1, 0, false);
+    NodeId b = conv(g, stem, 32, 1, 1, 0, false);
+    NodeId sum = add(g, a, b);
+    NodeId out = conv(g, sum, 32, 1, 1, 0, false);
+    g.add(OpType::Output, {out});
+    graph::optimize(g);
+    return g;
+}
+
+class SelectorTest : public ::testing::Test
+{
+  protected:
+    CostModel model;
+};
+
+TEST_F(SelectorTest, PlanEnumeration)
+{
+    Graph g = convChain(1);
+    PlanTable table(g, model);
+    for (const auto &node : g.nodes()) {
+        if (node.dead)
+            continue;
+        const auto &plans = table.plans(node.id);
+        if (node.op == OpType::Conv2D) {
+            EXPECT_EQ(plans.size(), 3u);
+            for (const auto &plan : plans)
+                EXPECT_GT(plan.cycles, 0u);
+        } else if (node.op == OpType::Input ||
+                   node.op == OpType::Output) {
+            EXPECT_EQ(plans.size(), 1u);
+            EXPECT_EQ(plans[0].outLayout, tensor::Layout::RowMajor);
+        }
+    }
+}
+
+TEST_F(SelectorTest, AggCostCountsTransformsOnLayoutMismatch)
+{
+    Graph g = convChain(2);
+    PlanTable table(g, model);
+
+    // Force different schemes on the two convs: a transform must appear.
+    Selection mixed;
+    mixed.planIndex.assign(g.size(), 0);
+    std::vector<NodeId> convs;
+    for (const auto &node : g.nodes())
+        if (!node.dead && node.op == OpType::Conv2D)
+            convs.push_back(node.id);
+    ASSERT_EQ(convs.size(), 2u);
+    mixed.planIndex[static_cast<size_t>(convs[0])] = 0; // vmpy
+    mixed.planIndex[static_cast<size_t>(convs[1])] = 2; // vrmpy
+
+    Selection uniform = mixed;
+    uniform.planIndex[static_cast<size_t>(convs[0])] = 2;
+
+    const uint64_t mixedCost = aggCost(table, mixed);
+    const uint64_t uniformCost = aggCost(table, uniform);
+    // Same per-op cycles could differ, but the transform between the two
+    // convs only exists in the mixed selection: verify it is charged.
+    const uint64_t conv0Mixed =
+        table.plans(convs[0])[0].cycles;
+    const uint64_t conv0Uniform = table.plans(convs[0])[2].cycles;
+    const uint64_t tcMixed = table.tc(convs[0], convs[1], 0, 2);
+    const uint64_t tcUniform = table.tc(convs[0], convs[1], 2, 2);
+    EXPECT_GT(tcMixed, 0u);
+    EXPECT_EQ(tcUniform, 0u);
+    EXPECT_EQ(mixedCost - conv0Mixed - tcMixed,
+              uniformCost - conv0Uniform);
+}
+
+TEST_F(SelectorTest, ChainDpMatchesExhaustiveOnChains)
+{
+    for (int n : {1, 3, 6, 10}) {
+        Graph g = convChain(n);
+        PlanTable table(g, model);
+        const SelectorResult dp = selectChainDp(table);
+        const SelectorResult opt = selectGlobalOptimal(table);
+        EXPECT_EQ(dp.selection.totalCost, opt.selection.totalCost)
+            << "chain length " << n;
+    }
+}
+
+TEST_F(SelectorTest, PartitionedMatchesOptimalOnSmallGraphs)
+{
+    for (auto build : {+[]() { return convChain(8); },
+                       +[]() { return diamond(); }}) {
+        Graph g = build();
+        PlanTable table(g, model);
+        const SelectorResult gcd2 = selectGcd2Partitioned(table, 13);
+        const SelectorResult opt = selectGlobalOptimal(table);
+        EXPECT_EQ(gcd2.selection.totalCost, opt.selection.totalCost);
+    }
+}
+
+TEST_F(SelectorTest, SelectionQualityOrdering)
+{
+    // A chain long enough that GCD2(4) must chunk it.
+    Graph g = convChain(14, 48, 12);
+    PlanTable table(g, model);
+
+    const SelectorResult local = selectLocal(table);
+    const SelectorResult gcd2 = selectGcd2Partitioned(table, 4);
+    const SelectorResult opt = selectGlobalOptimal(table);
+
+    EXPECT_LE(opt.selection.totalCost, gcd2.selection.totalCost);
+    EXPECT_LE(gcd2.selection.totalCost, local.selection.totalCost);
+}
+
+TEST_F(SelectorTest, LocalIgnoresTransformCostsAndPaysForIt)
+{
+    // Alternating shapes make different schemes locally optimal for
+    // adjacent operators; the local baseline then pays transforms.
+    Graph g;
+    NodeId x = input(g, {32, 32, 32});
+    for (int i = 0; i < 6; ++i) {
+        const int64_t outC = (i % 2 == 0) ? 48 : 32;
+        x = conv(g, x, outC, 1, 1, 0, false);
+    }
+    g.add(OpType::Output, {x});
+    graph::optimize(g);
+
+    PlanTable table(g, model);
+    const SelectorResult local = selectLocal(table);
+    const SelectorResult opt = selectGlobalOptimal(table);
+    EXPECT_LE(opt.selection.totalCost, local.selection.totalCost);
+}
+
+TEST_F(SelectorTest, PinnedOperatorsSplitComponents)
+{
+    // conv -> maxpool -> conv: the pool is layout-pinned, so the two
+    // convs are independent single-node components; GCD2(1) is already
+    // optimal.
+    Graph g;
+    NodeId x = input(g, {32, 16, 16});
+    x = conv(g, x, 32, 1, 1, 0, false);
+    graph::NodeAttrs pool;
+    pool.poolK = 2;
+    pool.poolStride = 2;
+    x = g.add(OpType::MaxPool, {x}, pool);
+    x = conv(g, x, 32, 1, 1, 0, false);
+    g.add(OpType::Output, {x});
+    graph::optimize(g);
+
+    PlanTable table(g, model);
+    const SelectorResult gcd2 = selectGcd2Partitioned(table, 1);
+    const SelectorResult opt = selectGlobalOptimal(table);
+    EXPECT_EQ(gcd2.selection.totalCost, opt.selection.totalCost);
+}
+
+TEST_F(SelectorTest, ExhaustiveSearchGuardsAgainstExplosion)
+{
+    Graph g = convChain(30);
+    PlanTable table(g, model);
+    EXPECT_THROW(selectGlobalOptimal(table, 10), FatalError);
+}
+
+TEST_F(SelectorTest, SearchTimeGrowsWithPartitionBound)
+{
+    Graph g = convChain(20, 32, 8);
+    PlanTable table(g, model);
+    const SelectorResult fast = selectGcd2Partitioned(table, 5);
+    const SelectorResult slow = selectGcd2Partitioned(table, 17);
+    EXPECT_LE(slow.selection.totalCost, fast.selection.totalCost);
+    EXPECT_GT(slow.evaluations, fast.evaluations);
+}
+
+} // namespace
+} // namespace gcd2::select

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Layout tests: Fig. 2 offset patterns, padding accounting (which must
+ * reproduce Table II's padded-size ratios), and pack/unpack/transform
+ * round trips.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/layout.h"
+
+namespace gcd2::tensor {
+namespace {
+
+TEST(LayoutTest, OneColumnMatchesFig2a)
+{
+    // Fig. 2 (a): 128-row panel, column-major. (r, c) -> c * 128 + r
+    // within the first panel.
+    const int64_t rows = 256, cols = 4;
+    EXPECT_EQ(layoutOffset(Layout::OneColumn, rows, cols, 0, 0), 0);
+    EXPECT_EQ(layoutOffset(Layout::OneColumn, rows, cols, 1, 0), 1);
+    EXPECT_EQ(layoutOffset(Layout::OneColumn, rows, cols, 127, 0), 127);
+    EXPECT_EQ(layoutOffset(Layout::OneColumn, rows, cols, 0, 1), 128);
+    EXPECT_EQ(layoutOffset(Layout::OneColumn, rows, cols, 0, 3), 384);
+    EXPECT_EQ(layoutOffset(Layout::OneColumn, rows, cols, 127, 3), 511);
+    // Second panel starts after 128 * cols bytes.
+    EXPECT_EQ(layoutOffset(Layout::OneColumn, rows, cols, 128, 0), 512);
+}
+
+TEST(LayoutTest, TwoColumnMatchesFig2b)
+{
+    // Fig. 2 (b): 64-row panels, column pairs interleaved per row:
+    // row 0 -> 0,1 then 128,129; row 1 -> 2,3 then 130,131.
+    const int64_t rows = 64, cols = 4;
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 0, 0), 0);
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 0, 1), 1);
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 1, 0), 2);
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 1, 1), 3);
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 0, 2), 128);
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 0, 3), 129);
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 1, 2), 130);
+    EXPECT_EQ(layoutOffset(Layout::TwoColumn, rows, cols, 63, 3), 255);
+}
+
+TEST(LayoutTest, FourColumnMatchesFig2c)
+{
+    // Fig. 2 (c): 32-row panels, column quads per row:
+    // row 0 -> 0..3, row 1 -> 4..7; next quad of row 0 -> 128..131.
+    const int64_t rows = 32, cols = 8;
+    EXPECT_EQ(layoutOffset(Layout::FourColumn, rows, cols, 0, 0), 0);
+    EXPECT_EQ(layoutOffset(Layout::FourColumn, rows, cols, 0, 3), 3);
+    EXPECT_EQ(layoutOffset(Layout::FourColumn, rows, cols, 1, 0), 4);
+    EXPECT_EQ(layoutOffset(Layout::FourColumn, rows, cols, 1, 3), 7);
+    EXPECT_EQ(layoutOffset(Layout::FourColumn, rows, cols, 0, 4), 128);
+    EXPECT_EQ(layoutOffset(Layout::FourColumn, rows, cols, 0, 7), 131);
+    EXPECT_EQ(layoutOffset(Layout::FourColumn, rows, cols, 31, 7), 255);
+}
+
+TEST(LayoutTest, PaddingReproducesTableTwoRatios)
+{
+    // Table II "Total Data Size w/ Pad" counts input + weight + output,
+    // normalized by the vmpy total. The output of a scheme inherits the
+    // scheme's row padding; the weight matrix pads K to the column group.
+    auto totalWithPad = [](Layout layout, int64_t m, int64_t k, int64_t n) {
+        const int64_t input = packedByteSize(layout, m, k);
+        const int64_t weight = paddedCols(layout, k) * n;
+        const int64_t output = paddedRows(layout, m) * n;
+        return input + weight + output;
+    };
+
+    const struct
+    {
+        int64_t size;
+        double vmpa;
+        double vrmpy;
+    } expect[] = {
+        {32, 0.56, 0.33},
+        {64, 0.60, 0.60},
+        {96, 1.00, 0.82},
+        {128, 1.00, 1.00},
+    };
+
+    for (const auto &row : expect) {
+        const auto s = row.size;
+        const double vmpy =
+            static_cast<double>(totalWithPad(Layout::OneColumn, s, s, s));
+        const double vmpa =
+            static_cast<double>(totalWithPad(Layout::TwoColumn, s, s, s));
+        const double vrmpy =
+            static_cast<double>(totalWithPad(Layout::FourColumn, s, s, s));
+        EXPECT_NEAR(vmpa / vmpy, row.vmpa, 0.01) << "size " << s;
+        EXPECT_NEAR(vrmpy / vmpy, row.vrmpy, 0.01) << "size " << s;
+    }
+}
+
+class LayoutRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Layout, int64_t, int64_t>>
+{
+};
+
+TEST_P(LayoutRoundTrip, PackUnpackIsIdentity)
+{
+    const auto [layout, rows, cols] = GetParam();
+    Rng rng(static_cast<uint64_t>(rows * 1000 + cols));
+    const auto data = rng.int8Vector(static_cast<size_t>(rows * cols));
+
+    std::vector<int8_t> packed;
+    packMatrix(data.data(), rows, cols, layout, packed);
+    EXPECT_EQ(packed.size(),
+              static_cast<size_t>(packedByteSize(layout, rows, cols)));
+
+    std::vector<int8_t> unpacked;
+    unpackMatrix(packed.data(), rows, cols, layout, unpacked);
+    EXPECT_EQ(unpacked, data);
+}
+
+TEST_P(LayoutRoundTrip, TransformMatchesRepack)
+{
+    const auto [layout, rows, cols] = GetParam();
+    Rng rng(static_cast<uint64_t>(rows * 31 + cols));
+    const auto data = rng.int8Vector(static_cast<size_t>(rows * cols));
+
+    std::vector<int8_t> packed;
+    packMatrix(data.data(), rows, cols, layout, packed);
+
+    for (Layout to : {Layout::RowMajor, Layout::OneColumn,
+                      Layout::TwoColumn, Layout::FourColumn}) {
+        std::vector<int8_t> transformed;
+        transformMatrix(packed.data(), rows, cols, layout, to, transformed);
+        std::vector<int8_t> direct;
+        packMatrix(data.data(), rows, cols, to, direct);
+        EXPECT_EQ(transformed, direct)
+            << layoutName(layout) << " -> " << layoutName(to);
+    }
+}
+
+std::string
+layoutParamName(
+    const ::testing::TestParamInfo<std::tuple<Layout, int64_t, int64_t>>
+        &info)
+{
+    std::string name = layoutName(std::get<0>(info.param));
+    for (auto &ch : name)
+        if (ch == '-')
+            ch = 'c'; // gtest names must be alphanumeric
+    return name + "_" + std::to_string(std::get<1>(info.param)) + "x" +
+           std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutRoundTrip,
+    ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::OneColumn,
+                                         Layout::TwoColumn,
+                                         Layout::FourColumn),
+                       ::testing::Values<int64_t>(1, 31, 32, 64, 100, 128,
+                                                  200),
+                       ::testing::Values<int64_t>(1, 3, 4, 17, 64)),
+    layoutParamName);
+
+TEST(LayoutTest, TransformCostZeroForSameLayout)
+{
+    EXPECT_EQ(layoutTransformCycles(Layout::OneColumn, Layout::OneColumn,
+                                    128, 128),
+              0u);
+    EXPECT_GT(layoutTransformCycles(Layout::OneColumn, Layout::TwoColumn,
+                                    128, 128),
+              0u);
+}
+
+TEST(LayoutTest, TransformCostScalesWithSize)
+{
+    const auto small = layoutTransformCycles(Layout::OneColumn,
+                                             Layout::FourColumn, 64, 64);
+    const auto large = layoutTransformCycles(Layout::OneColumn,
+                                             Layout::FourColumn, 512, 512);
+    EXPECT_GT(large, 10 * small);
+}
+
+} // namespace
+} // namespace gcd2::tensor

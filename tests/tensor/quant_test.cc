@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Quantization helper tests: the host-side requantization reference must
+ * match the simulator's VASR semantics bit for bit.
+ */
+#include <gtest/gtest.h>
+
+#include "dsp/functional_sim.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+
+namespace gcd2::tensor {
+namespace {
+
+TEST(QuantTest, RoundShiftMatchesVasrRounding)
+{
+    EXPECT_EQ(roundShift(10, 2), 3);  // (10 + 2) >> 2
+    EXPECT_EQ(roundShift(9, 2), 2);   // (9 + 2) >> 2
+    EXPECT_EQ(roundShift(8, 2), 2);
+    EXPECT_EQ(roundShift(-10, 2), -2);
+    EXPECT_EQ(roundShift(7, 0), 7);
+}
+
+TEST(QuantTest, SaturationBounds)
+{
+    EXPECT_EQ(sat8(127), 127);
+    EXPECT_EQ(sat8(128), 127);
+    EXPECT_EQ(sat8(-128), -128);
+    EXPECT_EQ(sat8(-129), -128);
+    EXPECT_EQ(sat16(32768), 32767);
+    EXPECT_EQ(sat16(-32769), -32768);
+}
+
+TEST(QuantTest, Requantize16MatchesSimulatorVasrhb)
+{
+    dsp::Memory mem(256);
+    dsp::FunctionalSimulator sim(mem);
+    const int shift = 5;
+    for (int lane = 0; lane < dsp::kVectorHalves; ++lane) {
+        const auto v = static_cast<int16_t>(lane * 523 - 16000);
+        sim.regs().setVecHalf(4, lane, v);
+        sim.regs().setVecHalf(5, lane, static_cast<int16_t>(-v));
+    }
+    sim.execute(dsp::makeVasr(dsp::Opcode::VASRHB, dsp::vreg(8),
+                              dsp::vreg(4), shift));
+    for (int lane = 0; lane < dsp::kVectorHalves; ++lane) {
+        const auto v = static_cast<int16_t>(lane * 523 - 16000);
+        EXPECT_EQ(static_cast<int8_t>(sim.regs().vector[8][lane]),
+                  requantize16(v, shift))
+            << "lane " << lane;
+        EXPECT_EQ(static_cast<int8_t>(
+                      sim.regs().vector[8][dsp::kVectorHalves + lane]),
+                  requantize16(static_cast<int16_t>(-v), shift))
+            << "hi lane " << lane;
+    }
+}
+
+TEST(QuantTest, Requantize32MatchesSimulatorPipeline)
+{
+    dsp::Memory mem(256);
+    dsp::FunctionalSimulator sim(mem);
+    const int s1 = 6, s2 = 4;
+    for (int lane = 0; lane < dsp::kVectorWords; ++lane) {
+        sim.regs().setVecWord(4, lane, lane * 100003 - 1500000);
+        sim.regs().setVecWord(5, lane, -(lane * 100003 - 1500000));
+    }
+    // VASRWH narrows the word pair v5:v4 into halfwords of v6, then a
+    // VASRHB on the pair v7:v6 (v7 zero) narrows to bytes.
+    sim.execute(dsp::makeVasr(dsp::Opcode::VASRWH, dsp::vreg(6),
+                              dsp::vreg(4), s1));
+    sim.execute(dsp::makeVasr(dsp::Opcode::VASRHB, dsp::vreg(8),
+                              dsp::vreg(6), s2));
+    for (int lane = 0; lane < dsp::kVectorWords; ++lane) {
+        EXPECT_EQ(static_cast<int8_t>(sim.regs().vector[8][lane]),
+                  requantize32(lane * 100003 - 1500000, s1, s2))
+            << "lane " << lane;
+    }
+}
+
+TEST(QuantTest, ChooseShiftCoversRange)
+{
+    EXPECT_EQ(chooseShiftForRange(127, 127), 0);
+    EXPECT_EQ(chooseShiftForRange(128, 127), 1);
+    EXPECT_EQ(chooseShiftForRange(1 << 20, 127), 14); // 2^20 >> 13 == 128
+    const int shift = chooseShiftForRange(987654, 127);
+    EXPECT_LE(987654 >> shift, 127);
+    EXPECT_GT(987654 >> (shift - 1), 127);
+}
+
+TEST(QuantTest, QuantizeDequantizeRoundTrip)
+{
+    const QuantParams params = chooseQuantParams(-2.0f, 2.0f);
+    std::vector<float> data = {-2.0f, -1.0f, 0.0f, 0.5f, 1.99f};
+    const auto q = quantizeLinear(data.data(), data.size(), params);
+    const auto d = dequantizeLinear(q.data(), q.size(), params);
+    for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_NEAR(d[i], data[i], params.scale);
+}
+
+TEST(TensorTest, ShapeAndStorage)
+{
+    Tensor t(DType::Int32, Shape{2, 3, 4});
+    EXPECT_EQ(t.elements(), 24);
+    EXPECT_EQ(t.byteSize(), 96u);
+    t.data<int32_t>()[23] = 42;
+    EXPECT_EQ(t.data<int32_t>()[23], 42);
+    EXPECT_EQ(t.shape().toString(), "[2x3x4]");
+    EXPECT_EQ(Shape({}).elements(), 1); // scalar
+}
+
+} // namespace
+} // namespace gcd2::tensor

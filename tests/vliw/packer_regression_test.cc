@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Packer regression and dominance properties: the full SDA configuration
+ * must never lose to its own ablations on any generated kernel, the
+ * repair pass must never produce an invalid or slower-than-unrepaired
+ * schedule, and all policies must be deterministic.
+ */
+#include <gtest/gtest.h>
+
+#include "dsp/timing_sim.h"
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
+#include "kernels/runner.h"
+#include "vliw/packer.h"
+
+namespace gcd2::vliw {
+namespace {
+
+using dsp::PackedProgram;
+using dsp::Program;
+
+struct KernelUnderTest
+{
+    std::string name;
+    Program program;
+    kernels::KernelBuffers buffers;
+};
+
+std::vector<KernelUnderTest>
+kernelsUnderTest()
+{
+    std::vector<KernelUnderTest> kernelsOut;
+    for (auto scheme :
+         {kernels::MatMulScheme::Vmpy, kernels::MatMulScheme::Vmpa,
+          kernels::MatMulScheme::Vrmpy}) {
+        kernels::MatMulConfig config;
+        config.scheme = scheme;
+        config.unrollCols = 2;
+        kernels::MatMulKernel kernel({64, 32, 16}, config);
+        kernelsOut.push_back({kernels::schemeName(scheme),
+                              kernel.program(), kernel.buffers()});
+    }
+    for (auto op : {kernels::EwOp::Add, kernels::EwOp::Lut}) {
+        kernels::EwConfig config;
+        config.op = op;
+        config.length = 512;
+        kernels::ElementwiseKernel kernel(config);
+        kernelsOut.push_back({kernels::ewOpName(op), kernel.program(),
+                              kernel.buffers()});
+    }
+    return kernelsOut;
+}
+
+std::vector<Program>
+kernelPrograms()
+{
+    std::vector<Program> programs;
+    for (auto &k : kernelsUnderTest())
+        programs.push_back(std::move(k.program));
+    return programs;
+}
+
+TEST(PackerRegression, SdaDominatesItsAblationsOnEveryKernel)
+{
+    for (const KernelUnderTest &k : kernelsUnderTest()) {
+        PackOptions sda;
+        sda.policy = PackPolicy::Sda;
+        const uint64_t sdaCycles =
+            kernels::runKernel(k.program, k.buffers, {}, {}, sda)
+                .stats.cycles;
+        for (PackPolicy policy :
+             {PackPolicy::SoftToHard, PackPolicy::SoftToNone,
+              PackPolicy::InOrder, PackPolicy::ListSched}) {
+            PackOptions opts;
+            opts.policy = policy;
+            const uint64_t cycles =
+                kernels::runKernel(k.program, k.buffers, {}, {}, opts)
+                    .stats.cycles;
+            EXPECT_LE(sdaCycles, cycles)
+                << k.name << " vs " << packPolicyName(policy);
+        }
+    }
+}
+
+TEST(PackerRegression, AllPoliciesValidateOnEveryKernel)
+{
+    for (const Program &prog : kernelPrograms()) {
+        for (PackPolicy policy :
+             {PackPolicy::Sda, PackPolicy::SoftToHard,
+              PackPolicy::SoftToNone, PackPolicy::InOrder,
+              PackPolicy::ListSched}) {
+            PackOptions opts;
+            opts.policy = policy;
+            const PackedProgram packed = pack(prog, opts);
+            EXPECT_NO_THROW(dsp::validatePackedProgram(packed))
+                << packPolicyName(policy);
+        }
+    }
+}
+
+TEST(PackerRegression, PackingIsDeterministic)
+{
+    for (const Program &prog : kernelPrograms()) {
+        const PackedProgram a = pack(prog, {});
+        const PackedProgram b = pack(prog, {});
+        ASSERT_EQ(a.packets.size(), b.packets.size());
+        for (size_t p = 0; p < a.packets.size(); ++p)
+            EXPECT_EQ(a.packets[p].insts, b.packets[p].insts);
+    }
+}
+
+TEST(PackerRegression, EveryPacketWithinWidthAndDense)
+{
+    for (const Program &prog : kernelPrograms()) {
+        const PackedProgram packed = pack(prog, {});
+        size_t totalInsts = 0;
+        for (const auto &packet : packed.packets) {
+            EXPECT_GE(packet.insts.size(), 1u);
+            EXPECT_LE(packet.insts.size(),
+                      static_cast<size_t>(dsp::kPacketSlots));
+            totalInsts += packet.insts.size();
+        }
+        EXPECT_EQ(totalInsts, prog.code.size());
+        // Density sanity: the SDA schedules of our kernels average well
+        // above one instruction per packet.
+        EXPECT_GT(static_cast<double>(totalInsts) /
+                      static_cast<double>(packed.packets.size()),
+                  1.5);
+    }
+}
+
+} // namespace
+} // namespace gcd2::vliw

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Packing-algorithm tests: structural invariants, functional equivalence
+ * between packed and unpacked programs, the Fig. 5-style SDA advantage,
+ * and the relative quality ordering the paper's Fig. 11 reports.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/timing_sim.h"
+#include "vliw/packer.h"
+
+namespace gcd2::vliw {
+namespace {
+
+using dsp::Memory;
+using dsp::Opcode;
+using dsp::PackedProgram;
+using dsp::Program;
+using dsp::TimingSimulator;
+using dsp::TimingStats;
+using dsp::makeAddi;
+using dsp::makeBinary;
+using dsp::makeJumpNz;
+using dsp::makeLoad;
+using dsp::makeMovi;
+using dsp::makeStore;
+using dsp::makeVecBinary;
+using dsp::makeVload;
+using dsp::makeVrmpy;
+using dsp::makeVstore;
+using dsp::sreg;
+using dsp::vreg;
+
+/** The paper's Fig. 5 workload: innermost loop of R = A + B + C. */
+Program
+fig5Program()
+{
+    Program prog;
+    // r1, r2, r3: input base pointers; r4: output base; r5: loop counter.
+    const int loop = prog.newLabel();
+    prog.push(makeMovi(sreg(5), 4)); // 4 iterations
+    prog.bindLabel(loop);
+    prog.push(makeLoad(Opcode::LOADB, sreg(6), sreg(1), 0));  // 1: a
+    prog.push(makeLoad(Opcode::LOADB, sreg(7), sreg(2), 0));  // 2: b
+    prog.push(makeLoad(Opcode::LOADB, sreg(8), sreg(3), 0));  // 3: c
+    prog.push(makeBinary(Opcode::ADD, sreg(9), sreg(6), sreg(7))); // 4
+    prog.push(makeBinary(Opcode::ADD, sreg(9), sreg(9), sreg(8))); // 5
+    prog.push(makeStore(Opcode::STOREB, sreg(4), sreg(9), 0));     // 6
+    prog.push(makeAddi(sreg(1), sreg(1), 1));
+    prog.push(makeAddi(sreg(2), sreg(2), 1));
+    prog.push(makeAddi(sreg(3), sreg(3), 1));
+    prog.push(makeAddi(sreg(4), sreg(4), 1));
+    prog.push(makeAddi(sreg(5), sreg(5), -1));
+    prog.push(makeJumpNz(sreg(5), loop));
+    return prog;
+}
+
+/** Run a packed program on fresh memory preloaded with a test pattern. */
+TimingStats
+runPacked(const PackedProgram &packed, std::vector<uint8_t> *memOut)
+{
+    Memory mem(4096);
+    std::vector<uint8_t> pattern(256);
+    for (size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<uint8_t>(i * 7 + 3);
+    mem.writeBytes(0, pattern.data(), pattern.size());
+
+    TimingSimulator sim(mem);
+    sim.regs().scalar[1] = 0;
+    sim.regs().scalar[2] = 64;
+    sim.regs().scalar[3] = 128;
+    sim.regs().scalar[4] = 1024;
+    const TimingStats stats = sim.run(packed, /*validate=*/true);
+
+    if (memOut) {
+        memOut->resize(2048);
+        mem.readBytes(0, memOut->data(), memOut->size());
+    }
+    return stats;
+}
+
+TEST(PackerTest, AllPoliciesProduceValidEquivalentSchedules)
+{
+    const Program prog = fig5Program();
+
+    std::vector<uint8_t> reference;
+    {
+        // Reference: every instruction in its own packet (pure sequential).
+        PackedProgram seq;
+        seq.program = prog;
+        for (size_t i = 0; i < prog.code.size(); ++i)
+            seq.packets.push_back(dsp::Packet{{i}});
+        seq.labelPacket.assign(prog.labels.size(), 0);
+        for (size_t l = 0; l < prog.labels.size(); ++l)
+            seq.labelPacket[l] = prog.labels[l];
+        runPacked(seq, &reference);
+    }
+
+    for (PackPolicy policy :
+         {PackPolicy::Sda, PackPolicy::SoftToHard, PackPolicy::SoftToNone,
+          PackPolicy::InOrder, PackPolicy::ListSched}) {
+        PackOptions opts;
+        opts.policy = policy;
+        const PackedProgram packed = pack(prog, opts);
+
+        std::vector<uint8_t> memory;
+        runPacked(packed, &memory); // validates invariants internally
+        EXPECT_EQ(memory, reference)
+            << "policy " << packPolicyName(policy)
+            << " changed program semantics";
+    }
+}
+
+TEST(PackerTest, SdaNeverWorseThanSoftToHardOnFig5Workload)
+{
+    const Program prog = fig5Program();
+
+    PackOptions sda;
+    sda.policy = PackPolicy::Sda;
+    PackOptions hard;
+    hard.policy = PackPolicy::SoftToHard;
+
+    const PackedProgram sdaPacked = pack(prog, sda);
+    const PackedProgram hardPacked = pack(prog, hard);
+    EXPECT_LE(sdaPacked.packets.size(), hardPacked.packets.size());
+
+    const TimingStats sdaStats = runPacked(sdaPacked, nullptr);
+    const TimingStats hardStats = runPacked(hardPacked, nullptr);
+    EXPECT_LE(sdaStats.cycles, hardStats.cycles);
+}
+
+TEST(PackerTest, SdaBeatsSoftToHardOnDependencyChains)
+{
+    // Fig. 5-style advantage: when the block is dominated by load -> use ->
+    // store chains, soft_to_hard cannot co-pack anything inside a chain
+    // and pays full packets; SDA folds each chain into one stalled packet.
+    Program prog;
+    for (int k = 0; k < 4; ++k) {
+        prog.push(makeLoad(Opcode::LOADW, sreg(6 + k), sreg(1), 4 * k));
+        prog.push(makeBinary(Opcode::ADD, sreg(10 + k), sreg(6 + k),
+                             sreg(5)));
+        prog.push(makeStore(Opcode::STOREW, sreg(2), sreg(10 + k), 4 * k));
+    }
+
+    PackOptions sda;
+    sda.policy = PackPolicy::Sda;
+    PackOptions hard;
+    hard.policy = PackPolicy::SoftToHard;
+
+    const PackedProgram sdaPacked = pack(prog, sda);
+    const PackedProgram hardPacked = pack(prog, hard);
+    EXPECT_LT(sdaPacked.packets.size(), hardPacked.packets.size());
+
+    Memory memA(4096), memB(4096);
+    TimingSimulator simA(memA), simB(memB);
+    simA.regs().scalar[2] = 1024;
+    simB.regs().scalar[2] = 1024;
+    const TimingStats sdaStats = simA.run(sdaPacked, true);
+    const TimingStats hardStats = simB.run(hardPacked, true);
+    EXPECT_LT(sdaStats.cycles, hardStats.cycles);
+}
+
+TEST(PackerTest, SdaBeatsOrTiesSoftToNoneOnStallHeavyCode)
+{
+    // Many independent pairs of (load, use): soft_to_none happily packs
+    // producer+consumer together and eats stalls; SDA pairs independent
+    // instructions instead.
+    Program prog;
+    for (int k = 0; k < 8; ++k) {
+        prog.push(makeLoad(Opcode::LOADW, sreg(8 + k), sreg(0),
+                           4 * k));
+        prog.push(makeAddi(sreg(16 + k), sreg(8 + k), 1));
+    }
+
+    PackOptions sda;
+    sda.policy = PackPolicy::Sda;
+    PackOptions none;
+    none.policy = PackPolicy::SoftToNone;
+
+    Memory memA(4096), memB(4096);
+    TimingSimulator simA(memA), simB(memB);
+    const TimingStats sdaStats = simA.run(pack(prog, sda), true);
+    const TimingStats noneStats = simB.run(pack(prog, none), true);
+
+    EXPECT_LE(sdaStats.cycles, noneStats.cycles);
+}
+
+TEST(PackerTest, PackedProgramsKeepBranchesAtBlockEnds)
+{
+    const Program prog = fig5Program();
+    for (PackPolicy policy :
+         {PackPolicy::Sda, PackPolicy::SoftToHard, PackPolicy::SoftToNone,
+          PackPolicy::InOrder, PackPolicy::ListSched}) {
+        PackOptions opts;
+        opts.policy = policy;
+        const PackedProgram packed = pack(prog, opts);
+        // Locate the packet with the branch: nothing after it may belong
+        // to the same block (i.e. it must be the block's last packet).
+        for (size_t p = 0; p < packed.packets.size(); ++p) {
+            const bool hasBranch = std::any_of(
+                packed.packets[p].insts.begin(),
+                packed.packets[p].insts.end(), [&](size_t idx) {
+                    return prog.code[idx].isBranch();
+                });
+            if (!hasBranch)
+                continue;
+            const size_t branchIdx = *std::max_element(
+                packed.packets[p].insts.begin(),
+                packed.packets[p].insts.end());
+            for (size_t q = p + 1; q < packed.packets.size(); ++q)
+                for (size_t idx : packed.packets[q].insts)
+                    EXPECT_GT(idx, branchIdx)
+                        << "policy " << packPolicyName(policy);
+        }
+    }
+}
+
+TEST(PackerTest, RandomStraightLineProgramsStayCorrect)
+{
+    // Property test: random dependency-rich straight-line programs must
+    // execute identically packed and unpacked under every policy.
+    Rng rng(12345);
+    for (int trial = 0; trial < 30; ++trial) {
+        Program prog;
+        const int n = static_cast<int>(rng.uniformInt(5, 40));
+        for (int i = 0; i < n; ++i) {
+            switch (rng.uniformInt(0, 6)) {
+              case 0:
+                prog.push(makeMovi(sreg(rng.uniformInt(1, 7)),
+                                   rng.uniformInt(-100, 100)));
+                break;
+              case 1:
+                prog.push(makeBinary(Opcode::ADD,
+                                     sreg(rng.uniformInt(1, 7)),
+                                     sreg(rng.uniformInt(1, 7)),
+                                     sreg(rng.uniformInt(1, 7))));
+                break;
+              case 2:
+                prog.push(makeLoad(Opcode::LOADW,
+                                   sreg(rng.uniformInt(1, 7)), sreg(0),
+                                   4 * rng.uniformInt(0, 30)));
+                break;
+              case 3:
+                prog.push(makeStore(Opcode::STOREW, sreg(0),
+                                    sreg(rng.uniformInt(1, 7)),
+                                    4 * rng.uniformInt(0, 30)));
+                break;
+              case 4:
+                prog.push(makeVload(vreg(rng.uniformInt(0, 7)), sreg(0),
+                                    128 * rng.uniformInt(1, 4)));
+                break;
+              case 5:
+                prog.push(makeVecBinary(Opcode::VADDB,
+                                        vreg(rng.uniformInt(0, 7)),
+                                        vreg(rng.uniformInt(0, 7)),
+                                        vreg(rng.uniformInt(0, 7))));
+                break;
+              case 6:
+                prog.push(makeVrmpy(vreg(rng.uniformInt(0, 7)),
+                                    vreg(rng.uniformInt(0, 7)),
+                                    sreg(rng.uniformInt(1, 7))));
+                break;
+            }
+        }
+
+        auto runWith = [&](const PackedProgram &packed) {
+            Memory mem(4096);
+            std::vector<uint8_t> pattern(1024);
+            for (size_t i = 0; i < pattern.size(); ++i)
+                pattern[i] = static_cast<uint8_t>(i * 13 + trial);
+            mem.writeBytes(0, pattern.data(), pattern.size());
+            TimingSimulator sim(mem);
+            sim.run(packed, /*validate=*/true);
+            std::vector<uint8_t> memBytes(4096);
+            mem.readBytes(0, memBytes.data(), memBytes.size());
+            return std::make_pair(sim.regs(), memBytes);
+        };
+
+        PackedProgram seq;
+        seq.program = prog;
+        for (size_t i = 0; i < prog.code.size(); ++i)
+            seq.packets.push_back(dsp::Packet{{i}});
+        const auto [refRegs, refMem] = runWith(seq);
+
+        for (PackPolicy policy :
+             {PackPolicy::Sda, PackPolicy::SoftToHard,
+              PackPolicy::SoftToNone, PackPolicy::InOrder,
+              PackPolicy::ListSched}) {
+            PackOptions opts;
+            opts.policy = policy;
+            const auto [regs, memBytes] = runWith(pack(prog, opts));
+            EXPECT_EQ(regs.scalar, refRegs.scalar)
+                << "trial " << trial << " policy "
+                << packPolicyName(policy);
+            EXPECT_EQ(regs.vector, refRegs.vector)
+                << "trial " << trial << " policy "
+                << packPolicyName(policy);
+            EXPECT_EQ(memBytes, refMem)
+                << "trial " << trial << " policy "
+                << packPolicyName(policy);
+        }
+    }
+}
+
+TEST(CfgTest, SplitsAtLabelsAndBranches)
+{
+    const Program prog = fig5Program();
+    const Cfg cfg = buildCfg(prog);
+    ASSERT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.blocks[0].begin, 0u);
+    EXPECT_EQ(cfg.blocks[0].end, 1u);
+    EXPECT_EQ(cfg.blocks[1].begin, 1u);
+    EXPECT_EQ(cfg.blocks[1].end, prog.code.size());
+    EXPECT_EQ(cfg.largestBlock().begin, 1u);
+}
+
+} // namespace
+} // namespace gcd2::vliw
