@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_selection.dir/fig10_selection.cc.o"
+  "CMakeFiles/fig10_selection.dir/fig10_selection.cc.o.d"
+  "fig10_selection"
+  "fig10_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

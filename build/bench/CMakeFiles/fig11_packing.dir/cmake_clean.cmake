@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_packing.dir/fig11_packing.cc.o"
+  "CMakeFiles/fig11_packing.dir/fig11_packing.cc.o.d"
+  "fig11_packing"
+  "fig11_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_unrolling.dir/fig12_unrolling.cc.o"
+  "CMakeFiles/fig12_unrolling.dir/fig12_unrolling.cc.o.d"
+  "fig12_unrolling"
+  "fig12_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

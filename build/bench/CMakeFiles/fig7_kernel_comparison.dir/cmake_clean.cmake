@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_kernel_comparison.dir/fig7_kernel_comparison.cc.o"
+  "CMakeFiles/fig7_kernel_comparison.dir/fig7_kernel_comparison.cc.o.d"
+  "fig7_kernel_comparison"
+  "fig7_kernel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_kernel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

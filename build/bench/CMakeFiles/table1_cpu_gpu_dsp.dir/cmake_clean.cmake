@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cpu_gpu_dsp.dir/table1_cpu_gpu_dsp.cc.o"
+  "CMakeFiles/table1_cpu_gpu_dsp.dir/table1_cpu_gpu_dsp.cc.o.d"
+  "table1_cpu_gpu_dsp"
+  "table1_cpu_gpu_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cpu_gpu_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

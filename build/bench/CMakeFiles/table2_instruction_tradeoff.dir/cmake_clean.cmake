@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_instruction_tradeoff.dir/table2_instruction_tradeoff.cc.o"
+  "CMakeFiles/table2_instruction_tradeoff.dir/table2_instruction_tradeoff.cc.o.d"
+  "table2_instruction_tradeoff"
+  "table2_instruction_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_instruction_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

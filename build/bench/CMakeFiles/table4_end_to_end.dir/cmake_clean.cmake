@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_end_to_end.dir/table4_end_to_end.cc.o"
+  "CMakeFiles/table4_end_to_end.dir/table4_end_to_end.cc.o.d"
+  "table4_end_to_end"
+  "table4_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

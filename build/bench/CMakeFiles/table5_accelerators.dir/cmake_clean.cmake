@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_accelerators.dir/table5_accelerators.cc.o"
+  "CMakeFiles/table5_accelerators.dir/table5_accelerators.cc.o.d"
+  "table5_accelerators"
+  "table5_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_resnet.dir/compile_resnet.cpp.o"
+  "CMakeFiles/compile_resnet.dir/compile_resnet.cpp.o.d"
+  "compile_resnet"
+  "compile_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

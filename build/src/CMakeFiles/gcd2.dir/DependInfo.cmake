@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/frameworks.cc" "src/CMakeFiles/gcd2.dir/baselines/frameworks.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/baselines/frameworks.cc.o.d"
+  "/root/repo/src/baselines/kernel_compilers.cc" "src/CMakeFiles/gcd2.dir/baselines/kernel_compilers.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/baselines/kernel_compilers.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gcd2.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/gcd2.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/gcd2.dir/common/table.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/common/table.cc.o.d"
+  "/root/repo/src/dsp/alias.cc" "src/CMakeFiles/gcd2.dir/dsp/alias.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/dsp/alias.cc.o.d"
+  "/root/repo/src/dsp/deps.cc" "src/CMakeFiles/gcd2.dir/dsp/deps.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/dsp/deps.cc.o.d"
+  "/root/repo/src/dsp/functional_sim.cc" "src/CMakeFiles/gcd2.dir/dsp/functional_sim.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/dsp/functional_sim.cc.o.d"
+  "/root/repo/src/dsp/isa.cc" "src/CMakeFiles/gcd2.dir/dsp/isa.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/dsp/isa.cc.o.d"
+  "/root/repo/src/dsp/packet.cc" "src/CMakeFiles/gcd2.dir/dsp/packet.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/dsp/packet.cc.o.d"
+  "/root/repo/src/dsp/timing_sim.cc" "src/CMakeFiles/gcd2.dir/dsp/timing_sim.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/dsp/timing_sim.cc.o.d"
+  "/root/repo/src/dsp/verify.cc" "src/CMakeFiles/gcd2.dir/dsp/verify.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/dsp/verify.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/gcd2.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/CMakeFiles/gcd2.dir/graph/op.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/graph/op.cc.o.d"
+  "/root/repo/src/graph/passes.cc" "src/CMakeFiles/gcd2.dir/graph/passes.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/graph/passes.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/gcd2.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/kernels/conv.cc" "src/CMakeFiles/gcd2.dir/kernels/conv.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/kernels/conv.cc.o.d"
+  "/root/repo/src/kernels/elementwise.cc" "src/CMakeFiles/gcd2.dir/kernels/elementwise.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/kernels/elementwise.cc.o.d"
+  "/root/repo/src/kernels/matmul.cc" "src/CMakeFiles/gcd2.dir/kernels/matmul.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/kernels/matmul.cc.o.d"
+  "/root/repo/src/kernels/runner.cc" "src/CMakeFiles/gcd2.dir/kernels/runner.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/kernels/runner.cc.o.d"
+  "/root/repo/src/kernels/unroll.cc" "src/CMakeFiles/gcd2.dir/kernels/unroll.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/kernels/unroll.cc.o.d"
+  "/root/repo/src/models/builders.cc" "src/CMakeFiles/gcd2.dir/models/builders.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/models/builders.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/CMakeFiles/gcd2.dir/models/zoo.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/models/zoo.cc.o.d"
+  "/root/repo/src/runtime/compiler.cc" "src/CMakeFiles/gcd2.dir/runtime/compiler.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/runtime/compiler.cc.o.d"
+  "/root/repo/src/select/cost_model.cc" "src/CMakeFiles/gcd2.dir/select/cost_model.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/select/cost_model.cc.o.d"
+  "/root/repo/src/select/plan.cc" "src/CMakeFiles/gcd2.dir/select/plan.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/select/plan.cc.o.d"
+  "/root/repo/src/select/selector.cc" "src/CMakeFiles/gcd2.dir/select/selector.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/select/selector.cc.o.d"
+  "/root/repo/src/tensor/layout.cc" "src/CMakeFiles/gcd2.dir/tensor/layout.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/tensor/layout.cc.o.d"
+  "/root/repo/src/tensor/quant.cc" "src/CMakeFiles/gcd2.dir/tensor/quant.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/tensor/quant.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/gcd2.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/vliw/cfg.cc" "src/CMakeFiles/gcd2.dir/vliw/cfg.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/vliw/cfg.cc.o.d"
+  "/root/repo/src/vliw/idg.cc" "src/CMakeFiles/gcd2.dir/vliw/idg.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/vliw/idg.cc.o.d"
+  "/root/repo/src/vliw/packer.cc" "src/CMakeFiles/gcd2.dir/vliw/packer.cc.o" "gcc" "src/CMakeFiles/gcd2.dir/vliw/packer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcd2.a"
+)

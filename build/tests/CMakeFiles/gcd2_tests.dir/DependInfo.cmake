@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/frameworks_test.cc" "tests/CMakeFiles/gcd2_tests.dir/baselines/frameworks_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/baselines/frameworks_test.cc.o.d"
+  "/root/repo/tests/baselines/kernel_compilers_test.cc" "tests/CMakeFiles/gcd2_tests.dir/baselines/kernel_compilers_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/baselines/kernel_compilers_test.cc.o.d"
+  "/root/repo/tests/common/common_test.cc" "tests/CMakeFiles/gcd2_tests.dir/common/common_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/common/common_test.cc.o.d"
+  "/root/repo/tests/dsp/alias_segments_test.cc" "tests/CMakeFiles/gcd2_tests.dir/dsp/alias_segments_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/dsp/alias_segments_test.cc.o.d"
+  "/root/repo/tests/dsp/deps_test.cc" "tests/CMakeFiles/gcd2_tests.dir/dsp/deps_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/dsp/deps_test.cc.o.d"
+  "/root/repo/tests/dsp/functional_sim_test.cc" "tests/CMakeFiles/gcd2_tests.dir/dsp/functional_sim_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/dsp/functional_sim_test.cc.o.d"
+  "/root/repo/tests/dsp/isa_extra_test.cc" "tests/CMakeFiles/gcd2_tests.dir/dsp/isa_extra_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/dsp/isa_extra_test.cc.o.d"
+  "/root/repo/tests/dsp/packet_test.cc" "tests/CMakeFiles/gcd2_tests.dir/dsp/packet_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/dsp/packet_test.cc.o.d"
+  "/root/repo/tests/dsp/timing_sim_test.cc" "tests/CMakeFiles/gcd2_tests.dir/dsp/timing_sim_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/dsp/timing_sim_test.cc.o.d"
+  "/root/repo/tests/dsp/verify_test.cc" "tests/CMakeFiles/gcd2_tests.dir/dsp/verify_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/dsp/verify_test.cc.o.d"
+  "/root/repo/tests/graph/graph_test.cc" "tests/CMakeFiles/gcd2_tests.dir/graph/graph_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/graph/graph_test.cc.o.d"
+  "/root/repo/tests/graph/subgraph_test.cc" "tests/CMakeFiles/gcd2_tests.dir/graph/subgraph_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/graph/subgraph_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_test.cc" "tests/CMakeFiles/gcd2_tests.dir/integration/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/kernels/conv_sweep_test.cc" "tests/CMakeFiles/gcd2_tests.dir/kernels/conv_sweep_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/kernels/conv_sweep_test.cc.o.d"
+  "/root/repo/tests/kernels/conv_test.cc" "tests/CMakeFiles/gcd2_tests.dir/kernels/conv_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/kernels/conv_test.cc.o.d"
+  "/root/repo/tests/kernels/elementwise_test.cc" "tests/CMakeFiles/gcd2_tests.dir/kernels/elementwise_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/kernels/elementwise_test.cc.o.d"
+  "/root/repo/tests/kernels/matmul_test.cc" "tests/CMakeFiles/gcd2_tests.dir/kernels/matmul_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/kernels/matmul_test.cc.o.d"
+  "/root/repo/tests/kernels/runner_test.cc" "tests/CMakeFiles/gcd2_tests.dir/kernels/runner_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/kernels/runner_test.cc.o.d"
+  "/root/repo/tests/models/builders_test.cc" "tests/CMakeFiles/gcd2_tests.dir/models/builders_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/models/builders_test.cc.o.d"
+  "/root/repo/tests/models/zoo_test.cc" "tests/CMakeFiles/gcd2_tests.dir/models/zoo_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/models/zoo_test.cc.o.d"
+  "/root/repo/tests/runtime/compiler_test.cc" "tests/CMakeFiles/gcd2_tests.dir/runtime/compiler_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/runtime/compiler_test.cc.o.d"
+  "/root/repo/tests/select/cost_model_test.cc" "tests/CMakeFiles/gcd2_tests.dir/select/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/select/cost_model_test.cc.o.d"
+  "/root/repo/tests/select/plan_test.cc" "tests/CMakeFiles/gcd2_tests.dir/select/plan_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/select/plan_test.cc.o.d"
+  "/root/repo/tests/select/property_test.cc" "tests/CMakeFiles/gcd2_tests.dir/select/property_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/select/property_test.cc.o.d"
+  "/root/repo/tests/select/selector_test.cc" "tests/CMakeFiles/gcd2_tests.dir/select/selector_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/select/selector_test.cc.o.d"
+  "/root/repo/tests/tensor/layout_test.cc" "tests/CMakeFiles/gcd2_tests.dir/tensor/layout_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/tensor/layout_test.cc.o.d"
+  "/root/repo/tests/tensor/quant_test.cc" "tests/CMakeFiles/gcd2_tests.dir/tensor/quant_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/tensor/quant_test.cc.o.d"
+  "/root/repo/tests/vliw/idg_test.cc" "tests/CMakeFiles/gcd2_tests.dir/vliw/idg_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/vliw/idg_test.cc.o.d"
+  "/root/repo/tests/vliw/packer_regression_test.cc" "tests/CMakeFiles/gcd2_tests.dir/vliw/packer_regression_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/vliw/packer_regression_test.cc.o.d"
+  "/root/repo/tests/vliw/packer_test.cc" "tests/CMakeFiles/gcd2_tests.dir/vliw/packer_test.cc.o" "gcc" "tests/CMakeFiles/gcd2_tests.dir/vliw/packer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcd2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
