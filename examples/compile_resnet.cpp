@@ -79,6 +79,9 @@ main()
               << " plan combinations examined in "
               << fmtDouble(gcd2.selector.seconds * 1000.0, 1) << " ms\n";
 
+    std::cout << "\nWhere the compiler spent its time:\n"
+              << gcd2.report.toString();
+
     std::cout << "\nHottest operators (GCD2 build):\n";
     for (const auto &[id, cycles] : gcd2.topOperators(5)) {
         std::cout << "  " << g.node(id).name << " "

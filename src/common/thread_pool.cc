@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace gcd2 {
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int numThreads)
+{
+    size_ = numThreads <= 0 ? hardwareThreads() : numThreads;
+    if (size_ == 1)
+        return; // inline mode: no workers, submit() executes directly
+    workers_.reserve(static_cast<size_t>(size_));
+    for (int i = 0; i < size_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::recordError(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!firstError_)
+        firstError_ = std::move(error);
+}
+
+void
+ThreadPool::runTask(const std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        recordError(std::current_exception());
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        runTask(task);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --pending_;
+            if (pending_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        runTask(task);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++pending_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return pending_ == 0; });
+        error = std::move(firstError_);
+        firstError_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)> &body)
+{
+    if (n <= 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        // Inline mode matches the historical serial loop exactly.
+        std::exception_ptr error;
+        for (int64_t i = 0; i < n && !error; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    // One task per worker; iterations are claimed through a shared
+    // counter so load imbalance between iterations evens out.
+    auto next = std::make_shared<std::atomic<int64_t>>(0);
+    const int64_t tasks =
+        std::min<int64_t>(static_cast<int64_t>(size_), n);
+    for (int64_t t = 0; t < tasks; ++t) {
+        submit([next, n, &body] {
+            for (int64_t i = next->fetch_add(1); i < n;
+                 i = next->fetch_add(1))
+                body(i);
+        });
+    }
+    wait();
+}
+
+} // namespace gcd2

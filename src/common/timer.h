@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal monotonic stopwatch used for pass instrumentation and solver
+ * telemetry. One definition so every reported "seconds" in the system
+ * comes off the same clock.
+ */
+#ifndef GCD2_COMMON_TIMER_H
+#define GCD2_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace gcd2 {
+
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace gcd2
+
+#endif // GCD2_COMMON_TIMER_H

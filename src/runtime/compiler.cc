@@ -1,121 +1,14 @@
 #include "runtime/compiler.h"
 
-#include "common/logging.h"
+#include "runtime/pipeline.h"
 
 namespace gcd2::runtime {
-
-using select::CostModel;
-using select::ExecutionPlan;
-using select::PlanTable;
-using select::Selection;
-using select::SelectorResult;
 
 CompiledModel
 compile(const graph::Graph &graph, const CompileOptions &options)
 {
-    CostModel model(options.cost);
-    PlanTable table(graph, model);
-
-    CompiledModel result;
-    switch (options.selection) {
-      case SelectionMode::Gcd2:
-        result.selector =
-            select::selectGcd2Partitioned(table, options.maxPartition);
-        break;
-      case SelectionMode::Local:
-        result.selector = select::selectLocal(table);
-        break;
-      case SelectionMode::GlobalOptimal:
-        result.selector = select::selectGlobalOptimal(table);
-        break;
-      case SelectionMode::Uniform: {
-        // One scheme for every matmul-family operator, row-major for the
-        // rest: the uniform per-op-type implementations of TFLite/SNPE.
-        result.selector = select::selectLocal(table);
-        for (const graph::Node &node : graph.nodes()) {
-            if (node.dead)
-                continue;
-            if (graph::isMatMulFamily(node.op)) {
-                result.selector.selection
-                    .planIndex[static_cast<size_t>(node.id)] =
-                    static_cast<int>(options.uniformScheme);
-            } else if (select::isLayoutAgnostic(node.op)) {
-                // Row-major plan (index 0).
-                result.selector.selection
-                    .planIndex[static_cast<size_t>(node.id)] = 0;
-            }
-        }
-        result.selector.selection.totalCost =
-            select::aggCost(table, result.selector.selection);
-        break;
-      }
-    }
-    result.selection = result.selector.selection;
-    result.totalMacs = graph.totalMacs();
-    for (const graph::Node &node : graph.nodes()) {
-        if (node.dead || node.op == graph::OpType::Output)
-            continue;
-        // Each tensor counts once as an output and once per consumer.
-        result.demandBytes += node.shape.elements();
-        for (graph::NodeId in : node.inputs)
-            if (!graph.node(in).dead)
-                result.demandBytes += graph.node(in).shape.elements();
-    }
-
-    // Aggregate per-node execution statistics and per-edge transforms.
-    result.nodeCycles.assign(graph.size(), 0);
-    for (const graph::Node &node : graph.nodes()) {
-        if (node.dead)
-            continue;
-        const int planIdx =
-            result.selection.planIndex[static_cast<size_t>(node.id)];
-        const ExecutionPlan &plan =
-            table.plans(node.id)[static_cast<size_t>(planIdx)];
-        const select::NodeExecStats stats =
-            model.planStats(graph, node.id, plan);
-        result.nodeCycles[static_cast<size_t>(node.id)] = stats.cycles;
-        result.totals += stats;
-        if (node.op != graph::OpType::Input &&
-            node.op != graph::OpType::Constant &&
-            node.op != graph::OpType::Output) {
-            ++result.liveOperators;
-            result.totals.cycles += options.perOpOverheadCycles;
-        }
-        // Library kernels (Hexagon NN) pack the activation into the
-        // kernel layout on entry and unpack the result on exit.
-        if (options.libraryStyleBoundaries &&
-            graph::isMatMulFamily(node.op) && plan.isMatMulPlan()) {
-            const graph::Node &producer = graph.node(node.inputs[0]);
-            const select::NodeExecStats inPack = model.transformStats(
-                producer.shape, tensor::Layout::RowMajor, plan.inLayout);
-            const select::NodeExecStats outUnpack = model.transformStats(
-                node.shape, plan.outLayout, tensor::Layout::RowMajor);
-            result.totals += inPack;
-            result.totals += outUnpack;
-            result.transformOnly += inPack;
-            result.transformOnly += outUnpack;
-        }
-    }
-    // With library-style boundaries every inter-operator tensor is
-    // row-major, so no cross-edge transformation remains to charge.
-    if (options.libraryStyleBoundaries)
-        return result;
-    for (const auto &[src, dst] : table.edges()) {
-        const graph::Node &producer = graph.node(src);
-        if (producer.op == graph::OpType::Constant)
-            continue;
-        const ExecutionPlan &from =
-            table.plans(src)[static_cast<size_t>(
-                result.selection.planIndex[static_cast<size_t>(src)])];
-        const ExecutionPlan &to =
-            table.plans(dst)[static_cast<size_t>(
-                result.selection.planIndex[static_cast<size_t>(dst)])];
-        const select::NodeExecStats tc = model.transformStats(
-            producer.shape, from.outLayout, to.inLayout);
-        result.totals += tc;
-        result.transformOnly += tc;
-    }
-    return result;
+    CompilationSession session(graph, options);
+    return session.run();
 }
 
 } // namespace gcd2::runtime

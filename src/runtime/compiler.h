@@ -9,18 +9,52 @@
  * simulator. The result aggregates per-operator and per-edge (layout
  * transformation) statistics into the model's latency, utilization, and
  * memory-bandwidth figures.
+ *
+ * The stages run as named, individually timed passes inside a
+ * CompilationSession (see runtime/pipeline.h); every CompiledModel
+ * carries the session's PipelineReport so callers -- tests, benches,
+ * services -- can see where compile time went.
  */
 #ifndef GCD2_RUNTIME_COMPILER_H
 #define GCD2_RUNTIME_COMPILER_H
 
 #include <algorithm>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "select/selector.h"
 
 namespace gcd2::runtime {
+
+/** Timing + telemetry of one named pipeline pass. */
+struct PassReport
+{
+    std::string name;
+    double seconds = 0.0;
+    /** Pass-specific counters (nodes costed, kernels simulated, ...). */
+    std::vector<std::pair<std::string, uint64_t>> counters;
+
+    /** Counter value by name; 0 when the pass never recorded it. */
+    uint64_t counter(std::string_view key) const;
+};
+
+/** Structured account of one compilation, pass by pass. */
+struct PipelineReport
+{
+    std::vector<PassReport> passes;
+    double totalSeconds = 0.0;
+    /** Worker threads the session used (1 = fully serial). */
+    int threadsUsed = 1;
+
+    /** Pass by name; nullptr when no such pass ran. */
+    const PassReport *pass(std::string_view name) const;
+
+    /** Multi-line human-readable breakdown (bench/debug output). */
+    std::string toString() const;
+};
 
 /**
  * Simulated-cycle to wall-clock conversion.
@@ -63,6 +97,27 @@ struct CompileOptions
      * eliminates.
      */
     bool libraryStyleBoundaries = false;
+    /**
+     * Compile-time worker threads for plan costing, partition solving,
+     * and per-node kernel accounting. 0 = hardware concurrency, 1 =
+     * fully serial. Results are bit-identical at every thread count;
+     * only wall-clock compile time changes.
+     */
+    int numThreads = 0;
+    /**
+     * Run the standard graph-optimization pipeline (fold, fuse, DCE) on
+     * a private copy of the input graph before selection. Idempotent, so
+     * it is safe (and the default) even for graphs the model builders
+     * already optimized; disable to compile a graph exactly as given.
+     */
+    bool runGraphPasses = true;
+    /**
+     * Optional cross-compile kernel-simulation cache. When several
+     * models (or repeated compiles of one model) are compiled with the
+     * same kernel-level options, sharing a cache skips re-simulating
+     * identical canonical kernels. Null = private per-compile cache.
+     */
+    std::shared_ptr<select::CostCache> costCache;
 };
 
 /** A compiled model with its aggregated execution statistics. */
@@ -82,6 +137,8 @@ struct CompiledModel
     int64_t demandBytes = 0;
     /** Per-node kernel cycles (indexed by NodeId; 0 for dead nodes). */
     std::vector<uint64_t> nodeCycles;
+    /** Per-pass timing and telemetry of the compilation itself. */
+    PipelineReport report;
 
     /** The k most expensive operators (id, cycles), descending. */
     std::vector<std::pair<graph::NodeId, uint64_t>>

@@ -1,0 +1,289 @@
+#include "runtime/pipeline.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "graph/passes.h"
+
+namespace gcd2::runtime {
+
+using select::CostModel;
+using select::ExecutionPlan;
+using select::NodeExecStats;
+using select::PlanTable;
+
+uint64_t
+PassReport::counter(std::string_view key) const
+{
+    for (const auto &[name, value] : counters)
+        if (name == key)
+            return value;
+    return 0;
+}
+
+const PassReport *
+PipelineReport::pass(std::string_view name) const
+{
+    for (const PassReport &pass : passes)
+        if (pass.name == name)
+            return &pass;
+    return nullptr;
+}
+
+std::string
+PipelineReport::toString() const
+{
+    std::ostringstream out;
+    out << "compilation pipeline (" << threadsUsed
+        << (threadsUsed == 1 ? " thread, " : " threads, ")
+        << static_cast<int64_t>(totalSeconds * 1e3) << " ms total)\n";
+    for (const PassReport &pass : passes) {
+        out << "  " << pass.name << ": "
+            << static_cast<int64_t>(pass.seconds * 1e6) << " us";
+        for (const auto &[name, value] : pass.counters)
+            out << ", " << name << "=" << value;
+        out << "\n";
+    }
+    return out.str();
+}
+
+CompilationSession::CompilationSession(const graph::Graph &graph,
+                                       const CompileOptions &options)
+    : graph_(graph), options_(options), pool_(options.numThreads)
+{
+    report_.threadsUsed = pool_.size();
+}
+
+void
+CompilationSession::runPass(const char *name,
+                            const std::function<void(PassReport &)> &body)
+{
+    PassReport pass;
+    pass.name = name;
+    const Timer timer;
+    body(pass);
+    pass.seconds = timer.seconds();
+    report_.passes.push_back(std::move(pass));
+}
+
+void
+CompilationSession::passGraphOptimize(PassReport &pass)
+{
+    if (!options_.runGraphPasses) {
+        pass.counters.emplace_back("skipped", 1);
+        return;
+    }
+    const graph::PassStats stats = graph::optimize(graph_);
+    pass.counters.emplace_back(
+        "folded", static_cast<uint64_t>(stats.foldedNodes));
+    pass.counters.emplace_back(
+        "fused", static_cast<uint64_t>(stats.fusedActivations));
+    pass.counters.emplace_back(
+        "removed", static_cast<uint64_t>(stats.removedNodes));
+    pass.counters.emplace_back(
+        "live-operators", static_cast<uint64_t>(graph_.operatorCount()));
+}
+
+void
+CompilationSession::passPlanTable(PassReport &pass)
+{
+    model_.emplace(options_.cost, options_.costCache);
+    const uint64_t hits0 = model_->cache().hits();
+    const uint64_t misses0 = model_->cache().misses();
+    table_.emplace(graph_, *model_, &pool_);
+
+    uint64_t candidatePlans = 0;
+    for (const graph::Node &node : graph_.nodes())
+        if (!node.dead)
+            candidatePlans += table_->plans(node.id).size();
+    pass.counters.emplace_back("candidate-plans", candidatePlans);
+    pass.counters.emplace_back(
+        "edges", static_cast<uint64_t>(table_->edges().size()));
+    pass.counters.emplace_back(
+        "free-operators",
+        static_cast<uint64_t>(table_->freeNodes().size()));
+    // Misses = canonical kernels actually generated, packed, and
+    // simulated during this pass; hits were answered from the memo.
+    pass.counters.emplace_back("kernel-sims",
+                               model_->cache().misses() - misses0);
+    pass.counters.emplace_back("cache-hits",
+                               model_->cache().hits() - hits0);
+}
+
+void
+CompilationSession::passSelection(PassReport &pass, CompiledModel &result)
+{
+    switch (options_.selection) {
+      case SelectionMode::Gcd2:
+        result.selector = select::selectGcd2Partitioned(
+            *table_, options_.maxPartition, &pool_);
+        break;
+      case SelectionMode::Local:
+        result.selector = select::selectLocal(*table_);
+        break;
+      case SelectionMode::GlobalOptimal:
+        result.selector = select::selectGlobalOptimal(*table_);
+        break;
+      case SelectionMode::Uniform: {
+        // One scheme for every matmul-family operator, row-major for the
+        // rest: the uniform per-op-type implementations of TFLite/SNPE.
+        result.selector = select::selectLocal(*table_);
+        for (const graph::Node &node : graph_.nodes()) {
+            if (node.dead)
+                continue;
+            if (graph::isMatMulFamily(node.op)) {
+                result.selector.selection
+                    .planIndex[static_cast<size_t>(node.id)] =
+                    static_cast<int>(options_.uniformScheme);
+            } else if (select::isLayoutAgnostic(node.op)) {
+                // Row-major plan (index 0).
+                result.selector.selection
+                    .planIndex[static_cast<size_t>(node.id)] = 0;
+            }
+        }
+        result.selector.selection.totalCost =
+            select::aggCost(*table_, result.selector.selection);
+        break;
+      }
+    }
+    result.selection = result.selector.selection;
+    pass.counters.emplace_back("evaluations",
+                               result.selector.evaluations);
+    pass.counters.emplace_back("total-cost",
+                               result.selection.totalCost);
+}
+
+void
+CompilationSession::passKernelGeneration(PassReport &pass,
+                                         CompiledModel &result)
+{
+    // Statistics of the *chosen* kernel for every live node. Each node
+    // is independent, so the pool splits them; aggregation stays in the
+    // cycle-accounting pass (in node order) to keep totals
+    // thread-count-invariant by construction.
+    const uint64_t misses0 = model_->cache().misses();
+    nodeStats_.assign(graph_.size(), NodeExecStats{});
+    const std::vector<graph::Node> &nodes = graph_.nodes();
+    pool_.parallelFor(
+        static_cast<int64_t>(nodes.size()), [&](int64_t i) {
+            const graph::Node &node = nodes[static_cast<size_t>(i)];
+            if (node.dead)
+                return;
+            const int planIdx =
+                result.selection.planIndex[static_cast<size_t>(node.id)];
+            const ExecutionPlan &plan =
+                table_->plans(node.id)[static_cast<size_t>(planIdx)];
+            nodeStats_[static_cast<size_t>(i)] =
+                model_->planStats(graph_, node.id, plan);
+        });
+
+    uint64_t kernels = 0;
+    for (const graph::Node &node : nodes)
+        if (!node.dead)
+            ++kernels;
+    pass.counters.emplace_back("kernels", kernels);
+    pass.counters.emplace_back("kernel-sims",
+                               model_->cache().misses() - misses0);
+}
+
+void
+CompilationSession::passCycleAccounting(PassReport &pass,
+                                        CompiledModel &result)
+{
+    result.totalMacs = graph_.totalMacs();
+    for (const graph::Node &node : graph_.nodes()) {
+        if (node.dead || node.op == graph::OpType::Output)
+            continue;
+        // Each tensor counts once as an output and once per consumer.
+        result.demandBytes += node.shape.elements();
+        for (graph::NodeId in : node.inputs)
+            if (!graph_.node(in).dead)
+                result.demandBytes += graph_.node(in).shape.elements();
+    }
+
+    // Aggregate per-node execution statistics and per-edge transforms.
+    result.nodeCycles.assign(graph_.size(), 0);
+    for (const graph::Node &node : graph_.nodes()) {
+        if (node.dead)
+            continue;
+        const NodeExecStats &stats =
+            nodeStats_[static_cast<size_t>(node.id)];
+        result.nodeCycles[static_cast<size_t>(node.id)] = stats.cycles;
+        result.totals += stats;
+        if (node.op != graph::OpType::Input &&
+            node.op != graph::OpType::Constant &&
+            node.op != graph::OpType::Output) {
+            ++result.liveOperators;
+            result.totals.cycles += options_.perOpOverheadCycles;
+        }
+        // Library kernels (Hexagon NN) pack the activation into the
+        // kernel layout on entry and unpack the result on exit.
+        if (options_.libraryStyleBoundaries &&
+            graph::isMatMulFamily(node.op)) {
+            const int planIdx =
+                result.selection.planIndex[static_cast<size_t>(node.id)];
+            const ExecutionPlan &plan =
+                table_->plans(node.id)[static_cast<size_t>(planIdx)];
+            if (plan.isMatMulPlan()) {
+                const graph::Node &producer = graph_.node(node.inputs[0]);
+                const NodeExecStats inPack = model_->transformStats(
+                    producer.shape, tensor::Layout::RowMajor,
+                    plan.inLayout);
+                const NodeExecStats outUnpack = model_->transformStats(
+                    node.shape, plan.outLayout, tensor::Layout::RowMajor);
+                result.totals += inPack;
+                result.totals += outUnpack;
+                result.transformOnly += inPack;
+                result.transformOnly += outUnpack;
+            }
+        }
+    }
+    // With library-style boundaries every inter-operator tensor is
+    // row-major, so no cross-edge transformation remains to charge.
+    if (!options_.libraryStyleBoundaries) {
+        for (const auto &[src, dst] : table_->edges()) {
+            const graph::Node &producer = graph_.node(src);
+            if (producer.op == graph::OpType::Constant)
+                continue;
+            const ExecutionPlan &from = table_->plans(src)[static_cast<
+                size_t>(
+                result.selection.planIndex[static_cast<size_t>(src)])];
+            const ExecutionPlan &to = table_->plans(dst)[static_cast<
+                size_t>(
+                result.selection.planIndex[static_cast<size_t>(dst)])];
+            const NodeExecStats tc = model_->transformStats(
+                producer.shape, from.outLayout, to.inLayout);
+            result.totals += tc;
+            result.transformOnly += tc;
+        }
+    }
+    pass.counters.emplace_back("total-cycles", result.totals.cycles);
+    pass.counters.emplace_back("transform-cycles",
+                               result.transformOnly.cycles);
+    pass.counters.emplace_back(
+        "live-operators", static_cast<uint64_t>(result.liveOperators));
+}
+
+CompiledModel
+CompilationSession::run()
+{
+    const Timer total;
+    CompiledModel result;
+    runPass("graph-optimize",
+            [&](PassReport &pass) { passGraphOptimize(pass); });
+    runPass("plan-table", [&](PassReport &pass) { passPlanTable(pass); });
+    runPass("selection",
+            [&](PassReport &pass) { passSelection(pass, result); });
+    runPass("kernel-generation", [&](PassReport &pass) {
+        passKernelGeneration(pass, result);
+    });
+    runPass("cycle-accounting", [&](PassReport &pass) {
+        passCycleAccounting(pass, result);
+    });
+    report_.totalSeconds = total.seconds();
+    result.report = report_;
+    return result;
+}
+
+} // namespace gcd2::runtime

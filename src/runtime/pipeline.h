@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The compilation pipeline: one CompilationSession per compile, running
+ * the Fig. 6 workflow as a sequence of named, individually timed passes:
+ *
+ *   graph-optimize    computational-graph optimizations (fold/fuse/DCE)
+ *   plan-table        enumerate + cost every candidate plan (kernel
+ *                     generation, VLIW packing, and timing simulation of
+ *                     the canonical kernels happen here, memoized)
+ *   selection         global layout/instruction selection (IV-A/B)
+ *   kernel-generation per-node statistics of the *chosen* kernels
+ *   cycle-accounting  totals, layout-transformation edges, overheads
+ *
+ * Each pass records wall-clock seconds and input/output counters into a
+ * PipelineReport that ships inside the CompiledModel, so callers can see
+ * where compile time went without re-instrumenting.
+ *
+ * The session owns a ThreadPool (CompileOptions::numThreads) used by the
+ * embarrassingly parallel stages -- per-node plan costing, independent
+ * GCD2 partition solves, and per-node kernel accounting. Every parallel
+ * region is deterministic: thread count changes wall-clock time only,
+ * never the Selection, costs, or cycle totals.
+ */
+#ifndef GCD2_RUNTIME_PIPELINE_H
+#define GCD2_RUNTIME_PIPELINE_H
+
+#include <functional>
+#include <optional>
+
+#include "common/thread_pool.h"
+#include "runtime/compiler.h"
+
+namespace gcd2::runtime {
+
+class CompilationSession
+{
+  public:
+    CompilationSession(const graph::Graph &graph,
+                       const CompileOptions &options);
+
+    /** Run every pass and return the compiled model (with its report). */
+    CompiledModel run();
+
+    /** The report built so far (complete after run()). */
+    const PipelineReport &report() const { return report_; }
+
+  private:
+    /** Time one named pass; @p body fills the pass's counters. */
+    void runPass(const char *name,
+                 const std::function<void(PassReport &)> &body);
+
+    void passGraphOptimize(PassReport &pass);
+    void passPlanTable(PassReport &pass);
+    void passSelection(PassReport &pass, CompiledModel &result);
+    void passKernelGeneration(PassReport &pass, CompiledModel &result);
+    void passCycleAccounting(PassReport &pass, CompiledModel &result);
+
+    graph::Graph graph_; ///< session-private copy the passes may rewrite
+    CompileOptions options_;
+    ThreadPool pool_;
+    PipelineReport report_;
+
+    std::optional<select::CostModel> model_;
+    std::optional<select::PlanTable> table_;
+    /** Stats of each node's selected plan (kernel-generation output). */
+    std::vector<select::NodeExecStats> nodeStats_;
+};
+
+} // namespace gcd2::runtime
+
+#endif // GCD2_RUNTIME_PIPELINE_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Thread-safe memo table for simulated kernel costs.
+ *
+ * The cost model prices operators by simulating one canonical kernel
+ * (a matmul tile, a depthwise row pass, an elementwise run) and scaling.
+ * Those simulations dominate compile time, so their results are memoized
+ * under a typed key -- every field that can change the simulated cycles
+ * (kernel kind, scheme/op, unroll choice, reduction depth / run length,
+ * and the full VLIW packing configuration) is part of the key, which
+ * replaces the descriptor strings the cache used to be keyed on.
+ *
+ * The table is sharded: each shard is an unordered_map behind its own
+ * mutex, so concurrent plan costing from the compile-time worker pool
+ * scales without a global lock. Values are returned *by value*; the old
+ * reference-returning API could hand out a reference that a concurrent
+ * rehash of the underlying map would invalidate.
+ *
+ * Because an entry's value is a pure function of its key, the cache is
+ * safe to share between CostModel instances (and across compiles): if
+ * two threads miss the same key they both simulate, and whichever
+ * inserts first wins -- with identical bits either way, so compilation
+ * results never depend on thread timing.
+ */
+#ifndef GCD2_SELECT_COST_CACHE_H
+#define GCD2_SELECT_COST_CACHE_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "select/exec_stats.h"
+#include "vliw/packer.h"
+
+namespace gcd2::select {
+
+/** What canonical simulation a cache entry holds. */
+enum class CostKind : uint8_t
+{
+    MatMulTile,   ///< one row-panel x column-tile, full reduction depth
+    DepthwiseRow, ///< one canonical depthwise output-row pass
+    Elementwise,  ///< one canonical elementwise run
+};
+
+/** Typed cache key: everything that determines the simulated stats. */
+struct CostKey
+{
+    CostKind kind = CostKind::MatMulTile;
+    /** MatMulScheme / EwOp ordinal, or the depthwise stride. */
+    int32_t tag = 0;
+    /** Unroll choice (matmul tiles); unused otherwise. */
+    int32_t unrollOut = 0;
+    int32_t unrollCols = 0;
+    int32_t unrollK = 0;
+    /** Reduction depth (matmul) or simulated length (elementwise). */
+    int64_t extent = 0;
+    /** Full packing configuration (policy and Eq. 4 tunables). */
+    vliw::PackPolicy policy = vliw::PackPolicy::Sda;
+    double packW = 0.0;
+    double packPenaltyScale = 0.0;
+
+    friend bool operator==(const CostKey &, const CostKey &) = default;
+};
+
+/** FNV-style field-combining hash for CostKey. */
+struct CostKeyHash
+{
+    size_t operator()(const CostKey &key) const noexcept;
+};
+
+class CostCache
+{
+  public:
+    /**
+     * Return the stats for @p key, running @p compute on a miss. The
+     * computation executes outside the shard lock, so concurrent misses
+     * on other keys (and even the same key) proceed in parallel; the
+     * first inserted value wins and is what every caller sees.
+     */
+    NodeExecStats
+    lookupOrCompute(const CostKey &key,
+                    const std::function<NodeExecStats()> &compute);
+
+    /** Cached entry count (approximate under concurrency). */
+    size_t size() const;
+
+    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    uint64_t
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    void clear();
+
+  private:
+    static constexpr size_t kShardCount = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<CostKey, NodeExecStats, CostKeyHash> map;
+    };
+
+    Shard &shardFor(const CostKey &key);
+
+    std::array<Shard, kShardCount> shards_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace gcd2::select
+
+#endif // GCD2_SELECT_COST_CACHE_H

@@ -1,7 +1,6 @@
 #include "select/cost_model.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "common/logging.h"
 #include "kernels/conv.h"
@@ -99,75 +98,83 @@ NodeExecStats::scaled(double factor) const
     return out;
 }
 
-CostModel::CostModel(CostModelOptions options) : options_(options) {}
-
-NodeExecStats &
-CostModel::cached(const std::string &key, bool &hit)
+CostModel::CostModel(CostModelOptions options,
+                     std::shared_ptr<CostCache> cache)
+    : options_(options), cache_(std::move(cache))
 {
-    const auto [it, inserted] = cache_.try_emplace(key);
-    hit = !inserted;
-    return it->second;
+    if (!cache_)
+        cache_ = std::make_shared<CostCache>();
+}
+
+CostKey
+CostModel::baseKey(CostKind kind) const
+{
+    CostKey key;
+    key.kind = kind;
+    key.policy = options_.packOptions.policy;
+    key.packW = options_.packOptions.w;
+    key.packPenaltyScale = options_.packOptions.penaltyScale;
+    return key;
 }
 
 NodeExecStats
 CostModel::matmulTileStats(MatMulScheme scheme, const UnrollChoice &choice,
-                           int64_t k)
+                           int64_t k) const
 {
-    std::ostringstream key;
-    key << "mm|" << static_cast<int>(scheme) << "|" << choice.outer << "|"
-        << choice.cols << "|" << choice.k << "|" << k << "|"
-        << static_cast<int>(options_.packOptions.policy);
-    bool hit = false;
-    NodeExecStats &entry = cached(key.str(), hit);
-    if (hit)
+    CostKey key = baseKey(CostKind::MatMulTile);
+    key.tag = static_cast<int32_t>(scheme);
+    key.unrollOut = choice.outer;
+    key.unrollCols = choice.cols;
+    key.unrollK = choice.k;
+    key.extent = k;
+    return cache_->lookupOrCompute(key, [&] {
+        // One row panel x one column tile, full reduction depth: every
+        // other tile of the kernel does identical work, so scaling is
+        // exact.
+        MatMulShape tile;
+        tile.m = static_cast<int64_t>(panelRowsOf(scheme)) * choice.outer;
+        tile.k = k;
+        tile.n = static_cast<int64_t>(colsPerUnitOf(scheme)) * choice.cols;
+        kernels::MatMulConfig config;
+        config.scheme = scheme;
+        config = kernels::withUnroll(config, choice);
+
+        const kernels::MatMulKernel kernel(tile, config);
+        const kernels::KernelRunResult run =
+            kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
+                               options_.packOptions);
+        NodeExecStats entry = fromTiming(run);
+
+        // 16-bit accumulator drain: vmpy/vmpa accumulate 8-bit products
+        // into halfword lanes, which is only overflow-safe for a bounded
+        // number of accumulation steps; production kernels periodically
+        // widen the partial sums into 32-bit lanes. The generated kernels
+        // implement the drain-free building block; the model charges the
+        // periodic widening (one widen + re-zero sequence per live
+        // accumulator pair every 32 reduction steps), which is what makes
+        // vrmpy (native 32-bit accumulation) win deep reductions -- the
+        // shape-dependent instruction trade-off behind Table II and
+        // Fig. 10.
+        if (scheme != MatMulScheme::Vrmpy) {
+            const int accPairs =
+                choice.cols * (scheme == MatMulScheme::Vmpa ? 2 : 1);
+            // Drain every 32 reduction steps (requantized-operand
+            // headroom in the halfword lanes); each drain reads the pair,
+            // widen-adds into the 32-bit partials and re-zeroes it -- ~14
+            // cycles per pair through the single shift and permute units.
+            const int64_t drains = std::max<int64_t>(0, (k + 31) / 32 - 1);
+            entry.cycles += static_cast<uint64_t>(drains) *
+                            static_cast<uint64_t>(accPairs) * 14;
+            entry.instructions += static_cast<uint64_t>(drains) *
+                                  static_cast<uint64_t>(accPairs) * 8;
+        }
         return entry;
-
-    // One row panel x one column tile, full reduction depth: every other
-    // tile of the kernel does identical work, so scaling is exact.
-    MatMulShape tile;
-    tile.m = static_cast<int64_t>(panelRowsOf(scheme)) * choice.outer;
-    tile.k = k;
-    tile.n = static_cast<int64_t>(colsPerUnitOf(scheme)) * choice.cols;
-    kernels::MatMulConfig config;
-    config.scheme = scheme;
-    config = kernels::withUnroll(config, choice);
-
-    const kernels::MatMulKernel kernel(tile, config);
-    const kernels::KernelRunResult run =
-        kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
-                           options_.packOptions);
-    entry = fromTiming(run);
-
-    // 16-bit accumulator drain: vmpy/vmpa accumulate 8-bit products into
-    // halfword lanes, which is only overflow-safe for a bounded number of
-    // accumulation steps; production kernels periodically widen the
-    // partial sums into 32-bit lanes. The generated kernels implement the
-    // drain-free building block; the model charges the periodic widening
-    // (one widen + re-zero sequence per live accumulator pair every 32
-    // reduction steps), which is what makes vrmpy (native 32-bit
-    // accumulation) win deep reductions -- the shape-dependent
-    // instruction trade-off behind Table II and Fig. 10.
-    if (scheme != MatMulScheme::Vrmpy) {
-
-        const int accPairs =
-            choice.cols * (scheme == MatMulScheme::Vmpa ? 2 : 1);
-        // Drain every 32 reduction steps (requantized-operand headroom in
-        // the halfword lanes); each drain reads the pair, widen-adds into
-        // the 32-bit partials and re-zeroes it -- ~14 cycles per pair
-        // through the single shift and permute units.
-        const int64_t drains = std::max<int64_t>(0, (k + 31) / 32 - 1);
-        const uint64_t extraCycles = static_cast<uint64_t>(drains) *
-                                     static_cast<uint64_t>(accPairs) * 14;
-        entry.cycles += extraCycles;
-        entry.instructions += static_cast<uint64_t>(drains) *
-                              static_cast<uint64_t>(accPairs) * 8;
-    }
-    return entry;
+    });
 }
 
 NodeExecStats
 CostModel::matmulStats(const MatMulShape &shape, MatMulScheme scheme,
-                       uint64_t extraCycles)
+                       uint64_t extraCycles) const
 {
     const int panel = panelRowsOf(scheme);
     const int unit = colsPerUnitOf(scheme);
@@ -220,42 +227,35 @@ CostModel::matmulStats(const MatMulShape &shape, MatMulScheme scheme,
 }
 
 NodeExecStats
-CostModel::depthwiseRowStats(int stride)
+CostModel::depthwiseRowStats(int stride) const
 {
-    std::ostringstream key;
-    key << "dwrow|" << stride << "|"
-        << static_cast<int>(options_.packOptions.policy);
-    bool hit = false;
-    NodeExecStats &entry = cached(key.str(), hit);
-    if (hit)
-        return entry;
-
-    kernels::DepthwiseConfig config;
-    config.channels = 1;
-    config.stride = stride;
-    config.inH = stride == 2 ? 5 : 4; // two output rows
-    config.inW = 256;
-    const kernels::DepthwiseKernel kernel(config);
-    const kernels::KernelRunResult run =
-        kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
-                           options_.packOptions);
-    entry = fromTiming(run).scaled(0.5); // per output row tile
-    return entry;
+    CostKey key = baseKey(CostKind::DepthwiseRow);
+    key.tag = stride;
+    return cache_->lookupOrCompute(key, [&] {
+        kernels::DepthwiseConfig config;
+        config.channels = 1;
+        config.stride = stride;
+        config.inH = stride == 2 ? 5 : 4; // two output rows
+        config.inW = 256;
+        const kernels::DepthwiseKernel kernel(config);
+        const kernels::KernelRunResult run =
+            kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
+                               options_.packOptions);
+        return fromTiming(run).scaled(0.5); // per output row tile
+    });
 }
 
 NodeExecStats
-CostModel::elementwiseStats(EwOp op, int64_t length)
+CostModel::elementwiseStats(EwOp op, int64_t length) const
 {
     const bool scalarOp = op == EwOp::Div || op == EwOp::DivLut;
     const int64_t simLen =
         std::min<int64_t>(length, scalarOp ? 512 : 8192);
 
-    std::ostringstream key;
-    key << "ew|" << static_cast<int>(op) << "|" << simLen << "|"
-        << static_cast<int>(options_.packOptions.policy);
-    bool hit = false;
-    NodeExecStats &entry = cached(key.str(), hit);
-    if (!hit) {
+    CostKey key = baseKey(CostKind::Elementwise);
+    key.tag = static_cast<int32_t>(op);
+    key.extent = simLen;
+    const NodeExecStats entry = cache_->lookupOrCompute(key, [&] {
         kernels::EwConfig config;
         config.op = op;
         config.length = simLen;
@@ -263,8 +263,8 @@ CostModel::elementwiseStats(EwOp op, int64_t length)
         const kernels::KernelRunResult run =
             kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
                                options_.packOptions);
-        entry = fromTiming(run);
-    }
+        return fromTiming(run);
+    });
 
     const double factor =
         static_cast<double>(length) / static_cast<double>(simLen);
@@ -273,7 +273,7 @@ CostModel::elementwiseStats(EwOp op, int64_t length)
 
 NodeExecStats
 CostModel::computeStats(const graph::Graph &graph, NodeId id,
-                        const ExecutionPlan &plan)
+                        const ExecutionPlan &plan) const
 {
     const graph::Node &node = graph.node(id);
     const MatrixView view = matrixView(node.shape);
@@ -472,7 +472,7 @@ CostModel::computeStats(const graph::Graph &graph, NodeId id,
 }
 
 std::vector<ExecutionPlan>
-CostModel::costedPlans(const graph::Graph &graph, NodeId id)
+CostModel::costedPlans(const graph::Graph &graph, NodeId id) const
 {
     std::vector<ExecutionPlan> plans = enumeratePlans(graph, id);
     for (ExecutionPlan &plan : plans)
@@ -482,7 +482,7 @@ CostModel::costedPlans(const graph::Graph &graph, NodeId id)
 
 NodeExecStats
 CostModel::planStats(const graph::Graph &graph, NodeId id,
-                     const ExecutionPlan &plan)
+                     const ExecutionPlan &plan) const
 {
     return computeStats(graph, id, plan);
 }

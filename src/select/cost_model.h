@@ -15,16 +15,23 @@
  * The options mirror the ablations of the paper's Fig. 9/11/12: which
  * VLIW packer generates the code, which unrolling strategy is used, and
  * whether the division-to-lookup-table optimization is applied.
+ *
+ * Thread safety: every public query is const and safe to call from
+ * multiple threads concurrently -- the canonical-kernel simulations are
+ * memoized in a sharded CostCache (see cost_cache.h). By default each
+ * model owns a private cache; pass a shared one to reuse simulations
+ * across compiles with identical kernel-level options.
  */
 #ifndef GCD2_SELECT_COST_MODEL_H
 #define GCD2_SELECT_COST_MODEL_H
 
-#include <map>
-#include <string>
+#include <memory>
 
 #include "graph/graph.h"
 #include "kernels/elementwise.h"
 #include "kernels/unroll.h"
+#include "select/cost_cache.h"
+#include "select/exec_stats.h"
 #include "select/plan.h"
 #include "vliw/packer.h"
 
@@ -39,34 +46,31 @@ struct CostModelOptions
     bool lutOptimization = true;
 };
 
-/** Architectural event totals for one node execution (scaled). */
-struct NodeExecStats
-{
-    uint64_t cycles = 0;
-    uint64_t instructions = 0;
-    uint64_t packets = 0;
-    uint64_t bytesLoaded = 0;
-    uint64_t bytesStored = 0;
-
-    NodeExecStats &operator+=(const NodeExecStats &other);
-    NodeExecStats scaled(double factor) const;
-};
-
 /** Memoizing cost model. */
 class CostModel
 {
   public:
-    explicit CostModel(CostModelOptions options = {});
+    /**
+     * @param cache memo table for canonical-kernel simulations; a fresh
+     *        private cache is created when omitted. Sharing a cache
+     *        between models is sound because every option that affects
+     *        a simulation is part of the cache key.
+     */
+    explicit CostModel(CostModelOptions options = {},
+                       std::shared_ptr<CostCache> cache = nullptr);
 
     const CostModelOptions &options() const { return options_; }
 
+    /** The memo table (for telemetry and cross-compile sharing). */
+    const CostCache &cache() const { return *cache_; }
+
     /** Candidate plans of a node with cycles filled in. */
     std::vector<ExecutionPlan> costedPlans(const graph::Graph &graph,
-                                           graph::NodeId id);
+                                           graph::NodeId id) const;
 
     /** Full event statistics of a node under a plan. */
     NodeExecStats planStats(const graph::Graph &graph, graph::NodeId id,
-                            const ExecutionPlan &plan);
+                            const ExecutionPlan &plan) const;
 
     /** TC: cycles to transform a tensor between layouts (0 if equal). */
     uint64_t transformCost(const tensor::Shape &shape, tensor::Layout from,
@@ -84,22 +88,22 @@ class CostModel
      */
     NodeExecStats matmulStats(const kernels::MatMulShape &shape,
                               kernels::MatMulScheme scheme,
-                              uint64_t extraCycles);
+                              uint64_t extraCycles) const;
 
   private:
+    /** Key prefix shared by every simulation under these options. */
+    CostKey baseKey(CostKind kind) const;
+
     NodeExecStats matmulTileStats(kernels::MatMulScheme scheme,
                                   const kernels::UnrollChoice &choice,
-                                  int64_t k);
-    NodeExecStats depthwiseRowStats(int stride);
-    NodeExecStats elementwiseStats(kernels::EwOp op, int64_t length);
+                                  int64_t k) const;
+    NodeExecStats depthwiseRowStats(int stride) const;
+    NodeExecStats elementwiseStats(kernels::EwOp op, int64_t length) const;
     NodeExecStats computeStats(const graph::Graph &graph, graph::NodeId id,
-                               const ExecutionPlan &plan);
-
-    /** Per-canonical-run simulated stats, keyed by a descriptor string. */
-    NodeExecStats &cached(const std::string &key, bool &hit);
+                               const ExecutionPlan &plan) const;
 
     CostModelOptions options_;
-    std::map<std::string, NodeExecStats> cache_;
+    std::shared_ptr<CostCache> cache_;
 };
 
 } // namespace gcd2::select

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Architectural event totals of one node execution (scaled from the
+ * canonical simulated kernel). Split out of the cost model so the cost
+ * cache and reporting code can use the type without pulling in kernel
+ * generation.
+ */
+#ifndef GCD2_SELECT_EXEC_STATS_H
+#define GCD2_SELECT_EXEC_STATS_H
+
+#include <cstdint>
+
+namespace gcd2::select {
+
+/** Architectural event totals for one node execution (scaled). */
+struct NodeExecStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t packets = 0;
+    uint64_t bytesLoaded = 0;
+    uint64_t bytesStored = 0;
+
+    NodeExecStats &operator+=(const NodeExecStats &other);
+    NodeExecStats scaled(double factor) const;
+};
+
+} // namespace gcd2::select
+
+#endif // GCD2_SELECT_EXEC_STATS_H

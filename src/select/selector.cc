@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace gcd2::select {
 
@@ -23,15 +24,34 @@ elapsedSeconds(std::chrono::steady_clock::time_point start)
 
 } // namespace
 
-PlanTable::PlanTable(const graph::Graph &graph, CostModel &model)
+PlanTable::PlanTable(const graph::Graph &graph, const CostModel &model,
+                     ThreadPool *pool)
     : graph_(&graph), model_(&model)
 {
     plans_.resize(graph.size());
-    for (const graph::Node &node : graph.nodes()) {
+    const std::vector<graph::Node> &nodes = graph.nodes();
+    if (pool != nullptr && pool->size() > 1) {
+        // Each node's plan set is an independent pure computation (the
+        // cost model's memo cache is thread-safe), so any iteration
+        // order yields the same table.
+        pool->parallelFor(
+            static_cast<int64_t>(nodes.size()), [&](int64_t i) {
+                const graph::Node &node = nodes[static_cast<size_t>(i)];
+                if (!node.dead)
+                    plans_[static_cast<size_t>(i)] =
+                        model.costedPlans(graph, node.id);
+            });
+    } else {
+        for (const graph::Node &node : nodes)
+            if (!node.dead)
+                plans_[static_cast<size_t>(node.id)] =
+                    model.costedPlans(graph, node.id);
+    }
+    // Edge and free-node enumeration stays serial so their order (which
+    // downstream solvers iterate in) is independent of thread count.
+    for (const graph::Node &node : nodes) {
         if (node.dead)
             continue;
-        plans_[static_cast<size_t>(node.id)] =
-            model.costedPlans(graph, node.id);
         for (NodeId in : node.inputs)
             if (!graph.node(in).dead)
                 edges_.emplace_back(in, node.id);
@@ -392,8 +412,57 @@ selectGlobalOptimal(const PlanTable &table, size_t maxFreeNodes)
     return result;
 }
 
+namespace {
+
+/**
+ * Solve one free-operator component: small components exactly, oversized
+ * ones via topological chunks followed by overlapping boundary polish --
+ * each window is re-optimized exactly, conditioned on the rest, so every
+ * polish step is monotone in Agg_Cost. Touches only the component's own
+ * planIndex entries (plus reads of already-fixed pinned nodes), which is
+ * what makes concurrent component solves race-free.
+ */
+void
+solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
+               int maxPartition, Selection &sel, uint64_t &evaluations)
+{
+    if (static_cast<int>(component.size()) <= maxPartition) {
+        solveSubsetOptimal(table, component, sel, evaluations);
+        return;
+    }
+    // Oversized component: cut into topological chunks and solve them
+    // in order with earlier decisions fixed ("complementary edges").
+    std::vector<NodeId> chunk;
+    auto flush = [&]() {
+        if (!chunk.empty()) {
+            solveSubsetOptimal(table, chunk, sel, evaluations);
+            chunk.clear();
+        }
+    };
+    for (size_t i = 0; i < component.size(); ++i) {
+        chunk.push_back(component[i]);
+        if (static_cast<int>(chunk.size()) >= maxPartition)
+            flush();
+    }
+    flush();
+
+    const size_t window = static_cast<size_t>(maxPartition);
+    const size_t stride = std::max<size_t>(1, window / 2);
+    for (size_t start = stride; start < component.size();
+         start += stride) {
+        const size_t end = std::min(component.size(), start + window);
+        const std::vector<NodeId> slice(
+            component.begin() + static_cast<long>(start),
+            component.begin() + static_cast<long>(end));
+        solveSubsetOptimal(table, slice, sel, evaluations);
+    }
+}
+
+} // namespace
+
 SelectorResult
-selectGcd2Partitioned(const PlanTable &table, int maxPartition)
+selectGcd2Partitioned(const PlanTable &table, int maxPartition,
+                      ThreadPool *pool)
 {
     GCD2_REQUIRE(maxPartition >= 1, "partition bound must be positive");
     const auto start = std::chrono::steady_clock::now();
@@ -404,46 +473,27 @@ selectGcd2Partitioned(const PlanTable &table, int maxPartition)
     // Layout-pinned operators are forced; components of free operators
     // between them can be optimized independently (the cost-optimal
     // partitioning of Definition IV.1: pinned nodes fix the layout on
-    // every crossing edge).
-    for (std::vector<NodeId> &component : freeComponents(table)) {
-        if (static_cast<int>(component.size()) <= maxPartition) {
-            solveSubsetOptimal(table, component, result.selection,
-                               result.evaluations);
-            continue;
-        }
-        // Oversized component: cut into topological chunks and solve them
-        // in order with earlier decisions fixed ("complementary edges"),
-        // then polish chunk boundaries with overlapping re-solves --
-        // each window is re-optimized exactly, conditioned on the rest,
-        // so every polish step is monotone in Agg_Cost.
-        std::vector<NodeId> chunk;
-        auto flush = [&]() {
-            if (!chunk.empty()) {
-                solveSubsetOptimal(table, chunk, result.selection,
-                                   result.evaluations);
-                chunk.clear();
-            }
-        };
-        for (size_t i = 0; i < component.size(); ++i) {
-            chunk.push_back(component[i]);
-            if (static_cast<int>(chunk.size()) >= maxPartition)
-                flush();
-        }
-        flush();
-
-        const size_t window = static_cast<size_t>(maxPartition);
-        const size_t stride = std::max<size_t>(1, window / 2);
-        for (size_t start = stride; start < component.size();
-             start += stride) {
-            const size_t end =
-                std::min(component.size(), start + window);
-            const std::vector<NodeId> slice(
-                component.begin() + static_cast<long>(start),
-                component.begin() + static_cast<long>(end));
-            solveSubsetOptimal(table, slice, result.selection,
-                               result.evaluations);
-        }
+    // every crossing edge). Independence also means the components can
+    // be solved concurrently: each one writes a disjoint slice of the
+    // selection, and per-component evaluation counts are reduced in
+    // component order so the telemetry is thread-count-invariant too.
+    const std::vector<std::vector<NodeId>> components =
+        freeComponents(table);
+    std::vector<uint64_t> evaluations(components.size(), 0);
+    if (pool != nullptr && pool->size() > 1) {
+        pool->parallelFor(
+            static_cast<int64_t>(components.size()), [&](int64_t i) {
+                solveComponent(table, components[static_cast<size_t>(i)],
+                               maxPartition, result.selection,
+                               evaluations[static_cast<size_t>(i)]);
+            });
+    } else {
+        for (size_t i = 0; i < components.size(); ++i)
+            solveComponent(table, components[i], maxPartition,
+                           result.selection, evaluations[i]);
     }
+    for (uint64_t count : evaluations)
+        result.evaluations += count;
 
     result.selection.totalCost = aggCost(table, result.selection);
     result.seconds = elapsedSeconds(start);

@@ -26,6 +26,10 @@
 
 #include "select/cost_model.h"
 
+namespace gcd2 {
+class ThreadPool;
+}
+
 namespace gcd2::select {
 
 /** One plan choice per node (index into PlanTable::plans). */
@@ -39,7 +43,15 @@ struct Selection
 class PlanTable
 {
   public:
-    PlanTable(const graph::Graph &graph, CostModel &model);
+    /**
+     * Cost every candidate plan of every live node. Plan costing
+     * simulates canonical kernels, which dominates compile time; when a
+     * @p pool with more than one worker is supplied, nodes are costed
+     * concurrently (bit-identical to serial: each node's plans are an
+     * independent pure computation).
+     */
+    PlanTable(const graph::Graph &graph, const CostModel &model,
+              ThreadPool *pool = nullptr);
 
     const graph::Graph &graph() const { return *graph_; }
 
@@ -68,7 +80,7 @@ class PlanTable
 
   private:
     const graph::Graph *graph_;
-    CostModel *model_;
+    const CostModel *model_;
     std::vector<std::vector<ExecutionPlan>> plans_;
     std::vector<std::pair<graph::NodeId, graph::NodeId>> edges_;
     std::vector<graph::NodeId> freeNodes_;
@@ -97,9 +109,19 @@ SelectorResult selectChainDp(const PlanTable &table);
 SelectorResult selectGlobalOptimal(const PlanTable &table,
                                    size_t maxFreeNodes = 22);
 
-/** The paper's partitioned solver with bounded sub-graph size. */
+/**
+ * The paper's partitioned solver with bounded sub-graph size.
+ *
+ * Partitions (connected components of free operators) are independent
+ * subproblems: every edge leaving a component ends at a layout-pinned
+ * operator whose plan is fixed up front, so no component's solution can
+ * influence another's. With a @p pool of more than one worker the
+ * components are solved concurrently; the resulting Selection, cost,
+ * and evaluation count are bit-identical to the serial solve.
+ */
 SelectorResult selectGcd2Partitioned(const PlanTable &table,
-                                     int maxPartition = 13);
+                                     int maxPartition = 13,
+                                     ThreadPool *pool = nullptr);
 
 } // namespace gcd2::select
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ThreadPool contract tests: inline serial mode, parallelFor coverage,
+ * exception propagation, and reuse across waves of work.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace gcd2 {
+namespace {
+
+TEST(ThreadPoolTest, SizeOneRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    int value = 0;
+    pool.submit([&] { value = 42; });
+    // Inline mode executes inside submit(); no wait needed.
+    EXPECT_EQ(value, 42);
+    pool.wait();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        constexpr int64_t n = 1000;
+        std::vector<std::atomic<int>> touched(n);
+        pool.parallelFor(n, [&](int64_t i) { touched[i].fetch_add(1); });
+        for (int64_t i = 0; i < n; ++i)
+            EXPECT_EQ(touched[i].load(), 1) << "index " << i << " with "
+                                            << threads << " threads";
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForDisjointWritesAreSafe)
+{
+    ThreadPool pool(4);
+    constexpr int64_t n = 4096;
+    std::vector<int64_t> out(n, 0);
+    pool.parallelFor(n, [&](int64_t i) { out[i] = i * i; });
+    for (int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.parallelFor(100,
+                                      [&](int64_t i) {
+                                          if (i == 37)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error)
+            << "with " << threads << " threads";
+    }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossWaves)
+{
+    ThreadPool pool(3);
+    std::atomic<int64_t> sum{0};
+    for (int wave = 0; wave < 5; ++wave)
+        pool.parallelFor(100, [&](int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, HardwareDefaultIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+    ThreadPool pool(0); // 0 = hardware concurrency
+    EXPECT_GE(pool.size(), 1);
+}
+
+} // namespace
+} // namespace gcd2

@@ -29,6 +29,62 @@ TEST(CompilerTest, CompiledModelHasConsistentStats)
     EXPECT_EQ(compiled.liveOperators, g.operatorCount());
 }
 
+TEST(CompilerTest, PipelineReportCoversEveryPass)
+{
+    const graph::Graph g = models::buildModel(ModelId::MobileNetV3);
+    const CompiledModel compiled = compile(g);
+    const PipelineReport &report = compiled.report;
+
+    ASSERT_EQ(report.passes.size(), 5u);
+    const char *expected[] = {"graph-optimize", "plan-table", "selection",
+                              "kernel-generation", "cycle-accounting"};
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(report.passes[i].name, expected[i]);
+
+    for (const PassReport &pass : report.passes)
+        EXPECT_GE(pass.seconds, 0.0);
+    double sum = 0.0;
+    for (const PassReport &pass : report.passes)
+        sum += pass.seconds;
+    EXPECT_GE(report.totalSeconds, sum);
+    EXPECT_GE(report.threadsUsed, 1);
+
+    const PassReport *planTable = report.pass("plan-table");
+    ASSERT_NE(planTable, nullptr);
+    EXPECT_GT(planTable->counter("candidate-plans"), 0u);
+    EXPECT_GT(planTable->counter("kernel-sims"), 0u);
+    const PassReport *selection = report.pass("selection");
+    ASSERT_NE(selection, nullptr);
+    EXPECT_GT(selection->counter("evaluations"), 0u);
+    EXPECT_EQ(selection->counter("total-cost"),
+              compiled.selection.totalCost);
+    const PassReport *cycles = report.pass("cycle-accounting");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_EQ(cycles->counter("total-cycles"), compiled.totals.cycles);
+
+    EXPECT_EQ(report.pass("no-such-pass"), nullptr);
+    // The human-readable rendering mentions every pass.
+    const std::string text = report.toString();
+    for (const char *name : expected)
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+TEST(CompilerTest, SkippingGraphPassesIsVisibleInReport)
+{
+    // Zoo builders already optimize their graphs, so skipping the
+    // graph pass must not change the result -- only the report.
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    CompileOptions raw;
+    raw.runGraphPasses = false;
+    const CompiledModel with = compile(g);
+    const CompiledModel without = compile(g, raw);
+    EXPECT_EQ(with.totals.cycles, without.totals.cycles);
+    EXPECT_EQ(with.selection.planIndex, without.selection.planIndex);
+    const PassReport *pass = without.report.pass("graph-optimize");
+    ASSERT_NE(pass, nullptr);
+    EXPECT_EQ(pass->counter("skipped"), 1u);
+}
+
 TEST(CompilerTest, SelectionModesRankAsExpected)
 {
     const graph::Graph g = models::buildModel(ModelId::WdsrB);

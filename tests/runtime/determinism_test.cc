@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compile-time concurrency must be invisible in the output: compiling a
+ * model with one worker thread and with many must yield bit-identical
+ * selections, costs, and cycle counts. This is the contract documented
+ * on CompileOptions::numThreads -- partitions are independent
+ * subproblems and kernel simulations are pure functions of their cache
+ * keys, so thread count may only change wall-clock compile time.
+ */
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "runtime/compiler.h"
+
+namespace gcd2::runtime {
+namespace {
+
+using models::ModelId;
+
+CompileOptions
+withThreads(int numThreads)
+{
+    CompileOptions options;
+    options.numThreads = numThreads;
+    return options;
+}
+
+void
+expectIdentical(const CompiledModel &serial, const CompiledModel &threaded)
+{
+    EXPECT_EQ(serial.selection.planIndex, threaded.selection.planIndex);
+    EXPECT_EQ(serial.selection.totalCost, threaded.selection.totalCost);
+    EXPECT_EQ(serial.selector.evaluations, threaded.selector.evaluations);
+    EXPECT_EQ(serial.totals.cycles, threaded.totals.cycles);
+    EXPECT_EQ(serial.totals.instructions, threaded.totals.instructions);
+    EXPECT_EQ(serial.totals.packets, threaded.totals.packets);
+    EXPECT_EQ(serial.totals.bytesLoaded, threaded.totals.bytesLoaded);
+    EXPECT_EQ(serial.totals.bytesStored, threaded.totals.bytesStored);
+    EXPECT_EQ(serial.transformOnly.cycles, threaded.transformOnly.cycles);
+    EXPECT_EQ(serial.nodeCycles, threaded.nodeCycles);
+    EXPECT_EQ(serial.demandBytes, threaded.demandBytes);
+    EXPECT_EQ(serial.totalMacs, threaded.totalMacs);
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotChangeCompilationResults)
+{
+    // Branchy CNN, super-resolution (layout-diverse), and a transformer:
+    // together they exercise every selector path (partitioned solve,
+    // chain DP windows, pinned boundaries) and every kernel family.
+    for (ModelId id : {ModelId::MobileNetV3, ModelId::WdsrB,
+                       ModelId::TinyBert}) {
+        const graph::Graph g = models::buildModel(id);
+        const CompiledModel serial = compile(g, withThreads(1));
+        for (int threads : {2, 4, 8}) {
+            const CompiledModel threaded = compile(g, withThreads(threads));
+            SCOPED_TRACE(testing::Message()
+                         << models::modelInfo(id).name << " with "
+                         << threads << " threads");
+            expectIdentical(serial, threaded);
+        }
+    }
+}
+
+TEST(DeterminismTest, RepeatedCompilesAreBitIdentical)
+{
+    // No hidden global mutable state: the same input and options give the
+    // same output, compile after compile, threaded or not.
+    const graph::Graph g = models::buildModel(ModelId::EfficientNetB0);
+    const CompiledModel first = compile(g, withThreads(4));
+    const CompiledModel second = compile(g, withThreads(4));
+    expectIdentical(first, second);
+}
+
+TEST(DeterminismTest, SharedCostCacheDoesNotChangeResults)
+{
+    // A warm cross-compile cache skips simulations but must never change
+    // what they would have returned.
+    const graph::Graph g = models::buildModel(ModelId::FST);
+    const CompiledModel cold = compile(g, withThreads(2));
+
+    CompileOptions shared = withThreads(2);
+    shared.costCache = std::make_shared<select::CostCache>();
+    const CompiledModel warmup = compile(g, shared);
+    const CompiledModel warm = compile(g, shared);
+    expectIdentical(cold, warmup);
+    expectIdentical(cold, warm);
+    EXPECT_GT(shared.costCache->hits(), 0u);
+}
+
+} // namespace
+} // namespace gcd2::runtime
