@@ -1,0 +1,1049 @@
+#include "dsp/decoded.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "dsp/alias.h"
+#include "dsp/deps.h"
+#include "dsp/sim_math.h"
+
+namespace gcd2::dsp {
+
+namespace {
+
+// Fingerprinting ------------------------------------------------------
+
+/** FNV-1a over an arbitrary byte stream, seedable for a second lane. */
+class Fnv
+{
+  public:
+    explicit Fnv(uint64_t seed) : h_(seed) {}
+
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    template <typename T>
+    void
+    value(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bytes(&v, sizeof(v));
+    }
+
+    uint64_t digest() const { return h_; }
+
+  private:
+    uint64_t h_;
+};
+
+void
+hashProgram(const PackedProgram &packed, Fnv &fnv)
+{
+    const Program &prog = packed.program;
+    for (const Instruction &inst : prog.code) {
+        fnv.value(static_cast<uint8_t>(inst.op));
+        fnv.value(static_cast<uint8_t>(inst.dst[0].cls));
+        fnv.value(inst.dst[0].idx);
+        for (const Operand &src : inst.src) {
+            fnv.value(static_cast<uint8_t>(src.cls));
+            fnv.value(src.idx);
+        }
+        fnv.value(inst.imm);
+    }
+    fnv.value(uint64_t{0xfeed});
+    for (size_t label : prog.labels)
+        fnv.value(static_cast<uint64_t>(label));
+    fnv.value(uint64_t{0xbeef});
+    for (int8_t reg : prog.noaliasRegs)
+        fnv.value(reg);
+    fnv.value(uint64_t{0xcafe});
+    for (const Packet &packet : packed.packets) {
+        fnv.value(static_cast<uint64_t>(packet.insts.size()));
+        for (size_t idx : packet.insts)
+            fnv.value(static_cast<uint64_t>(idx));
+    }
+    fnv.value(uint64_t{0xf00d});
+    for (size_t target : packed.labelPacket)
+        fnv.value(static_cast<uint64_t>(target));
+}
+
+// Decoding ------------------------------------------------------------
+
+uint64_t
+maskOf(const std::vector<int> &uids)
+{
+    uint64_t mask = 0;
+    for (int uid : uids)
+        mask |= uint64_t{1} << uid;
+    return mask;
+}
+
+/** Do the vector registers written by @p inst overlap its vector source
+ *  registers in a way the fast lane loops do not model (their snapshot
+ *  semantics differ from the interpreter's lane-ordered read/write
+ *  interleaving)? Conservative: a true here only costs speed, never
+ *  correctness -- the instruction runs through executeInstruction. */
+bool
+needsFallback(const Instruction &inst)
+{
+    const int d = inst.dst[0].idx;
+    const int s0 = inst.src[0].idx;
+    const int s1 = inst.src[1].idx;
+    switch (inst.op) {
+      case Opcode::VMPY:
+      case Opcode::VMPYACC:
+        return s0 == d || s0 == d + 1;
+      case Opcode::VMPA:
+      case Opcode::VTMPY:
+        return std::max(d, s0) <= std::min(d, s0) + 1;
+      case Opcode::VRMPY:
+      case Opcode::VMPYE:
+      case Opcode::VMPYIW:
+        return s0 == d;
+      case Opcode::VASRHB:
+      case Opcode::VASRHUB:
+      case Opcode::VASRWH:
+        return d == s0 || d == s0 + 1;
+      case Opcode::VLUT:
+        // Only the table pair (s0, s0+1) is read cross-lane; the index
+        // vector is read lane-aligned, so d == s1 stays on the fast path.
+        return d == s0 || d == s0 + 1;
+      default:
+        return false;
+    }
+}
+
+// Execution -----------------------------------------------------------
+
+/** Mutable state threaded through the dispatch table. */
+struct St
+{
+    RegisterFile &regs;
+    Memory &mem;
+    ExecStats &stats;
+    const Instruction *rawCode;
+};
+
+using ExecFn = int32_t (*)(const DecodedInst &, St &);
+
+/** Dispatch slot for instructions executed through the interpreter. */
+constexpr size_t kFallbackSlot = static_cast<size_t>(Opcode::kNumOpcodes);
+
+/** Signed scalar byte j of a packed 4-byte multiplier operand. */
+inline int8_t
+scalarByte(uint32_t r, int j)
+{
+    return static_cast<int8_t>((r >> (8 * j)) & 0xff);
+}
+
+int32_t
+execFallback(const DecodedInst &di, St &st)
+{
+    // executeInstruction counts the instruction itself; the dispatch loop
+    // already counted it, so undo the double increment. Fallback is only
+    // taken for vector aliasing cases, never branches.
+    --st.stats.instructions;
+    executeInstruction(st.rawCode[di.rawIndex], st.regs, st.mem, st.stats);
+    return DecodedInst::kNotBranch;
+}
+
+// --- Scalar ALU -------------------------------------------------------
+
+int32_t
+execNop(const DecodedInst &, St &)
+{
+    return -1;
+}
+
+int32_t
+execMovi(const DecodedInst &di, St &st)
+{
+    st.regs.scalar[di.d] = static_cast<uint32_t>(di.imm);
+    return -1;
+}
+
+int32_t
+execMov(const DecodedInst &di, St &st)
+{
+    st.regs.scalar[di.d] = st.regs.scalar[di.s0];
+    return -1;
+}
+
+int32_t
+execAdd(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] + sr[di.s1];
+    return -1;
+}
+
+int32_t
+execAddi(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] + static_cast<uint32_t>(di.imm);
+    return -1;
+}
+
+int32_t
+execSub(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] - sr[di.s1];
+    return -1;
+}
+
+int32_t
+execMul(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] * sr[di.s1];
+    return -1;
+}
+
+int32_t
+execShl(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] << (di.imm & 31);
+    return -1;
+}
+
+int32_t
+execShra(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = static_cast<uint32_t>(static_cast<int32_t>(sr[di.s0]) >>
+                                     (di.imm & 31));
+    return -1;
+}
+
+int32_t
+execAnd(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] & sr[di.s1];
+    return -1;
+}
+
+int32_t
+execOr(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] | sr[di.s1];
+    return -1;
+}
+
+int32_t
+execXor(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = sr[di.s0] ^ sr[di.s1];
+    return -1;
+}
+
+int32_t
+execDiv(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    const auto denom = static_cast<int32_t>(sr[di.s1]);
+    GCD2_REQUIRE(denom != 0, "division by zero");
+    sr[di.d] =
+        static_cast<uint32_t>(static_cast<int32_t>(sr[di.s0]) / denom);
+    return -1;
+}
+
+int32_t
+execCombine4(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    const uint32_t b = sr[di.s0] & 0xff;
+    sr[di.d] = b | (b << 8) | (b << 16) | (b << 24);
+    return -1;
+}
+
+// --- Scalar memory ----------------------------------------------------
+
+int32_t
+execLoadb(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = static_cast<uint32_t>(static_cast<int32_t>(
+        static_cast<int8_t>(st.mem.load8(sr[di.s0] + di.imm))));
+    st.stats.bytesLoaded += 1;
+    return -1;
+}
+
+int32_t
+execLoadw(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    sr[di.d] = st.mem.load32(sr[di.s0] + di.imm);
+    st.stats.bytesLoaded += 4;
+    return -1;
+}
+
+int32_t
+execStoreb(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    st.mem.store8(sr[di.s0] + di.imm,
+                  static_cast<uint8_t>(sr[di.s1] & 0xff));
+    st.stats.bytesStored += 1;
+    return -1;
+}
+
+int32_t
+execStorew(const DecodedInst &di, St &st)
+{
+    auto &sr = st.regs.scalar;
+    st.mem.store32(sr[di.s0] + di.imm, sr[di.s1]);
+    st.stats.bytesStored += 4;
+    return -1;
+}
+
+// --- Control flow -----------------------------------------------------
+
+// Branch targets are pre-resolved packet indices; kBadTarget (label id out
+// of range) is only diagnosed at the end of the packet, and only if this
+// branch is the packet's last taken one -- matching the reference loop.
+
+int32_t
+execJump(const DecodedInst &di, St &st)
+{
+    ++st.stats.branchesTaken;
+    return di.target;
+}
+
+int32_t
+execJumpNz(const DecodedInst &di, St &st)
+{
+    if (st.regs.scalar[di.s0] == 0)
+        return DecodedInst::kNotBranch;
+    ++st.stats.branchesTaken;
+    return di.target;
+}
+
+// --- Vector memory / moves --------------------------------------------
+
+int32_t
+execVload(const DecodedInst &di, St &st)
+{
+    st.mem.loadBlock(st.regs.scalar[di.s0] + di.imm,
+                     st.regs.vector[di.d].data(), kVectorBytes);
+    st.stats.bytesLoaded += kVectorBytes;
+    return -1;
+}
+
+int32_t
+execVstore(const DecodedInst &di, St &st)
+{
+    st.mem.storeBlock(st.regs.scalar[di.s0] + di.imm,
+                      st.regs.vector[di.s1].data(), kVectorBytes);
+    st.stats.bytesStored += kVectorBytes;
+    return -1;
+}
+
+int32_t
+execVmov(const DecodedInst &di, St &st)
+{
+    st.regs.vector[di.d] = st.regs.vector[di.s0];
+    return -1;
+}
+
+int32_t
+execVsplatw(const DecodedInst &di, St &st)
+{
+    const int32_t v = static_cast<int32_t>(st.regs.scalar[di.s0]);
+    int32_t out[kVectorWords];
+    for (int i = 0; i < kVectorWords; ++i)
+        out[i] = v;
+    std::memcpy(st.regs.vector[di.d].data(), out, kVectorBytes);
+    return -1;
+}
+
+// --- Vector integer ALU -----------------------------------------------
+
+// Byte-lane ops snapshot both sources so the lane loop carries no alias
+// hazard and vectorizes; lane-aligned ops are snapshot-equivalent to the
+// interpreter's in-order execution even when dst == src.
+
+int32_t
+execVaddb(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a = vr[di.s0];
+    const auto b = vr[di.s1];
+    auto &o = vr[di.d];
+    for (int i = 0; i < kVectorBytes; ++i)
+        o[i] = static_cast<uint8_t>(a[i] + b[i]);
+    return -1;
+}
+
+int32_t
+execVaddh(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    int16_t a[kVectorHalves], b[kVectorHalves], o[kVectorHalves];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    std::memcpy(b, vr[di.s1].data(), kVectorBytes);
+    for (int i = 0; i < kVectorHalves; ++i)
+        o[i] = static_cast<int16_t>(a[i] + b[i]);
+    std::memcpy(vr[di.d].data(), o, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVaddw(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    int32_t a[kVectorWords], b[kVectorWords], o[kVectorWords];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    std::memcpy(b, vr[di.s1].data(), kVectorBytes);
+    for (int i = 0; i < kVectorWords; ++i)
+        o[i] = a[i] + b[i];
+    std::memcpy(vr[di.d].data(), o, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVsubh(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    int16_t a[kVectorHalves], b[kVectorHalves], o[kVectorHalves];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    std::memcpy(b, vr[di.s1].data(), kVectorBytes);
+    for (int i = 0; i < kVectorHalves; ++i)
+        o[i] = static_cast<int16_t>(a[i] - b[i]);
+    std::memcpy(vr[di.d].data(), o, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVsubw(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    int32_t a[kVectorWords], b[kVectorWords], o[kVectorWords];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    std::memcpy(b, vr[di.s1].data(), kVectorBytes);
+    for (int i = 0; i < kVectorWords; ++i)
+        o[i] = a[i] - b[i];
+    std::memcpy(vr[di.d].data(), o, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVmaxb(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a = vr[di.s0];
+    const auto b = vr[di.s1];
+    auto &o = vr[di.d];
+    for (int i = 0; i < kVectorBytes; ++i)
+        o[i] = static_cast<uint8_t>(std::max(static_cast<int8_t>(a[i]),
+                                             static_cast<int8_t>(b[i])));
+    return -1;
+}
+
+int32_t
+execVminb(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a = vr[di.s0];
+    const auto b = vr[di.s1];
+    auto &o = vr[di.d];
+    for (int i = 0; i < kVectorBytes; ++i)
+        o[i] = static_cast<uint8_t>(std::min(static_cast<int8_t>(a[i]),
+                                             static_cast<int8_t>(b[i])));
+    return -1;
+}
+
+int32_t
+execVmaxub(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a = vr[di.s0];
+    const auto b = vr[di.s1];
+    auto &o = vr[di.d];
+    for (int i = 0; i < kVectorBytes; ++i)
+        o[i] = std::max(a[i], b[i]);
+    return -1;
+}
+
+int32_t
+execVminub(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a = vr[di.s0];
+    const auto b = vr[di.s1];
+    auto &o = vr[di.d];
+    for (int i = 0; i < kVectorBytes; ++i)
+        o[i] = std::min(a[i], b[i]);
+    return -1;
+}
+
+int32_t
+execVavgb(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a = vr[di.s0];
+    const auto b = vr[di.s1];
+    auto &o = vr[di.d];
+    for (int i = 0; i < kVectorBytes; ++i)
+        o[i] = static_cast<uint8_t>(
+            (static_cast<uint32_t>(a[i]) + b[i] + 1) >> 1);
+    return -1;
+}
+
+// --- SIMD multiplies --------------------------------------------------
+
+int32_t
+execVmpy(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const bool acc = di.op == Opcode::VMPYACC;
+    const auto a = vr[di.s0];
+    const uint32_t w = st.regs.scalar[di.s1];
+    const int8_t wb[4] = {scalarByte(w, 0), scalarByte(w, 1),
+                          scalarByte(w, 2), scalarByte(w, 3)};
+    int16_t lo[kVectorHalves], hi[kVectorHalves];
+    if (acc) {
+        std::memcpy(lo, vr[di.d].data(), kVectorBytes);
+        std::memcpy(hi, vr[di.d + 1].data(), kVectorBytes);
+    } else {
+        std::memset(lo, 0, sizeof(lo));
+        std::memset(hi, 0, sizeof(hi));
+    }
+    // Lane 2h multiplies by weight byte 2h mod 4, lane 2h+1 by 2h+1 mod 4;
+    // even products land in the low pair register, odd in the high one.
+    for (int h = 0; h < kVectorHalves; ++h) {
+        lo[h] = static_cast<int16_t>(
+            lo[h] + static_cast<int32_t>(a[2 * h]) * wb[2 * (h & 1)]);
+        hi[h] = static_cast<int16_t>(
+            hi[h] +
+            static_cast<int32_t>(a[2 * h + 1]) * wb[2 * (h & 1) + 1]);
+    }
+    std::memcpy(vr[di.d].data(), lo, kVectorBytes);
+    std::memcpy(vr[di.d + 1].data(), hi, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVmpa(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a0 = vr[di.s0];
+    const auto a1 = vr[di.s0 + 1];
+    const uint32_t w = st.regs.scalar[di.s1];
+    const int8_t wb[4] = {scalarByte(w, 0), scalarByte(w, 1),
+                          scalarByte(w, 2), scalarByte(w, 3)};
+    int16_t lo[kVectorHalves], hi[kVectorHalves];
+    std::memcpy(lo, vr[di.d].data(), kVectorBytes);
+    std::memcpy(hi, vr[di.d + 1].data(), kVectorBytes);
+    for (int r = 0; r < kVectorHalves; ++r) {
+        lo[r] = static_cast<int16_t>(
+            lo[r] + static_cast<int32_t>(a0[2 * r]) * wb[0] +
+            static_cast<int32_t>(a0[2 * r + 1]) * wb[1]);
+        hi[r] = static_cast<int16_t>(
+            hi[r] + static_cast<int32_t>(a1[2 * r]) * wb[2] +
+            static_cast<int32_t>(a1[2 * r + 1]) * wb[3]);
+    }
+    std::memcpy(vr[di.d].data(), lo, kVectorBytes);
+    std::memcpy(vr[di.d + 1].data(), hi, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVrmpy(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a = vr[di.s0];
+    const uint32_t w = st.regs.scalar[di.s1];
+    const int8_t wb[4] = {scalarByte(w, 0), scalarByte(w, 1),
+                          scalarByte(w, 2), scalarByte(w, 3)};
+    int32_t acc[kVectorWords];
+    std::memcpy(acc, vr[di.d].data(), kVectorBytes);
+    for (int i = 0; i < kVectorWords; ++i) {
+        acc[i] += static_cast<int32_t>(a[4 * i]) * wb[0] +
+                  static_cast<int32_t>(a[4 * i + 1]) * wb[1] +
+                  static_cast<int32_t>(a[4 * i + 2]) * wb[2] +
+                  static_cast<int32_t>(a[4 * i + 3]) * wb[3];
+    }
+    std::memcpy(vr[di.d].data(), acc, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVtmpy(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto a0 = vr[di.s0];
+    const auto a1 = vr[di.s0 + 1];
+    const uint32_t w = st.regs.scalar[di.s1];
+    const int8_t wb[4] = {scalarByte(w, 0), scalarByte(w, 1),
+                          scalarByte(w, 2), scalarByte(w, 3)};
+    int16_t lo[kVectorHalves], hi[kVectorHalves];
+    std::memcpy(lo, vr[di.d].data(), kVectorBytes);
+    std::memcpy(hi, vr[di.d + 1].data(), kVectorBytes);
+    for (int r = 0; r < kVectorHalves; ++r) {
+        const bool inRange = 2 * r + 2 < kVectorBytes;
+        const int32_t c0 = inRange ? a0[2 * r + 2] : a1[0];
+        const int32_t c1 = inRange ? a1[2 * r + 2] : 0;
+        lo[r] = static_cast<int16_t>(
+            lo[r] + static_cast<int32_t>(a0[2 * r]) * wb[0] +
+            static_cast<int32_t>(a0[2 * r + 1]) * wb[1] + c0 * wb[2]);
+        hi[r] = static_cast<int16_t>(
+            hi[r] + static_cast<int32_t>(a1[2 * r]) * wb[0] +
+            static_cast<int32_t>(a1[2 * r + 1]) * wb[1] + c1 * wb[2]);
+    }
+    std::memcpy(vr[di.d].data(), lo, kVectorBytes);
+    std::memcpy(vr[di.d + 1].data(), hi, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVmpye(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto mult =
+        static_cast<int16_t>(st.regs.scalar[di.s1] & 0xffff);
+    int16_t a[kVectorHalves];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    int32_t o[kVectorWords];
+    for (int i = 0; i < kVectorWords; ++i)
+        o[i] = static_cast<int32_t>(a[2 * i]) * mult;
+    std::memcpy(vr[di.d].data(), o, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVmpyiw(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const auto mult = static_cast<int32_t>(st.regs.scalar[di.s1]);
+    int32_t a[kVectorWords];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    for (int i = 0; i < kVectorWords; ++i)
+        a[i] *= mult;
+    std::memcpy(vr[di.d].data(), a, kVectorBytes);
+    return -1;
+}
+
+// --- Vector shift / narrowing -----------------------------------------
+
+int32_t
+execVasrhb(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const int shift = static_cast<int>(di.imm);
+    const bool unsignedOut = di.op == Opcode::VASRHUB;
+    int16_t a[kVectorHalves], b[kVectorHalves];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    std::memcpy(b, vr[di.s0 + 1].data(), kVectorBytes);
+    uint8_t o[kVectorBytes];
+    for (int i = 0; i < kVectorHalves; ++i) {
+        const auto lo = static_cast<int32_t>(roundShift(a[i], shift));
+        const auto hi = static_cast<int32_t>(roundShift(b[i], shift));
+        o[i] = unsignedOut ? usat8(lo) : static_cast<uint8_t>(sat8(lo));
+        o[kVectorHalves + i] =
+            unsignedOut ? usat8(hi) : static_cast<uint8_t>(sat8(hi));
+    }
+    std::memcpy(vr[di.d].data(), o, kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVasrwh(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const int shift = static_cast<int>(di.imm);
+    int32_t a[kVectorWords], b[kVectorWords];
+    std::memcpy(a, vr[di.s0].data(), kVectorBytes);
+    std::memcpy(b, vr[di.s0 + 1].data(), kVectorBytes);
+    int16_t o[kVectorHalves];
+    for (int i = 0; i < kVectorWords; ++i) {
+        o[i] = sat16(roundShift(a[i], shift));
+        o[kVectorWords + i] = sat16(roundShift(b[i], shift));
+    }
+    std::memcpy(vr[di.d].data(), o, kVectorBytes);
+    return -1;
+}
+
+// --- Vector permutes --------------------------------------------------
+
+// The interpreter already stages shuffles through temporaries, so these
+// are snapshot-equivalent for any operand aliasing.
+
+int32_t
+execVshuff(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const int lane = 1 << di.imm;
+    const int perVec = kVectorBytes / lane;
+    std::array<uint8_t, 2 * kVectorBytes> out;
+    for (int i = 0; i < perVec; ++i) {
+        std::memcpy(out.data() + (2 * i) * lane,
+                    vr[di.s0].data() + i * lane, lane);
+        std::memcpy(out.data() + (2 * i + 1) * lane,
+                    vr[di.s1].data() + i * lane, lane);
+    }
+    std::memcpy(vr[di.d].data(), out.data(), kVectorBytes);
+    std::memcpy(vr[di.d + 1].data(), out.data() + kVectorBytes,
+                kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVdeal(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const int lane = 1 << di.imm;
+    const int perVec = kVectorBytes / lane;
+    std::array<uint8_t, 2 * kVectorBytes> in;
+    std::memcpy(in.data(), vr[di.s0].data(), kVectorBytes);
+    std::memcpy(in.data() + kVectorBytes, vr[di.s1].data(), kVectorBytes);
+    std::array<uint8_t, 2 * kVectorBytes> out;
+    for (int i = 0; i < perVec; ++i) {
+        std::memcpy(out.data() + i * lane, in.data() + (2 * i) * lane,
+                    lane);
+        std::memcpy(out.data() + (perVec + i) * lane,
+                    in.data() + (2 * i + 1) * lane, lane);
+    }
+    std::memcpy(vr[di.d].data(), out.data(), kVectorBytes);
+    std::memcpy(vr[di.d + 1].data(), out.data() + kVectorBytes,
+                kVectorBytes);
+    return -1;
+}
+
+int32_t
+execVshuffEo(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    const int lane = 1 << di.imm;
+    const int perVec = kVectorBytes / lane;
+    const int pick = (di.op == Opcode::VSHUFFE) ? 0 : 1;
+    std::array<uint8_t, kVectorBytes> out;
+    for (int i = 0; i < perVec / 2; ++i) {
+        std::memcpy(out.data() + (2 * i) * lane,
+                    vr[di.s0].data() + (2 * i + pick) * lane, lane);
+        std::memcpy(out.data() + (2 * i + 1) * lane,
+                    vr[di.s1].data() + (2 * i + pick) * lane, lane);
+    }
+    vr[di.d] = out;
+    return -1;
+}
+
+int32_t
+execVlut(const DecodedInst &di, St &st)
+{
+    auto &vr = st.regs.vector;
+    // Concatenate the table pair so every uint8 index hits it directly --
+    // no per-lane high/low branch.
+    uint8_t table[2 * kVectorBytes];
+    std::memcpy(table, vr[di.s0].data(), kVectorBytes);
+    std::memcpy(table + kVectorBytes, vr[di.s0 + 1].data(), kVectorBytes);
+    const auto idx = vr[di.s1];
+    auto &o = vr[di.d];
+    for (int i = 0; i < kVectorBytes; ++i)
+        o[i] = table[idx[i]];
+    return -1;
+}
+
+/** Dispatch table: one slot per opcode plus the aliasing fallback. */
+constexpr std::array<ExecFn, kFallbackSlot + 1>
+buildExecTable()
+{
+    std::array<ExecFn, kFallbackSlot + 1> table{};
+    auto set = [&](Opcode op, ExecFn fn) {
+        table[static_cast<size_t>(op)] = fn;
+    };
+    set(Opcode::NOP, execNop);
+    set(Opcode::MOVI, execMovi);
+    set(Opcode::MOV, execMov);
+    set(Opcode::ADD, execAdd);
+    set(Opcode::ADDI, execAddi);
+    set(Opcode::SUB, execSub);
+    set(Opcode::MUL, execMul);
+    set(Opcode::SHL, execShl);
+    set(Opcode::SHRA, execShra);
+    set(Opcode::AND, execAnd);
+    set(Opcode::OR, execOr);
+    set(Opcode::XOR, execXor);
+    set(Opcode::DIV, execDiv);
+    set(Opcode::COMBINE4, execCombine4);
+    set(Opcode::LOADB, execLoadb);
+    set(Opcode::LOADW, execLoadw);
+    set(Opcode::STOREB, execStoreb);
+    set(Opcode::STOREW, execStorew);
+    set(Opcode::JUMP, execJump);
+    set(Opcode::JUMPNZ, execJumpNz);
+    set(Opcode::VLOAD, execVload);
+    set(Opcode::VSTORE, execVstore);
+    set(Opcode::VMOV, execVmov);
+    set(Opcode::VSPLATW, execVsplatw);
+    set(Opcode::VADDB, execVaddb);
+    set(Opcode::VADDH, execVaddh);
+    set(Opcode::VADDW, execVaddw);
+    set(Opcode::VSUBH, execVsubh);
+    set(Opcode::VSUBW, execVsubw);
+    set(Opcode::VMAXB, execVmaxb);
+    set(Opcode::VMINB, execVminb);
+    set(Opcode::VMAXUB, execVmaxub);
+    set(Opcode::VMINUB, execVminub);
+    set(Opcode::VAVGB, execVavgb);
+    set(Opcode::VMPY, execVmpy);
+    set(Opcode::VMPYACC, execVmpy);
+    set(Opcode::VMPA, execVmpa);
+    set(Opcode::VRMPY, execVrmpy);
+    set(Opcode::VTMPY, execVtmpy);
+    set(Opcode::VMPYE, execVmpye);
+    set(Opcode::VMPYIW, execVmpyiw);
+    set(Opcode::VASRHB, execVasrhb);
+    set(Opcode::VASRHUB, execVasrhb);
+    set(Opcode::VASRWH, execVasrwh);
+    set(Opcode::VSHUFF, execVshuff);
+    set(Opcode::VDEAL, execVdeal);
+    set(Opcode::VSHUFFE, execVshuffEo);
+    set(Opcode::VSHUFFO, execVshuffEo);
+    set(Opcode::VLUT, execVlut);
+    table[kFallbackSlot] = execFallback;
+    return table;
+}
+
+constexpr std::array<ExecFn, kFallbackSlot + 1> kExecTable =
+    buildExecTable();
+
+} // namespace
+
+DecodeKey
+fingerprintProgram(const PackedProgram &packed)
+{
+    Fnv a(0xcbf29ce484222325ULL);
+    Fnv b(0x9e3779b97f4a7c15ULL);
+    hashProgram(packed, a);
+    hashProgram(packed, b);
+    DecodeKey key;
+    key.h0 = a.digest();
+    key.h1 = b.digest();
+    key.instructions = packed.program.code.size();
+    key.packets = packed.packets.size();
+    return key;
+}
+
+std::shared_ptr<const DecodedProgram>
+DecodedProgram::build(const PackedProgram &packed)
+{
+    const Program &prog = packed.program;
+    AliasAnalysis alias(prog);
+
+    auto dec = std::make_shared<DecodedProgram>();
+    dec->rawCode = prog.code;
+    dec->key = fingerprintProgram(packed);
+    dec->packets.reserve(packed.packets.size());
+
+    size_t total = 0;
+    for (const Packet &packet : packed.packets)
+        total += packet.insts.size();
+    dec->insts.reserve(total);
+
+    for (const Packet &packet : packed.packets) {
+        DecodedPacket dp;
+        dp.begin = static_cast<uint32_t>(dec->insts.size());
+        // delay[k]: extra cycles instruction k waits on in-packet soft
+        // producers before its own pipeline begins (paper Fig. 4).
+        std::vector<int> delay(packet.insts.size(), 0);
+        for (size_t k = 0; k < packet.insts.size(); ++k) {
+            const size_t idx = packet.insts[k];
+            const Instruction &inst = prog.code[idx];
+            for (size_t m = 0; m < k; ++m) {
+                const size_t earlier = packet.insts[m];
+                const Dependency dep = classifyDependency(
+                    prog.code[earlier], inst, alias.mayAlias(earlier, idx));
+                if (dep.kind == DepKind::Soft && dep.penalty > 0)
+                    delay[k] = std::max(delay[k], delay[m] + dep.penalty);
+            }
+
+            DecodedInst di;
+            di.op = inst.op;
+            di.exec = needsFallback(inst)
+                          ? static_cast<uint8_t>(kFallbackSlot)
+                          : static_cast<uint8_t>(inst.op);
+            di.d = inst.dst[0].idx;
+            di.s0 = inst.src[0].idx;
+            di.s1 = inst.src[1].idx;
+            di.latency = inst.info().latency;
+            di.delay = delay[k];
+            di.rawIndex = static_cast<uint32_t>(idx);
+            di.imm = inst.imm;
+            di.writeMask = maskOf(regWrites(inst));
+            dp.readMask |= maskOf(regReads(inst));
+            if (inst.isBranch()) {
+                const auto label = static_cast<size_t>(inst.imm);
+                di.target =
+                    label < packed.labelPacket.size()
+                        ? static_cast<int32_t>(packed.labelPacket[label])
+                        : DecodedInst::kBadTarget;
+            }
+            dec->insts.push_back(di);
+        }
+        dp.end = static_cast<uint32_t>(dec->insts.size());
+        dec->packets.push_back(dp);
+    }
+    return dec;
+}
+
+TimingStats
+runDecoded(const DecodedProgram &dec, RegisterFile &regs, Memory &mem,
+           ExecStats &xstats, uint64_t maxPackets)
+{
+    TimingStats stats;
+    const uint64_t loadedBefore = xstats.bytesLoaded;
+    const uint64_t storedBefore = xstats.bytesStored;
+
+    // Cycle each register's value becomes readable by a later packet.
+    std::array<uint64_t, kNumRegUids> ready{};
+    uint64_t issue = 0;
+    uint64_t lastIssue = 0;
+    uint64_t completion = 0;
+    bool first = true;
+
+    St st{regs, mem, xstats, dec.rawCode.data()};
+    const size_t numPackets = dec.packets.size();
+    const DecodedPacket *packets = dec.packets.data();
+    const DecodedInst *insts = dec.insts.data();
+
+    // Runaway guard hoisted out of the hot loop: the inner loop runs a
+    // chunk of the remaining packet budget, so on overflow exactly
+    // maxPackets packets have executed before the panic -- identical to a
+    // per-packet check.
+    constexpr uint64_t kPacketCheckInterval = 4096;
+    uint64_t budget = maxPackets;
+    size_t pc = 0;
+    while (pc < numPackets) {
+        GCD2_ASSERT(budget > 0, "packed program exceeded " << maxPackets
+                                                           << " packets");
+        uint64_t chunk = std::min(budget, kPacketCheckInterval);
+        budget -= chunk;
+        while (chunk-- > 0 && pc < numPackets) {
+            const DecodedPacket &pk = packets[pc];
+
+            // Issue no earlier than one cycle after the previous packet,
+            // and no earlier than every cross-packet source's readiness.
+            issue = first ? 0 : lastIssue + 1;
+            uint64_t m = pk.readMask;
+            while (m != 0) {
+                const int uid = std::countr_zero(m);
+                m &= m - 1;
+                issue = std::max(issue, ready[static_cast<size_t>(uid)]);
+            }
+            stats.stallCycles += issue - (first ? 0 : lastIssue + 1);
+            first = false;
+            lastIssue = issue;
+
+            ++stats.packetsExecuted;
+            stats.instructionsExecuted += pk.end - pk.begin;
+
+            int32_t taken = DecodedInst::kNotBranch;
+            for (uint32_t i = pk.begin; i < pk.end; ++i) {
+                const DecodedInst &di = insts[i];
+                const uint64_t done =
+                    issue + static_cast<uint64_t>(di.delay) +
+                    static_cast<uint64_t>(di.latency);
+                completion = std::max(completion, done);
+                uint64_t w = di.writeMask;
+                while (w != 0) {
+                    ready[static_cast<size_t>(std::countr_zero(w))] = done;
+                    w &= w - 1;
+                }
+                stats.stallCycles += static_cast<uint64_t>(di.delay);
+
+                ++xstats.instructions;
+                const int32_t t = kExecTable[di.exec](di, st);
+                if (t != DecodedInst::kNotBranch)
+                    taken = t;
+            }
+
+            if (taken == DecodedInst::kNotBranch) {
+                ++pc;
+            } else {
+                GCD2_ASSERT(taken != DecodedInst::kBadTarget,
+                            "branch to unknown label");
+                pc = static_cast<size_t>(taken);
+            }
+        }
+    }
+
+    stats.cycles = completion;
+    stats.bytesLoaded = xstats.bytesLoaded - loadedBefore;
+    stats.bytesStored = xstats.bytesStored - storedBefore;
+    return stats;
+}
+
+std::shared_ptr<const DecodedProgram>
+DecodeCache::lookupOrDecode(const PackedProgram &packed)
+{
+    const DecodeKey key = fingerprintProgram(packed);
+    {
+        std::shared_lock lock(mu_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+
+    // Decode outside the lock: two threads may race on the same program,
+    // but decoding is a pure function so either result is usable.
+    std::shared_ptr<const DecodedProgram> dec =
+        DecodedProgram::build(packed);
+
+    std::unique_lock lock(mu_);
+    ++misses_;
+    if (map_.size() >= maxEntries_) {
+        map_.clear();
+        ++evictions_;
+    }
+    const auto [it, inserted] = map_.emplace(key, dec);
+    return inserted ? dec : it->second;
+}
+
+DecodeCache::Stats
+DecodeCache::stats() const
+{
+    std::shared_lock lock(mu_);
+    return Stats{hits_, misses_, evictions_};
+}
+
+size_t
+DecodeCache::size() const
+{
+    std::shared_lock lock(mu_);
+    return map_.size();
+}
+
+void
+DecodeCache::clear()
+{
+    std::unique_lock lock(mu_);
+    map_.clear();
+}
+
+DecodeCache &
+DecodeCache::global()
+{
+    static DecodeCache cache;
+    return cache;
+}
+
+} // namespace gcd2::dsp

@@ -2,42 +2,13 @@
 
 #include <algorithm>
 
+#include "dsp/sim_math.h"
+
 namespace gcd2::dsp {
 
-namespace {
-
-int8_t
-sat8(int32_t v)
-{
-    return static_cast<int8_t>(std::clamp(v, -128, 127));
-}
-
-uint8_t
-usat8(int32_t v)
-{
-    return static_cast<uint8_t>(std::clamp(v, 0, 255));
-}
-
-int16_t
-sat16(int64_t v)
-{
-    return static_cast<int16_t>(
-        std::clamp<int64_t>(v, INT16_MIN, INT16_MAX));
-}
-
-/** Round-then-arithmetic-shift used by the narrowing shifts. */
-int64_t
-roundShift(int64_t v, int shift)
-{
-    if (shift <= 0)
-        return v;
-    return (v + (int64_t{1} << (shift - 1))) >> shift;
-}
-
-} // namespace
-
 int
-FunctionalSimulator::execute(const Instruction &inst)
+executeInstruction(const Instruction &inst, RegisterFile &regs_,
+                   Memory &mem_, ExecStats &stats_)
 {
     ++stats_.instructions;
 
@@ -362,23 +333,40 @@ FunctionalSimulator::execute(const Instruction &inst)
     return -1;
 }
 
+int
+FunctionalSimulator::execute(const Instruction &inst)
+{
+    return executeInstruction(inst, regs_, mem_, stats_);
+}
+
 void
 FunctionalSimulator::run(const Program &prog, uint64_t maxSteps)
 {
     size_t pc = 0;
+    // The step bound is checked once per chunk instead of once per
+    // instruction so the hot loop stays branch-light; the inner loop is
+    // clamped to the remaining budget, so on overflow the program state
+    // (exactly maxSteps instructions executed, then a panic) is identical
+    // to a per-step check.
+    constexpr uint64_t kStepCheckInterval = 4096;
     uint64_t steps = 0;
     while (pc < prog.code.size()) {
-        GCD2_ASSERT(++steps <= maxSteps,
+        GCD2_ASSERT(steps < maxSteps,
                     "program exceeded " << maxSteps << " steps");
-        const int takenLabel = execute(prog.code[pc]);
-        if (takenLabel >= 0) {
-            GCD2_ASSERT(static_cast<size_t>(takenLabel) <
-                            prog.labels.size(),
-                        "branch to unknown label " << takenLabel);
-            pc = prog.labels[takenLabel];
-            GCD2_ASSERT(pc != SIZE_MAX, "branch to unbound label");
-        } else {
-            ++pc;
+        const uint64_t chunkEnd =
+            steps + std::min(kStepCheckInterval, maxSteps - steps);
+        while (steps < chunkEnd && pc < prog.code.size()) {
+            ++steps;
+            const int takenLabel = execute(prog.code[pc]);
+            if (takenLabel >= 0) {
+                GCD2_ASSERT(static_cast<size_t>(takenLabel) <
+                                prog.labels.size(),
+                            "branch to unknown label " << takenLabel);
+                pc = prog.labels[takenLabel];
+                GCD2_ASSERT(pc != SIZE_MAX, "branch to unbound label");
+            } else {
+                ++pc;
+            }
         }
     }
 }

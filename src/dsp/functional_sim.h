@@ -68,6 +68,17 @@ struct ExecStats
  * Branch semantics: the imm field of JUMP/JUMPNZ indexes Program::labels,
  * which holds the target instruction index.
  */
+/**
+ * Execute one instruction against explicit architectural state: the
+ * single source of truth for opcode semantics. FunctionalSimulator wraps
+ * it, and the pre-decoded engine (decoded.cc) falls back to it for the
+ * rare operand-aliasing cases its vectorized lane loops do not model.
+ *
+ * @return the label id of the taken branch target, or -1 to fall through.
+ */
+int executeInstruction(const Instruction &inst, RegisterFile &regs,
+                       Memory &mem, ExecStats &stats);
+
 class FunctionalSimulator
 {
   public:
@@ -75,7 +86,13 @@ class FunctionalSimulator
 
     RegisterFile &regs() { return regs_; }
     const RegisterFile &regs() const { return regs_; }
+    Memory &memory() { return mem_; }
     const ExecStats &stats() const { return stats_; }
+
+    /** Mutable counters for engines that execute on this simulator's
+     *  behalf (the decoded engine updates the same cumulative stats so
+     *  TimingSimulator deltas are engine-agnostic). */
+    ExecStats &mutableStats() { return stats_; }
 
     /**
      * Execute one instruction.

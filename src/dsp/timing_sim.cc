@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "dsp/decoded.h"
 #include "dsp/deps.h"
 
 namespace gcd2::dsp {
@@ -55,6 +56,19 @@ TimingSimulator::run(const PackedProgram &packed, bool validate,
     if (validate)
         validatePackedProgram(packed);
 
+    const std::shared_ptr<const DecodedProgram> dec =
+        DecodeCache::global().lookupOrDecode(packed);
+    return runDecoded(*dec, funcSim_.regs(), funcSim_.memory(),
+                      funcSim_.mutableStats(), maxPackets);
+}
+
+TimingStats
+TimingSimulator::runReference(const PackedProgram &packed, bool validate,
+                              uint64_t maxPackets)
+{
+    if (validate)
+        validatePackedProgram(packed);
+
     const Program &prog = packed.program;
     AliasAnalysis alias(prog);
 
@@ -95,50 +109,62 @@ TimingSimulator::run(const PackedProgram &packed, bool validate,
     uint64_t completion = 0;   // latest write-back seen so far
     bool first = true;
 
+    // Runaway guard hoisted out of the hot loop: the inner loop runs a
+    // chunk of the remaining packet budget, so on overflow exactly
+    // maxPackets packets have executed before the panic -- identical to a
+    // per-packet check.
+    constexpr uint64_t kPacketCheckInterval = 4096;
+    uint64_t budget = maxPackets;
     size_t pc = 0;
     while (pc < packed.packets.size()) {
-        GCD2_ASSERT(stats.packetsExecuted < maxPackets,
-                    "packed program exceeded " << maxPackets << " packets");
-        const Packet &packet = packed.packets[pc];
+        GCD2_ASSERT(budget > 0, "packed program exceeded " << maxPackets
+                                                           << " packets");
+        uint64_t chunk = std::min(budget, kPacketCheckInterval);
+        budget -= chunk;
+        while (chunk-- > 0 && pc < packed.packets.size()) {
+            const Packet &packet = packed.packets[pc];
 
-        // Issue no earlier than one cycle after the previous packet, and
-        // no earlier than every cross-packet source operand's readiness.
-        issue = first ? 0 : lastIssue + 1;
-        for (size_t idx : packet.insts)
-            for (int uid : regReads(prog.code[idx]))
-                issue = std::max(issue, ready[static_cast<size_t>(uid)]);
-        stats.stallCycles += issue - (first ? 0 : lastIssue + 1);
-        first = false;
-        lastIssue = issue;
+            // Issue no earlier than one cycle after the previous packet,
+            // and no earlier than every cross-packet source operand's
+            // readiness.
+            issue = first ? 0 : lastIssue + 1;
+            for (size_t idx : packet.insts)
+                for (int uid : regReads(prog.code[idx]))
+                    issue =
+                        std::max(issue, ready[static_cast<size_t>(uid)]);
+            stats.stallCycles += issue - (first ? 0 : lastIssue + 1);
+            first = false;
+            lastIssue = issue;
 
-        ++stats.packetsExecuted;
-        stats.instructionsExecuted += packet.insts.size();
+            ++stats.packetsExecuted;
+            stats.instructionsExecuted += packet.insts.size();
 
-        int takenLabel = -1;
-        const auto &delay = delays[pc];
-        for (size_t k = 0; k < packet.insts.size(); ++k) {
-            const size_t idx = packet.insts[k];
-            const Instruction &inst = prog.code[idx];
-            const uint64_t done =
-                issue + static_cast<uint64_t>(delay[k]) +
-                static_cast<uint64_t>(inst.info().latency);
-            completion = std::max(completion, done);
-            for (int uid : regWrites(inst))
-                ready[static_cast<size_t>(uid)] = done;
-            stats.stallCycles += static_cast<uint64_t>(delay[k]);
+            int takenLabel = -1;
+            const auto &delay = delays[pc];
+            for (size_t k = 0; k < packet.insts.size(); ++k) {
+                const size_t idx = packet.insts[k];
+                const Instruction &inst = prog.code[idx];
+                const uint64_t done =
+                    issue + static_cast<uint64_t>(delay[k]) +
+                    static_cast<uint64_t>(inst.info().latency);
+                completion = std::max(completion, done);
+                for (int uid : regWrites(inst))
+                    ready[static_cast<size_t>(uid)] = done;
+                stats.stallCycles += static_cast<uint64_t>(delay[k]);
 
-            const int label = funcSim_.execute(inst);
-            if (label >= 0)
-                takenLabel = label;
-        }
+                const int label = funcSim_.execute(inst);
+                if (label >= 0)
+                    takenLabel = label;
+            }
 
-        if (takenLabel >= 0) {
-            GCD2_ASSERT(static_cast<size_t>(takenLabel) <
-                            packed.labelPacket.size(),
-                        "branch to unknown label " << takenLabel);
-            pc = packed.labelPacket[takenLabel];
-        } else {
-            ++pc;
+            if (takenLabel >= 0) {
+                GCD2_ASSERT(static_cast<size_t>(takenLabel) <
+                                packed.labelPacket.size(),
+                            "branch to unknown label " << takenLabel);
+                pc = packed.labelPacket[takenLabel];
+            } else {
+                ++pc;
+            }
         }
     }
 

@@ -26,49 +26,9 @@
 #include "dsp/alias.h"
 #include "dsp/functional_sim.h"
 #include "dsp/packet.h"
+#include "dsp/timing_stats.h"
 
 namespace gcd2::dsp {
-
-/** Results of a timed execution. */
-struct TimingStats
-{
-    uint64_t cycles = 0;
-    uint64_t packetsExecuted = 0;
-    uint64_t instructionsExecuted = 0;
-    uint64_t stallCycles = 0;
-    uint64_t bytesLoaded = 0;
-    uint64_t bytesStored = 0;
-
-    /** Fraction of issue capacity used: insts / (4 slots x packets). */
-    double
-    slotUtilization() const
-    {
-        return packetsExecuted == 0
-                   ? 0.0
-                   : static_cast<double>(instructionsExecuted) /
-                         (static_cast<double>(kPacketSlots) *
-                          static_cast<double>(packetsExecuted));
-    }
-
-    /** Issue-level parallelism per cycle (relative DSP utilization). */
-    double
-    computeUtilization() const
-    {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(instructionsExecuted) /
-                                 (static_cast<double>(kPacketSlots) *
-                                  static_cast<double>(cycles));
-    }
-
-    /** Memory traffic per cycle in bytes (relative bandwidth). */
-    double
-    memoryBandwidth() const
-    {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(bytesLoaded + bytesStored) /
-                                 static_cast<double>(cycles);
-    }
-};
 
 /**
  * Executes a PackedProgram against a Memory, producing both the final
@@ -82,14 +42,32 @@ class TimingSimulator
 
     RegisterFile &regs() { return funcSim_.regs(); }
 
+    /** Cumulative architectural counters (differential tests). */
+    const ExecStats &execStats() const { return funcSim_.stats(); }
+
     /**
-     * Run the packed program to completion.
+     * Run the packed program to completion through the pre-decoded engine
+     * (decoded.h): the program is fingerprinted, decoded once via the
+     * process-wide DecodeCache, and executed with the register-mask
+     * scoreboard and table dispatch. Bit-identical (architectural state
+     * and TimingStats) to runReference for every program -- enforced by
+     * the differential tests in tests/dsp/decoded_engine_test.cc.
      *
      * @param validate run full invariant validation first (tests).
      * @param maxPackets guard against runaway loops.
      */
     TimingStats run(const PackedProgram &packed, bool validate = false,
                     uint64_t maxPackets = 1ULL << 32);
+
+    /**
+     * Reference implementation: the original interpreting loop, which
+     * re-derives register sets, intra-packet delays, and label targets
+     * per dynamic packet. Kept as the semantic baseline the decoded
+     * engine is differentially tested against.
+     */
+    TimingStats runReference(const PackedProgram &packed,
+                             bool validate = false,
+                             uint64_t maxPackets = 1ULL << 32);
 
     /**
      * Standalone cost of one packet (intra-packet soft-dependency stalls

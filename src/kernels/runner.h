@@ -8,6 +8,11 @@
  * the timing simulator, and returns the raw output bytes plus the timing
  * statistics. Used by correctness tests, the cost model, and the bench
  * harnesses alike, so every reported cycle comes from the same path.
+ *
+ * Execution goes through TimingSimulator::run, i.e. the pre-decoded
+ * engine (dsp/decoded.h) -- bit-identical to the reference interpreting
+ * loop but several times faster, with repeated runs of the same program
+ * hitting the process-wide DecodeCache.
  */
 #ifndef GCD2_KERNELS_RUNNER_H
 #define GCD2_KERNELS_RUNNER_H

@@ -21,6 +21,12 @@
  * memoized in a sharded CostCache (see cost_cache.h). By default each
  * model owns a private cache; pass a shared one to reuse simulations
  * across compiles with identical kernel-level options.
+ *
+ * Simulations run through the pre-decoded execution engine
+ * (dsp/decoded.h), whose DecodeCache deduplicates the decode work one
+ * level below this cache: a CostCache hit skips simulation entirely,
+ * while a miss that re-simulates a previously seen program still reuses
+ * its decoded form. See DESIGN.md section 9.
  */
 #ifndef GCD2_SELECT_COST_MODEL_H
 #define GCD2_SELECT_COST_MODEL_H
