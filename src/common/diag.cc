@@ -1,0 +1,71 @@
+#include "common/diag.h"
+
+#include <sstream>
+
+namespace gcd2::common {
+
+const char *
+diagSeverityName(DiagSeverity severity)
+{
+    switch (severity) {
+      case DiagSeverity::Info:
+        return "info";
+      case DiagSeverity::Warning:
+        return "warning";
+      case DiagSeverity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+std::string
+Diag::toString() const
+{
+    std::ostringstream out;
+    out << "[" << diagSeverityName(severity) << "] " << pass;
+    if (node >= 0)
+        out << " (node " << node << ")";
+    out << ": " << message;
+    return out.str();
+}
+
+void
+DiagLog::add(Diag diag)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(std::move(diag));
+}
+
+void
+DiagLog::add(DiagSeverity severity, std::string pass, int64_t node,
+             std::string message)
+{
+    add(Diag{severity, std::move(pass), node, std::move(message)});
+}
+
+std::vector<Diag>
+DiagLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+}
+
+size_t
+DiagLog::count(DiagSeverity severity) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const Diag &diag : entries_)
+        if (diag.severity == severity)
+            ++n;
+    return n;
+}
+
+size_t
+DiagLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace gcd2::common

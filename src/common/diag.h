@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structured compilation diagnostics.
+ *
+ * A Diag records one per-pass (and optionally per-node) event that the
+ * pipeline chose to report instead of throwing: audit findings, fallback
+ * decisions, truncated searches. Diagnostics flow through a thread-safe
+ * DiagLog owned by the CompilationSession and ship inside the
+ * PipelineReport, so a served compile always tells the caller *how* it
+ * was produced -- which degradation rung ran, which invariants were
+ * checked, and what (if anything) looked wrong.
+ *
+ * Severity semantics:
+ *  - Info: normal bookkeeping worth surfacing (audit passed, budget used).
+ *  - Warning: the compile succeeded but degraded (fallback rung served,
+ *    branch-and-bound truncated to best-so-far).
+ *  - Error: an auditor found a violated invariant; the artifact may be
+ *    wrong and callers should treat the compile as suspect.
+ */
+#ifndef GCD2_COMMON_DIAG_H
+#define GCD2_COMMON_DIAG_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gcd2::common {
+
+enum class DiagSeverity : uint8_t
+{
+    Info,
+    Warning,
+    Error,
+};
+
+const char *diagSeverityName(DiagSeverity severity);
+
+/** One structured diagnostic event. */
+struct Diag
+{
+    DiagSeverity severity = DiagSeverity::Info;
+    /** Pipeline pass or subsystem that produced it ("selection", ...). */
+    std::string pass;
+    /** Graph node id / instruction index the event is about; -1 = whole
+     *  artifact. */
+    int64_t node = -1;
+    std::string message;
+
+    /** "[error] selection (node 7): ..." single-line rendering. */
+    std::string toString() const;
+};
+
+/**
+ * Thread-safe diagnostic sink. Appends may come from pool workers (deep
+ * kernel audits run under parallelFor); reads take a snapshot. The log
+ * deliberately never throws and never filters -- policy (abort on error,
+ * ignore warnings) belongs to the caller inspecting the report.
+ */
+class DiagLog
+{
+  public:
+    void add(Diag diag);
+    void add(DiagSeverity severity, std::string pass, int64_t node,
+             std::string message);
+
+    /** Copy of everything recorded so far, in append order. */
+    std::vector<Diag> snapshot() const;
+
+    size_t count(DiagSeverity severity) const;
+    size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Diag> entries_;
+};
+
+} // namespace gcd2::common
+
+#endif // GCD2_COMMON_DIAG_H

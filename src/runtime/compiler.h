@@ -19,12 +19,14 @@
 #define GCD2_RUNTIME_COMPILER_H
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/diag.h"
 #include "select/selector.h"
 
 namespace gcd2::runtime {
@@ -48,9 +50,22 @@ struct PipelineReport
     double totalSeconds = 0.0;
     /** Worker threads the session used (1 = fully serial). */
     int threadsUsed = 1;
+    /**
+     * Everything the pipeline chose to report instead of throwing:
+     * fallback decisions, truncated searches, audit findings. A compile
+     * with Error-severity entries was served but is suspect.
+     */
+    std::vector<common::Diag> diagnostics;
+    /** Selection strategy that produced the served selection. */
+    std::string servedSelection;
+    /** Fallback-ladder rung of servedSelection (0 = requested). */
+    int selectionRung = 0;
 
     /** Pass by name; nullptr when no such pass ran. */
     const PassReport *pass(std::string_view name) const;
+
+    /** Diagnostics recorded at the given severity. */
+    size_t diagnosticCount(common::DiagSeverity severity) const;
 
     /** Multi-line human-readable breakdown (bench/debug output). */
     std::string toString() const;
@@ -77,6 +92,17 @@ enum class SelectionMode : uint8_t
     Local,         ///< per-operator local optimum (Fig. 10 baseline)
     GlobalOptimal, ///< exhaustive (small graphs only)
     Uniform,       ///< one fixed scheme everywhere (TFLite/SNPE-style)
+};
+
+/** Ladder-rung name of a selection mode ("gcd2", "local", ...). */
+const char *selectionModeName(SelectionMode mode);
+
+/** How much post-compile auditing the pipeline runs. */
+enum class AuditMode : uint8_t
+{
+    Off,   ///< no audit pass (trusted caller, fastest compile)
+    Cheap, ///< structural + cost-honesty checks, always affordable
+    Deep,  ///< Cheap plus exact re-solves and extra schedule audits
 };
 
 /** Full compile-time configuration. */
@@ -118,6 +144,28 @@ struct CompileOptions
      * identical canonical kernels. Null = private per-compile cache.
      */
     std::shared_ptr<select::CostCache> costCache;
+    /**
+     * Branch-and-bound evaluation budget per selector subproblem (0 =
+     * unlimited). A budgeted search never refuses an oversized graph:
+     * it serves the best complete assignment found when the budget
+     * expires, records a Warning diagnostic, and marks the selector
+     * result truncated.
+     */
+    uint64_t maxSelectorEvaluations = 0;
+    /**
+     * Post-compile auditing level (see AuditMode). The default (Cheap)
+     * escalates to Deep when the GCD2_DEEP_AUDIT environment variable
+     * is set non-zero (CI sanitizer jobs); Off and explicit Deep are
+     * always respected.
+     */
+    AuditMode audit = AuditMode::Cheap;
+    /**
+     * Test-only fault injection: invoked on the *requested* selection
+     * rung's result (never on fallback rungs). Throwing FatalError from
+     * here exercises the fallback ladder; mutating the result exercises
+     * the auditors. Null in production.
+     */
+    std::function<void(select::SelectorResult &)> testSelectionFault;
 };
 
 /** A compiled model with its aggregated execution statistics. */

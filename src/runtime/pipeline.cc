@@ -1,17 +1,43 @@
 #include "runtime/pipeline.h"
 
+#include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "graph/passes.h"
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
+#include "kernels/unroll.h"
+#include "select/audit.h"
+#include "vliw/audit.h"
+#include "vliw/packer.h"
 
 namespace gcd2::runtime {
 
+using common::Diag;
+using common::DiagSeverity;
 using select::CostModel;
 using select::ExecutionPlan;
 using select::NodeExecStats;
 using select::PlanTable;
+
+const char *
+selectionModeName(SelectionMode mode)
+{
+    switch (mode) {
+      case SelectionMode::Gcd2:
+        return "gcd2";
+      case SelectionMode::Local:
+        return "local";
+      case SelectionMode::GlobalOptimal:
+        return "global-optimal";
+      case SelectionMode::Uniform:
+        return "uniform";
+    }
+    return "?";
+}
 
 uint64_t
 PassReport::counter(std::string_view key) const
@@ -31,6 +57,16 @@ PipelineReport::pass(std::string_view name) const
     return nullptr;
 }
 
+size_t
+PipelineReport::diagnosticCount(DiagSeverity severity) const
+{
+    size_t n = 0;
+    for (const Diag &diag : diagnostics)
+        if (diag.severity == severity)
+            ++n;
+    return n;
+}
+
 std::string
 PipelineReport::toString() const
 {
@@ -38,12 +74,20 @@ PipelineReport::toString() const
     out << "compilation pipeline (" << threadsUsed
         << (threadsUsed == 1 ? " thread, " : " threads, ")
         << static_cast<int64_t>(totalSeconds * 1e3) << " ms total)\n";
+    if (!servedSelection.empty())
+        out << "  selection served by '" << servedSelection << "' (rung "
+            << selectionRung << ")\n";
     for (const PassReport &pass : passes) {
         out << "  " << pass.name << ": "
             << static_cast<int64_t>(pass.seconds * 1e6) << " us";
         for (const auto &[name, value] : pass.counters)
             out << ", " << name << "=" << value;
         out << "\n";
+    }
+    if (!diagnostics.empty()) {
+        out << "  diagnostics (" << diagnostics.size() << "):\n";
+        for (const Diag &diag : diagnostics)
+            out << "    " << diag.toString() << "\n";
     }
     return out.str();
 }
@@ -53,6 +97,16 @@ CompilationSession::CompilationSession(const graph::Graph &graph,
     : graph_(graph), options_(options), pool_(options.numThreads)
 {
     report_.threadsUsed = pool_.size();
+    // CI escalation hook: GCD2_DEEP_AUDIT=1 upgrades every default
+    // (Cheap) audit to Deep without touching call sites -- the
+    // sanitizer jobs use it to run exact re-solves and extra schedule
+    // audits across the whole test suite. An explicit Off/Deep choice
+    // is respected.
+    if (options_.audit == AuditMode::Cheap) {
+        const char *deep = std::getenv("GCD2_DEEP_AUDIT");
+        if (deep != nullptr && deep[0] != '\0' && deep[0] != '0')
+            options_.audit = AuditMode::Deep;
+    }
 }
 
 void
@@ -114,44 +168,107 @@ CompilationSession::passPlanTable(PassReport &pass)
 void
 CompilationSession::passSelection(PassReport &pass, CompiledModel &result)
 {
-    switch (options_.selection) {
-      case SelectionMode::Gcd2:
-        result.selector = select::selectGcd2Partitioned(
-            *table_, options_.maxPartition, &pool_);
-        break;
-      case SelectionMode::Local:
-        result.selector = select::selectLocal(*table_);
-        break;
-      case SelectionMode::GlobalOptimal:
-        result.selector = select::selectGlobalOptimal(*table_);
-        break;
-      case SelectionMode::Uniform: {
-        // One scheme for every matmul-family operator, row-major for the
-        // rest: the uniform per-op-type implementations of TFLite/SNPE.
-        result.selector = select::selectLocal(*table_);
-        for (const graph::Node &node : graph_.nodes()) {
-            if (node.dead)
-                continue;
-            if (graph::isMatMulFamily(node.op)) {
-                result.selector.selection
-                    .planIndex[static_cast<size_t>(node.id)] =
-                    static_cast<int>(options_.uniformScheme);
-            } else if (select::isLayoutAgnostic(node.op)) {
-                // Row-major plan (index 0).
-                result.selector.selection
-                    .planIndex[static_cast<size_t>(node.id)] = 0;
+    const uint64_t budget = options_.maxSelectorEvaluations;
+
+    const auto solveRequested = [&]() -> select::SelectorResult {
+        switch (options_.selection) {
+          case SelectionMode::Gcd2:
+            return select::selectGcd2Partitioned(
+                *table_, options_.maxPartition, &pool_, budget);
+          case SelectionMode::Local:
+            return select::selectLocal(*table_);
+          case SelectionMode::GlobalOptimal:
+            return select::selectGlobalOptimal(*table_, 22, budget);
+          case SelectionMode::Uniform: {
+            // One scheme for every matmul-family operator, row-major for
+            // the rest: the uniform per-op-type implementations of
+            // TFLite/SNPE.
+            select::SelectorResult uniform = select::selectLocal(*table_);
+            for (const graph::Node &node : graph_.nodes()) {
+                if (node.dead)
+                    continue;
+                if (graph::isMatMulFamily(node.op)) {
+                    uniform.selection
+                        .planIndex[static_cast<size_t>(node.id)] =
+                        static_cast<int>(options_.uniformScheme);
+                } else if (select::isLayoutAgnostic(node.op)) {
+                    // Row-major plan (index 0).
+                    uniform.selection
+                        .planIndex[static_cast<size_t>(node.id)] = 0;
+                }
             }
+            uniform.selection.totalCost =
+                select::aggCost(*table_, uniform.selection);
+            return uniform;
+          }
         }
-        result.selector.selection.totalCost =
-            select::aggCost(*table_, result.selector.selection);
-        break;
-      }
+        GCD2_PANIC("unknown selection mode");
+    };
+
+    // Graceful-degradation ladder: the requested strategy, then ever
+    // cheaper solvers. A rung that throws FatalError (user-class
+    // failure: free-node cap, bad partition bound, injected fault) is
+    // recorded and the next rung serves instead; selectLocal at the
+    // bottom cannot fail, so a compile only aborts if *every* rung is
+    // broken. Internal-bug panics (PanicError) still propagate.
+    struct Rung
+    {
+        const char *name;
+        std::function<select::SelectorResult()> solve;
+    };
+    std::vector<Rung> ladder;
+    ladder.push_back({selectionModeName(options_.selection),
+                      solveRequested});
+    const auto addFallback = [&](const char *name,
+                                 std::function<select::SelectorResult()>
+                                     solve) {
+        for (const Rung &rung : ladder)
+            if (std::string_view(rung.name) == name)
+                return;
+        ladder.push_back({name, std::move(solve)});
+    };
+    addFallback("gcd2", [&] {
+        return select::selectGcd2Partitioned(
+            *table_, options_.maxPartition, &pool_, budget);
+    });
+    addFallback("chain-dp", [&] { return select::selectChainDp(*table_); });
+    addFallback("local", [&] { return select::selectLocal(*table_); });
+
+    for (size_t i = 0; i < ladder.size(); ++i) {
+        try {
+            select::SelectorResult r = ladder[i].solve();
+            if (i == 0 && options_.testSelectionFault)
+                options_.testSelectionFault(r);
+            result.selector = std::move(r);
+            report_.servedSelection = ladder[i].name;
+            report_.selectionRung = static_cast<int>(i);
+            break;
+        } catch (const FatalError &err) {
+            diag_.add(DiagSeverity::Warning, "selection", -1,
+                      std::string("rung '") + ladder[i].name +
+                          "' failed (" + err.what() + "); falling back");
+            if (i + 1 == ladder.size())
+                throw; // ladder exhausted: nothing left to serve
+        }
     }
+    if (report_.selectionRung > 0)
+        diag_.add(DiagSeverity::Info, "selection", -1,
+                  "served by fallback rung '" + report_.servedSelection +
+                      "'");
+    if (result.selector.truncated)
+        diag_.add(DiagSeverity::Warning, "selection", -1,
+                  "evaluation budget (" + std::to_string(budget) +
+                      " per subproblem) exhausted; serving best-so-far");
+
     result.selection = result.selector.selection;
     pass.counters.emplace_back("evaluations",
                                result.selector.evaluations);
     pass.counters.emplace_back("total-cost",
                                result.selection.totalCost);
+    pass.counters.emplace_back(
+        "fallback-rung", static_cast<uint64_t>(report_.selectionRung));
+    pass.counters.emplace_back("truncated",
+                               result.selector.truncated ? 1 : 0);
 }
 
 void
@@ -265,6 +382,97 @@ CompilationSession::passCycleAccounting(PassReport &pass,
         "live-operators", static_cast<uint64_t>(result.liveOperators));
 }
 
+void
+CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
+{
+    if (options_.audit == AuditMode::Off) {
+        pass.counters.emplace_back("skipped", 1);
+        return;
+    }
+    const bool deep = options_.audit == AuditMode::Deep;
+    const std::string &served = report_.servedSelection;
+
+    // Selection audit. The local-baseline floor is only sound for
+    // solvers that dominate selectLocal by construction; the deep exact
+    // re-solve additionally requires the served rung to claim global
+    // optimality on this graph (gcd2 is exact when no component was
+    // chunked, i.e. all free nodes fit one partition) and an
+    // un-truncated search.
+    select::SelectionAuditOptions auditOpts;
+    auditOpts.checkNotWorseThanLocal =
+        served == "gcd2" || served == "global-optimal" ||
+        served == "local";
+    auditOpts.deepMaxFreeNodes = 12;
+    auditOpts.deep =
+        deep && !result.selector.truncated &&
+        (served == "global-optimal" ||
+         (served == "gcd2" &&
+          table_->freeNodes().size() <=
+              static_cast<size_t>(options_.maxPartition)));
+    std::vector<Diag> selectionFindings =
+        select::auditSelection(*table_, result.selection, auditOpts);
+    const size_t selectionFailures = selectionFindings.size();
+    for (Diag &diag : selectionFindings)
+        diag_.add(std::move(diag));
+
+    // Schedule audit: re-pack small canonical kernels under the
+    // session's pack options -- one matmul tile per distinct chosen
+    // scheme (deep: with the tile's adaptive unroll, plus an
+    // elementwise representative) -- and check packet legality.
+    std::set<kernels::MatMulScheme> schemes;
+    for (const graph::Node &node : graph_.nodes()) {
+        if (node.dead || !graph::isMatMulFamily(node.op))
+            continue;
+        const int planIdx =
+            result.selection.planIndex[static_cast<size_t>(node.id)];
+        const ExecutionPlan &plan =
+            table_->plans(node.id)[static_cast<size_t>(planIdx)];
+        if (plan.isMatMulPlan())
+            schemes.insert(plan.scheme);
+    }
+    uint64_t schedulesAudited = 0;
+    size_t scheduleFailures = 0;
+    const auto auditProgram = [&](const dsp::Program &prog) {
+        const dsp::PackedProgram packed =
+            vliw::pack(prog, options_.cost.packOptions);
+        std::vector<Diag> findings = vliw::auditSchedule(packed);
+        scheduleFailures += findings.size();
+        for (Diag &diag : findings)
+            diag_.add(std::move(diag));
+        ++schedulesAudited;
+    };
+    for (kernels::MatMulScheme scheme : schemes) {
+        kernels::MatMulShape tile;
+        tile.m = 8;
+        tile.k = 64;
+        tile.n = 32;
+        kernels::MatMulConfig config;
+        config.scheme = scheme;
+        if (deep)
+            config = kernels::withUnroll(
+                config, kernels::adaptiveUnroll(tile, scheme));
+        const kernels::MatMulKernel kernel(tile, config);
+        auditProgram(kernel.program());
+    }
+    if (deep) {
+        kernels::EwConfig ew;
+        ew.op = kernels::EwOp::Add;
+        ew.length = 256;
+        auditProgram(kernels::ElementwiseKernel(ew).program());
+    }
+
+    if (selectionFailures + scheduleFailures == 0)
+        diag_.add(DiagSeverity::Info, "audit", -1,
+                  std::string(deep ? "deep" : "cheap") +
+                      " audit passed (" +
+                      std::to_string(schedulesAudited) +
+                      " schedules checked)");
+    pass.counters.emplace_back("selection-findings", selectionFailures);
+    pass.counters.emplace_back("schedule-findings", scheduleFailures);
+    pass.counters.emplace_back("schedules-audited", schedulesAudited);
+    pass.counters.emplace_back("deep", deep ? 1 : 0);
+}
+
 CompiledModel
 CompilationSession::run()
 {
@@ -281,7 +489,10 @@ CompilationSession::run()
     runPass("cycle-accounting", [&](PassReport &pass) {
         passCycleAccounting(pass, result);
     });
+    runPass("audit",
+            [&](PassReport &pass) { passAudit(pass, result); });
     report_.totalSeconds = total.seconds();
+    report_.diagnostics = diag_.snapshot();
     result.report = report_;
     return result;
 }

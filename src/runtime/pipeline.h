@@ -7,13 +7,20 @@
  *   plan-table        enumerate + cost every candidate plan (kernel
  *                     generation, VLIW packing, and timing simulation of
  *                     the canonical kernels happen here, memoized)
- *   selection         global layout/instruction selection (IV-A/B)
+ *   selection         global layout/instruction selection (IV-A/B),
+ *                     served through a fallback ladder (requested
+ *                     strategy -> gcd2 -> chain-dp -> local): a rung
+ *                     that throws FatalError is recorded as a Warning
+ *                     diagnostic and the next rung serves instead
  *   kernel-generation per-node statistics of the *chosen* kernels
  *   cycle-accounting  totals, layout-transformation edges, overheads
+ *   audit             selection + schedule invariant checks (AuditMode)
  *
  * Each pass records wall-clock seconds and input/output counters into a
  * PipelineReport that ships inside the CompiledModel, so callers can see
- * where compile time went without re-instrumenting.
+ * where compile time went without re-instrumenting. Structured
+ * diagnostics (fallbacks taken, budgets exhausted, audit findings) flow
+ * through a thread-safe DiagLog into PipelineReport::diagnostics.
  *
  * The session owns a ThreadPool (CompileOptions::numThreads) used by the
  * embarrassingly parallel stages -- per-node plan costing, independent
@@ -27,6 +34,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/diag.h"
 #include "common/thread_pool.h"
 #include "runtime/compiler.h"
 
@@ -54,11 +62,14 @@ class CompilationSession
     void passSelection(PassReport &pass, CompiledModel &result);
     void passKernelGeneration(PassReport &pass, CompiledModel &result);
     void passCycleAccounting(PassReport &pass, CompiledModel &result);
+    void passAudit(PassReport &pass, CompiledModel &result);
 
     graph::Graph graph_; ///< session-private copy the passes may rewrite
     CompileOptions options_;
     ThreadPool pool_;
     PipelineReport report_;
+    /** Thread-safe diagnostic sink; snapshotted into the report. */
+    common::DiagLog diag_;
 
     std::optional<select::CostModel> model_;
     std::optional<select::PlanTable> table_;

@@ -30,6 +30,13 @@ PlanTable::PlanTable(const graph::Graph &graph, const CostModel &model,
 {
     plans_.resize(graph.size());
     const std::vector<graph::Node> &nodes = graph.nodes();
+    // Every table lookup below is keyed by node id, so ids must be a
+    // dense [0, size) enumeration matching storage order. Check once
+    // here rather than trusting each path to agree.
+    for (size_t i = 0; i < nodes.size(); ++i)
+        GCD2_ASSERT(static_cast<size_t>(nodes[i].id) == i,
+                    "graph node ids must be dense and positional (node "
+                        << nodes[i].id << " at index " << i << ")");
     if (pool != nullptr && pool->size() > 1) {
         // Each node's plan set is an independent pure computation (the
         // cost model's memo cache is thread-safe), so any iteration
@@ -38,7 +45,7 @@ PlanTable::PlanTable(const graph::Graph &graph, const CostModel &model,
             static_cast<int64_t>(nodes.size()), [&](int64_t i) {
                 const graph::Node &node = nodes[static_cast<size_t>(i)];
                 if (!node.dead)
-                    plans_[static_cast<size_t>(i)] =
+                    plans_[static_cast<size_t>(node.id)] =
                         model.costedPlans(graph, node.id);
             });
     } else {
@@ -116,10 +123,18 @@ emptySelection(const PlanTable &table)
  * that every node with planIndex >= 0 outside the subset is already
  * decided. Edges to undecided nodes outside the subset are ignored
  * (their chunks pay the cost when they are solved).
+ *
+ * With @p maxEvaluations > 0 the search stops once the budget is spent
+ * and serves the best complete assignment seen, setting @p truncated.
+ * The search is seeded with complete incumbents (the caller's current
+ * assignment if any, the per-node-cheapest plans, and the greedy argmin
+ * of the folded base costs) before descending, so even a fully
+ * exhausted budget yields an assignment no worse than any of those.
  */
 void
 solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
-                   Selection &sel, uint64_t &evaluations)
+                   Selection &sel, uint64_t &evaluations,
+                   uint64_t maxEvaluations, bool &truncated)
 {
     const size_t n = subset.size();
     if (n == 0)
@@ -128,6 +143,18 @@ solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
     std::vector<int> posOf(table.graph().size(), -1);
     for (size_t i = 0; i < n; ++i)
         posOf[static_cast<size_t>(subset[i])] = static_cast<int>(i);
+
+    // Remember any pre-existing assignment: it becomes an incumbent so
+    // budget-truncated polish passes can only improve on it.
+    std::vector<int> prior(n, -1);
+    bool priorComplete = true;
+    for (size_t i = 0; i < n; ++i) {
+        prior[i] = sel.planIndex[static_cast<size_t>(subset[i])];
+        if (prior[i] < 0 ||
+            prior[i] >=
+                static_cast<int>(table.plans(subset[i]).size()))
+            priorComplete = false;
+    }
 
     // Mark subset nodes as undecided for base-cost computation.
     for (NodeId id : subset)
@@ -203,13 +230,64 @@ solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
         suffixLb[i] = suffixLb[i + 1] +
                       *std::min_element(base[i].begin(), base[i].end());
 
-    std::vector<int> current(n, 0), best(n, 0);
+    // Full-assignment cost under the same metric the search minimizes
+    // (folded base + intra-subset pair edges).
+    const auto assignmentCost = [&](const std::vector<int> &assign) {
+        uint64_t cost = 0;
+        for (size_t i = 0; i < n; ++i)
+            cost += base[i][static_cast<size_t>(assign[i])];
+        for (const PairEdge &edge : pairs)
+            cost += edge.tc[static_cast<size_t>(
+                assign[static_cast<size_t>(edge.a)])]
+                           [static_cast<size_t>(
+                               assign[static_cast<size_t>(edge.b)])];
+        return cost;
+    };
+
+    std::vector<int> best(n, 0);
     uint64_t bestCost = UINT64_MAX;
+    const auto seedIncumbent = [&](const std::vector<int> &assign) {
+        const uint64_t cost = assignmentCost(assign);
+        ++evaluations;
+        if (cost < bestCost) {
+            bestCost = cost;
+            best = assign;
+        }
+    };
+
+    // Incumbents bound how bad a budget-truncated answer can get. Only
+    // seeded when a budget is active: an unbudgeted search always runs
+    // to proven optimality anyway, and seeding would change its pruning
+    // and hence its evaluation telemetry (which benches compare).
+    if (maxEvaluations != 0) {
+        if (priorComplete)
+            seedIncumbent(prior);
+        std::vector<int> seed(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+            const auto &plans = table.plans(subset[i]);
+            int arg = 0;
+            for (size_t p = 1; p < plans.size(); ++p)
+                if (plans[p].cycles <
+                    plans[static_cast<size_t>(arg)].cycles)
+                    arg = static_cast<int>(p);
+            seed[i] = arg;
+        }
+        seedIncumbent(seed); // per-node cheapest (local-restricted)
+        for (size_t i = 0; i < n; ++i) {
+            seed[i] = static_cast<int>(
+                std::min_element(base[i].begin(), base[i].end()) -
+                base[i].begin());
+        }
+        seedIncumbent(seed); // greedy argmin of folded base costs
+    }
+
+    const uint64_t evalLimit =
+        maxEvaluations == 0 ? 0 : evaluations + maxEvaluations;
 
     // Iterative depth-first branch and bound.
+    std::vector<int> current(n, -1);
     std::vector<uint64_t> partial(n + 1, 0);
     size_t depth = 0;
-    current.assign(n, -1);
     while (true) {
         if (current[depth] + 1 >=
             static_cast<int>(base[depth].size())) {
@@ -222,6 +300,10 @@ solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
         }
         ++current[depth];
         ++evaluations;
+        if (evalLimit != 0 && evaluations >= evalLimit) {
+            truncated = true;
+            break; // serve the best incumbent found so far
+        }
 
         uint64_t cost = partial[depth] +
                         base[depth][static_cast<size_t>(current[depth])];
@@ -362,10 +444,14 @@ selectChainDp(const PlanTable &table)
         }
     }
 
-    // Reconstruct from the outputs downward. Multi-consumer producers get
-    // the first visitor's choice; the reported cost is re-evaluated, so
-    // the result stays a valid (if then possibly suboptimal) selection.
+    // Reconstruct from the outputs downward. On in-trees every producer
+    // is visited once and the reconstruction is exact. With fan-out a
+    // producer may be claimed by several consumers that each want a
+    // different plan; the first visitor wins provisionally and the node
+    // is marked conflicted for repair below.
     std::vector<bool> assigned(graph.size(), false);
+    std::vector<bool> conflicted(graph.size(), false);
+    bool anyConflict = false;
     std::vector<std::pair<NodeId, int>> work;
     for (const graph::Node &node : graph.nodes())
         if (!node.dead && node.op == OpType::Output)
@@ -373,8 +459,14 @@ selectChainDp(const PlanTable &table)
     while (!work.empty()) {
         const auto [id, plan] = work.back();
         work.pop_back();
-        if (assigned[static_cast<size_t>(id)])
+        if (assigned[static_cast<size_t>(id)]) {
+            if (result.selection.planIndex[static_cast<size_t>(id)] !=
+                plan) {
+                conflicted[static_cast<size_t>(id)] = true;
+                anyConflict = true;
+            }
             continue;
+        }
         assigned[static_cast<size_t>(id)] = true;
         result.selection.planIndex[static_cast<size_t>(id)] = plan;
         const graph::Node &node = graph.node(id);
@@ -389,24 +481,88 @@ selectChainDp(const PlanTable &table)
         }
     }
 
+    // Conflict repair: the first-visitor choice can be strictly worse
+    // than even selectLocal's on fan-out DAGs. Re-resolve each
+    // conflicted producer by picking the plan minimizing its share of
+    // the re-evaluated Agg_Cost with every other choice held fixed --
+    // plain coordinate descent, monotone in Agg_Cost, with a strict-<
+    // acceptance so it terminates and is deterministic.
+    if (anyConflict) {
+        const auto &edges = table.edges();
+        std::vector<std::vector<size_t>> edgesAt(graph.size());
+        for (size_t e = 0; e < edges.size(); ++e) {
+            edgesAt[static_cast<size_t>(edges[e].first)].push_back(e);
+            edgesAt[static_cast<size_t>(edges[e].second)].push_back(e);
+        }
+        auto &sel = result.selection.planIndex;
+        const auto localShare = [&](NodeId id, int p) {
+            uint64_t c =
+                table.plans(id)[static_cast<size_t>(p)].cycles;
+            for (size_t e : edgesAt[static_cast<size_t>(id)]) {
+                const auto &[src, dst] = edges[e];
+                if (src == id)
+                    c += table.tc(src, dst, p,
+                                  sel[static_cast<size_t>(dst)]);
+                else
+                    c += table.tc(src, dst,
+                                  sel[static_cast<size_t>(src)], p);
+            }
+            return c;
+        };
+        bool changed = true;
+        for (int round = 0; round < 8 && changed; ++round) {
+            changed = false;
+            for (const graph::Node &node : graph.nodes()) {
+                if (node.dead || !conflicted[static_cast<size_t>(
+                                     node.id)])
+                    continue;
+                const auto &plans = table.plans(node.id);
+                const int cur = sel[static_cast<size_t>(node.id)];
+                int bestPlan = cur;
+                uint64_t bestShare = localShare(node.id, cur);
+                for (size_t p = 0; p < plans.size(); ++p) {
+                    if (static_cast<int>(p) == cur)
+                        continue;
+                    ++result.evaluations;
+                    const uint64_t share =
+                        localShare(node.id, static_cast<int>(p));
+                    if (share < bestShare) {
+                        bestShare = share;
+                        bestPlan = static_cast<int>(p);
+                    }
+                }
+                if (bestPlan != cur) {
+                    sel[static_cast<size_t>(node.id)] = bestPlan;
+                    changed = true;
+                }
+            }
+        }
+    }
+
     result.selection.totalCost = aggCost(table, result.selection);
     result.seconds = elapsedSeconds(start);
     return result;
 }
 
 SelectorResult
-selectGlobalOptimal(const PlanTable &table, size_t maxFreeNodes)
+selectGlobalOptimal(const PlanTable &table, size_t maxFreeNodes,
+                    uint64_t maxEvaluations)
 {
-    GCD2_REQUIRE(table.freeNodes().size() <= maxFreeNodes,
-                 "global optimal search over "
-                     << table.freeNodes().size()
-                     << " free operators would take too long (cap "
-                     << maxFreeNodes << ")");
+    // An unbudgeted search must refuse oversized graphs (it cannot bail
+    // out mid-flight); a budgeted one degrades to best-so-far instead.
+    if (maxEvaluations == 0) {
+        GCD2_REQUIRE(table.freeNodes().size() <= maxFreeNodes,
+                     "global optimal search over "
+                         << table.freeNodes().size()
+                         << " free operators would take too long (cap "
+                         << maxFreeNodes << ")");
+    }
     const auto start = std::chrono::steady_clock::now();
     SelectorResult result;
     result.selection = emptySelection(table);
     solveSubsetOptimal(table, table.freeNodes(), result.selection,
-                       result.evaluations);
+                       result.evaluations, maxEvaluations,
+                       result.truncated);
     result.selection.totalCost = aggCost(table, result.selection);
     result.seconds = elapsedSeconds(start);
     return result;
@@ -424,10 +580,12 @@ namespace {
  */
 void
 solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
-               int maxPartition, Selection &sel, uint64_t &evaluations)
+               int maxPartition, Selection &sel, uint64_t &evaluations,
+               uint64_t maxEvaluations, bool &truncated)
 {
     if (static_cast<int>(component.size()) <= maxPartition) {
-        solveSubsetOptimal(table, component, sel, evaluations);
+        solveSubsetOptimal(table, component, sel, evaluations,
+                           maxEvaluations, truncated);
         return;
     }
     // Oversized component: cut into topological chunks and solve them
@@ -435,7 +593,8 @@ solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
     std::vector<NodeId> chunk;
     auto flush = [&]() {
         if (!chunk.empty()) {
-            solveSubsetOptimal(table, chunk, sel, evaluations);
+            solveSubsetOptimal(table, chunk, sel, evaluations,
+                               maxEvaluations, truncated);
             chunk.clear();
         }
     };
@@ -446,6 +605,8 @@ solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
     }
     flush();
 
+    // Polish windows re-solve with the current assignment as an
+    // incumbent, so even budget-truncated windows are monotone.
     const size_t window = static_cast<size_t>(maxPartition);
     const size_t stride = std::max<size_t>(1, window / 2);
     for (size_t start = stride; start < component.size();
@@ -454,7 +615,8 @@ solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
         const std::vector<NodeId> slice(
             component.begin() + static_cast<long>(start),
             component.begin() + static_cast<long>(end));
-        solveSubsetOptimal(table, slice, sel, evaluations);
+        solveSubsetOptimal(table, slice, sel, evaluations,
+                           maxEvaluations, truncated);
     }
 }
 
@@ -462,7 +624,7 @@ solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
 
 SelectorResult
 selectGcd2Partitioned(const PlanTable &table, int maxPartition,
-                      ThreadPool *pool)
+                      ThreadPool *pool, uint64_t maxEvaluations)
 {
     GCD2_REQUIRE(maxPartition >= 1, "partition bound must be positive");
     const auto start = std::chrono::steady_clock::now();
@@ -475,25 +637,38 @@ selectGcd2Partitioned(const PlanTable &table, int maxPartition,
     // partitioning of Definition IV.1: pinned nodes fix the layout on
     // every crossing edge). Independence also means the components can
     // be solved concurrently: each one writes a disjoint slice of the
-    // selection, and per-component evaluation counts are reduced in
-    // component order so the telemetry is thread-count-invariant too.
+    // selection, and per-component evaluation counts and truncation
+    // flags are reduced in component order so the telemetry is
+    // thread-count-invariant too.
     const std::vector<std::vector<NodeId>> components =
         freeComponents(table);
     std::vector<uint64_t> evaluations(components.size(), 0);
+    // uint8_t, not vector<bool>: concurrent writes to distinct indices.
+    std::vector<uint8_t> truncatedFlags(components.size(), 0);
     if (pool != nullptr && pool->size() > 1) {
         pool->parallelFor(
             static_cast<int64_t>(components.size()), [&](int64_t i) {
+                bool componentTruncated = false;
                 solveComponent(table, components[static_cast<size_t>(i)],
                                maxPartition, result.selection,
-                               evaluations[static_cast<size_t>(i)]);
+                               evaluations[static_cast<size_t>(i)],
+                               maxEvaluations, componentTruncated);
+                truncatedFlags[static_cast<size_t>(i)] =
+                    componentTruncated ? 1 : 0;
             });
     } else {
-        for (size_t i = 0; i < components.size(); ++i)
+        for (size_t i = 0; i < components.size(); ++i) {
+            bool componentTruncated = false;
             solveComponent(table, components[i], maxPartition,
-                           result.selection, evaluations[i]);
+                           result.selection, evaluations[i],
+                           maxEvaluations, componentTruncated);
+            truncatedFlags[i] = componentTruncated ? 1 : 0;
+        }
     }
     for (uint64_t count : evaluations)
         result.evaluations += count;
+    for (uint8_t flag : truncatedFlags)
+        result.truncated = result.truncated || flag != 0;
 
     result.selection.totalCost = aggCost(table, result.selection);
     result.seconds = elapsedSeconds(start);

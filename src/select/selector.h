@@ -8,8 +8,12 @@
  *
  *  - Local: per-operator argmin, ignoring transformation costs (the
  *    "local optimal" baseline of Fig. 10).
- *  - ChainDp: the exact O(V * k^2) dynamic program of Eq. 2; exact for
- *    linear chains and in-trees (every vertex feeds one consumer).
+ *  - ChainDp: the O(V * k^2) dynamic program of Eq. 2. Exact ONLY for
+ *    linear chains and in-trees (every vertex feeds at most one
+ *    consumer); on DAGs with fan-out the per-consumer subproblems
+ *    overlap, so shared producers are double-counted during the forward
+ *    pass and multi-consumer reconstruction conflicts are repaired by a
+ *    monotone coordinate-descent pass afterwards (heuristic, not exact).
  *  - GlobalOptimal: branch-and-bound exhaustive search over all
  *    free-choice operators (exponential; the Fig. 10 "global optimal").
  *  - Gcd2Partitioned: the paper's solution -- split the graph at
@@ -95,6 +99,13 @@ struct SelectorResult
     Selection selection;
     double seconds = 0.0;        ///< wall-clock search time
     uint64_t evaluations = 0;    ///< plan combinations examined
+    /**
+     * An evaluation budget expired before the branch-and-bound search
+     * proved optimality; the selection is the best complete assignment
+     * found so far (never worse than the per-node-cheapest incumbent
+     * the search is seeded with, hence always valid and servable).
+     */
+    bool truncated = false;
 };
 
 SelectorResult selectLocal(const PlanTable &table);
@@ -104,10 +115,15 @@ SelectorResult selectChainDp(const PlanTable &table);
 /**
  * Exhaustive global optimum via branch-and-bound.
  * @param maxFreeNodes refuse (fatal) above this many free nodes so
- *        benches cannot accidentally run for hours.
+ *        benches cannot accidentally run for hours. The cap is only
+ *        enforced when @p maxEvaluations is 0 (unbounded search): a
+ *        budgeted search degrades to best-so-far instead of refusing.
+ * @param maxEvaluations branch-and-bound evaluation budget (0 =
+ *        unlimited). When exhausted the result is marked truncated.
  */
 SelectorResult selectGlobalOptimal(const PlanTable &table,
-                                   size_t maxFreeNodes = 22);
+                                   size_t maxFreeNodes = 22,
+                                   uint64_t maxEvaluations = 0);
 
 /**
  * The paper's partitioned solver with bounded sub-graph size.
@@ -118,10 +134,16 @@ SelectorResult selectGlobalOptimal(const PlanTable &table,
  * influence another's. With a @p pool of more than one worker the
  * components are solved concurrently; the resulting Selection, cost,
  * and evaluation count are bit-identical to the serial solve.
+ *
+ * @param maxEvaluations per-subproblem branch-and-bound budget (0 =
+ *        unlimited). Deterministic at any thread count because every
+ *        subproblem carries its own budget; an exhausted budget marks
+ *        the result truncated and serves the best assignment found.
  */
 SelectorResult selectGcd2Partitioned(const PlanTable &table,
                                      int maxPartition = 13,
-                                     ThreadPool *pool = nullptr);
+                                     ThreadPool *pool = nullptr,
+                                     uint64_t maxEvaluations = 0);
 
 } // namespace gcd2::select
 

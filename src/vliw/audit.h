@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Non-throwing packet-schedule auditor.
+ *
+ * Checks the same invariants as dsp::validatePackedProgram -- every
+ * instruction in exactly one packet, slot feasibility, program order
+ * inside packets, hard dependencies strictly cross-packet, labels
+ * landing on packet boundaries -- but reports violations as structured
+ * diagnostics instead of panicking, so the compilation pipeline can run
+ * it on every served schedule (cheap: one linear scan of the packets)
+ * and ship findings in the PipelineReport.
+ */
+#ifndef GCD2_VLIW_AUDIT_H
+#define GCD2_VLIW_AUDIT_H
+
+#include <vector>
+
+#include "common/diag.h"
+#include "dsp/packet.h"
+
+namespace gcd2::vliw {
+
+/**
+ * Audit one packed program. Returns one Error diagnostic (pass
+ * "vliw-audit", node = instruction index where that is meaningful) per
+ * violated invariant; empty means the schedule is legal.
+ */
+std::vector<common::Diag> auditSchedule(const dsp::PackedProgram &packed);
+
+} // namespace gcd2::vliw
+
+#endif // GCD2_VLIW_AUDIT_H

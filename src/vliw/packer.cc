@@ -111,6 +111,8 @@ selectInstruction(const dsp::Program &prog, const dsp::AliasAnalysis &alias,
     return best;
 }
 
+} // namespace
+
 /**
  * Pipelined cost of one pass over a block schedule, mirroring the timing
  * simulator's issue/interlock model: packets issue at most one per cycle,
@@ -127,7 +129,7 @@ uint64_t
 pipelinedBlockCost(const dsp::Program &prog, const dsp::AliasAnalysis &alias,
                    const Idg &idg,
                    const std::vector<std::vector<size_t>> &packets,
-                   SoftDepPolicy belief = SoftDepPolicy::Aware)
+                   SoftDepPolicy belief)
 {
     const bool ignoreSoft = belief == SoftDepPolicy::AsNone;
     std::vector<uint64_t> ready(
@@ -185,7 +187,7 @@ void
 improveBlockSchedule(const dsp::Program &prog,
                      const dsp::AliasAnalysis &alias, const Idg &idg,
                      std::vector<std::vector<size_t>> &packets,
-                     SoftDepPolicy belief = SoftDepPolicy::Aware)
+                     SoftDepPolicy belief)
 {
     const size_t n = idg.size();
 
@@ -221,8 +223,15 @@ improveBlockSchedule(const dsp::Program &prog,
     for (int round = 0; round < 6 && changed; ++round) {
         changed = false;
         for (size_t p = 0; p < packets.size(); ++p) {
-            for (size_t slot = 0; slot < packets[p].size(); ++slot) {
-                const size_t node = packets[p][slot];
+            // Signed: the restart decrement below may take slot to -1
+            // (rescan from the front); an unsigned index would wrap and
+            // trip the structure-changed guard, silently abandoning the
+            // rest of this packet's repair round.
+            for (ptrdiff_t slot = 0;
+                 slot < static_cast<ptrdiff_t>(packets[p].size());
+                 ++slot) {
+                const size_t node =
+                    packets[p][static_cast<size_t>(slot)];
 
                 // Candidate targets: every other packet.
                 for (size_t q = 0; q < packets.size(); ++q) {
@@ -266,12 +275,15 @@ improveBlockSchedule(const dsp::Program &prog,
                     packets[p].insert(packets[p].begin() + slot, node);
                     packetOf[node] = p;
                 }
-                if (packets.size() <= p || packets[p].size() <= slot)
+                if (packets.size() <= p ||
+                    static_cast<ptrdiff_t>(packets[p].size()) <= slot)
                     break; // structure changed under us
             }
         }
     }
 }
+
+namespace {
 
 /** Bottom-up Algorithm 1 construction (consumes a fresh IDG). */
 std::vector<std::vector<size_t>>

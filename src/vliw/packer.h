@@ -42,6 +42,27 @@ struct PackOptions
 dsp::PackedProgram pack(const dsp::Program &prog,
                         const PackOptions &opts = {});
 
+/**
+ * Believed pipelined cost of a block schedule (packets of IDG node ids)
+ * under @p belief's model of soft dependencies. Exposed so tests and the
+ * audit tooling can judge repair passes directly.
+ */
+uint64_t pipelinedBlockCost(const dsp::Program &prog,
+                            const dsp::AliasAnalysis &alias, const Idg &idg,
+                            const std::vector<std::vector<size_t>> &packets,
+                            SoftDepPolicy belief = SoftDepPolicy::Aware);
+
+/**
+ * Post-scheduling repair: greedily move single instructions between
+ * packets (or drop emptied packets) while each move is dependence-legal,
+ * slot-feasible, and lowers pipelinedBlockCost. Exposed for directed
+ * tests; pack() applies it to every candidate schedule internally.
+ */
+void improveBlockSchedule(const dsp::Program &prog,
+                          const dsp::AliasAnalysis &alias, const Idg &idg,
+                          std::vector<std::vector<size_t>> &packets,
+                          SoftDepPolicy belief = SoftDepPolicy::Aware);
+
 /** Human-readable policy name (bench output). */
 const char *packPolicyName(PackPolicy policy);
 

@@ -35,10 +35,11 @@ TEST(CompilerTest, PipelineReportCoversEveryPass)
     const CompiledModel compiled = compile(g);
     const PipelineReport &report = compiled.report;
 
-    ASSERT_EQ(report.passes.size(), 5u);
-    const char *expected[] = {"graph-optimize", "plan-table", "selection",
-                              "kernel-generation", "cycle-accounting"};
-    for (size_t i = 0; i < 5; ++i)
+    ASSERT_EQ(report.passes.size(), 6u);
+    const char *expected[] = {"graph-optimize",    "plan-table",
+                              "selection",         "kernel-generation",
+                              "cycle-accounting",  "audit"};
+    for (size_t i = 0; i < 6; ++i)
         EXPECT_EQ(report.passes[i].name, expected[i]);
 
     for (const PassReport &pass : report.passes)

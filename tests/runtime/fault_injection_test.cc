@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Graceful-degradation tests: a poisoned or over-budget compile must
+ * still produce a served CompiledModel -- with the fallback rung, budget
+ * truncation, and audit findings visible in PipelineReport::diagnostics
+ * -- instead of aborting the process.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "models/zoo.h"
+#include "runtime/compiler.h"
+
+namespace gcd2::runtime {
+namespace {
+
+using common::DiagSeverity;
+using models::ModelId;
+
+bool
+anyDiagContains(const PipelineReport &report, std::string_view needle)
+{
+    for (const common::Diag &d : report.diagnostics)
+        if (d.message.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+TEST(FaultInjectionTest, InjectedSelectorFaultFallsDownTheLadder)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    CompileOptions opts;
+    opts.selection = SelectionMode::Gcd2;
+    opts.testSelectionFault = [](select::SelectorResult &) {
+        throw FatalError("injected selector fault");
+    };
+
+    const CompiledModel compiled = compile(g, opts);
+
+    // Requested rung 'gcd2' failed; 'gcd2' dedups out of the fallback
+    // list, so the next distinct rung serves.
+    EXPECT_EQ(compiled.report.servedSelection, "chain-dp");
+    EXPECT_EQ(compiled.report.selectionRung, 1);
+    EXPECT_GE(compiled.report.diagnosticCount(DiagSeverity::Warning), 1u);
+    EXPECT_TRUE(anyDiagContains(compiled.report, "injected selector fault"));
+    EXPECT_TRUE(anyDiagContains(compiled.report, "falling back"));
+    // The served artifact is a real compile, not a husk.
+    EXPECT_GT(compiled.totals.cycles, 0u);
+    EXPECT_EQ(compiled.liveOperators, g.operatorCount());
+    const PassReport *selection = compiled.report.pass("selection");
+    ASSERT_NE(selection, nullptr);
+    EXPECT_EQ(selection->counter("fallback-rung"), 1u);
+}
+
+TEST(FaultInjectionTest, OversizedExhaustiveRequestDegradesToGcd2)
+{
+    // GlobalOptimal on a real model blows the free-node cap and throws
+    // FatalError from the requested rung -- no injection needed. The
+    // ladder serves gcd2 instead.
+    const graph::Graph g = models::buildModel(ModelId::MobileNetV3);
+    CompileOptions opts;
+    opts.selection = SelectionMode::GlobalOptimal;
+
+    const CompiledModel compiled = compile(g, opts);
+    EXPECT_EQ(compiled.report.servedSelection, "gcd2");
+    EXPECT_EQ(compiled.report.selectionRung, 1);
+    EXPECT_TRUE(anyDiagContains(compiled.report, "falling back"));
+    EXPECT_GT(compiled.totals.cycles, 0u);
+
+    // The same cost a direct gcd2 compile would have served.
+    CompileOptions direct;
+    direct.selection = SelectionMode::Gcd2;
+    EXPECT_EQ(compiled.selection.totalCost,
+              compile(g, direct).selection.totalCost);
+}
+
+TEST(FaultInjectionTest, SelectorBudgetTruncationIsDiagnosed)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    CompileOptions opts;
+    opts.maxSelectorEvaluations = 1; // expires immediately
+
+    const CompiledModel compiled = compile(g, opts);
+    EXPECT_TRUE(compiled.selector.truncated);
+    EXPECT_TRUE(anyDiagContains(compiled.report, "best-so-far"));
+    const PassReport *selection = compiled.report.pass("selection");
+    ASSERT_NE(selection, nullptr);
+    EXPECT_EQ(selection->counter("truncated"), 1u);
+
+    // Best-so-far never loses to the local baseline (incumbent-seeded).
+    CompileOptions local;
+    local.selection = SelectionMode::Local;
+    EXPECT_LE(compiled.selection.totalCost,
+              compile(g, local).selection.totalCost);
+}
+
+TEST(FaultInjectionTest, MutatedSelectionIsCaughtByCheapAudit)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    CompileOptions opts;
+    opts.testSelectionFault = [](select::SelectorResult &r) {
+        r.selection.totalCost += 1234; // dishonest ledger
+    };
+
+    const CompiledModel compiled = compile(g, opts);
+    // Served (rung 0: mutation is not a throw) but flagged suspect.
+    EXPECT_EQ(compiled.report.selectionRung, 0);
+    EXPECT_GE(compiled.report.diagnosticCount(DiagSeverity::Error), 1u);
+    EXPECT_TRUE(anyDiagContains(compiled.report, "Agg_Cost"));
+    const PassReport *audit = compiled.report.pass("audit");
+    ASSERT_NE(audit, nullptr);
+    EXPECT_GE(audit->counter("selection-findings"), 1u);
+}
+
+TEST(FaultInjectionTest, AuditOffSkipsTheAuditPass)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    CompileOptions opts;
+    opts.audit = AuditMode::Off;
+    opts.testSelectionFault = [](select::SelectorResult &r) {
+        r.selection.totalCost += 1234;
+    };
+
+    const CompiledModel compiled = compile(g, opts);
+    const PassReport *audit = compiled.report.pass("audit");
+    ASSERT_NE(audit, nullptr);
+    EXPECT_EQ(audit->counter("skipped"), 1u);
+    // Nobody looked, so the dishonest ledger goes unflagged.
+    EXPECT_EQ(compiled.report.diagnosticCount(DiagSeverity::Error), 0u);
+}
+
+TEST(FaultInjectionTest, DeepAuditEnvEscalatesCheapMode)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    ::setenv("GCD2_DEEP_AUDIT", "1", 1);
+    const CompiledModel escalated = compile(g);
+    ::unsetenv("GCD2_DEEP_AUDIT");
+    const PassReport *audit = escalated.report.pass("audit");
+    ASSERT_NE(audit, nullptr);
+    EXPECT_EQ(audit->counter("deep"), 1u);
+    EXPECT_EQ(escalated.report.diagnosticCount(DiagSeverity::Error), 0u);
+
+    // Explicit Off is respected even under the environment override.
+    ::setenv("GCD2_DEEP_AUDIT", "1", 1);
+    CompileOptions off;
+    off.audit = AuditMode::Off;
+    const CompiledModel quiet = compile(g, off);
+    ::unsetenv("GCD2_DEEP_AUDIT");
+    EXPECT_EQ(quiet.report.pass("audit")->counter("skipped"), 1u);
+}
+
+} // namespace
+} // namespace gcd2::runtime

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Selection-auditor tests: clean solver output passes every audit level,
+ * and each class of corruption (structural, cost dishonesty, quality
+ * regression) comes back as a structured finding instead of a crash.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/passes.h"
+#include "models/builders.h"
+#include "select/audit.h"
+
+namespace gcd2::select {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::OpType;
+using models::conv;
+using models::input;
+
+Graph
+convChain(int n, int64_t channels = 32)
+{
+    Graph g;
+    NodeId x = input(g, {channels, 16, 16});
+    for (int i = 0; i < n; ++i)
+        x = conv(g, x, channels, 1, 1, 0, false);
+    g.add(OpType::Output, {x});
+    graph::optimize(g);
+    return g;
+}
+
+SelectionAuditOptions
+fullAudit()
+{
+    SelectionAuditOptions opts;
+    opts.checkNotWorseThanLocal = true;
+    opts.deep = true;
+    return opts;
+}
+
+TEST(SelectionAuditTest, CleanSolverOutputPassesAllLevels)
+{
+    CostModel model;
+    Graph g = convChain(6);
+    PlanTable table(g, model);
+    const SelectorResult r = selectGcd2Partitioned(table, 13);
+    EXPECT_TRUE(auditSelection(table, r.selection, fullAudit()).empty());
+    const SelectorResult local = selectLocal(table);
+    // Local output passes the structural and cost checks (not the
+    // quality floor, which it defines).
+    EXPECT_TRUE(auditSelection(table, local.selection).empty());
+}
+
+TEST(SelectionAuditTest, SizeMismatchIsTheOnlySafeFinding)
+{
+    CostModel model;
+    Graph g = convChain(3);
+    PlanTable table(g, model);
+    Selection sel = selectGcd2Partitioned(table, 13).selection;
+    sel.planIndex.pop_back();
+    const auto findings = auditSelection(table, sel, fullAudit());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, common::DiagSeverity::Error);
+    EXPECT_EQ(findings[0].pass, "selection-audit");
+    EXPECT_NE(findings[0].message.find("covers"), std::string::npos);
+}
+
+TEST(SelectionAuditTest, OutOfRangePlanIsStructuralError)
+{
+    CostModel model;
+    Graph g = convChain(4);
+    PlanTable table(g, model);
+    Selection sel = selectGcd2Partitioned(table, 13).selection;
+    const NodeId victim = table.freeNodes().front();
+    sel.planIndex[static_cast<size_t>(victim)] =
+        static_cast<int>(table.plans(victim).size()); // one past the end
+    const auto findings = auditSelection(table, sel, fullAudit());
+    ASSERT_FALSE(findings.empty());
+    EXPECT_EQ(findings[0].node, victim);
+    EXPECT_NE(findings[0].message.find("outside"), std::string::npos);
+}
+
+TEST(SelectionAuditTest, DeadNodeWithPlanIsStructuralError)
+{
+    // An operator feeding nothing is DCE'd; its slot must stay -1.
+    Graph g;
+    NodeId x = input(g, {32, 16, 16});
+    NodeId live = conv(g, x, 32, 1, 1, 0, false);
+    const NodeId orphan = conv(g, x, 32, 1, 1, 0, false);
+    g.add(OpType::Output, {live});
+    graph::optimize(g);
+    ASSERT_TRUE(g.node(orphan).dead);
+
+    CostModel model;
+    PlanTable table(g, model);
+    Selection sel = selectGcd2Partitioned(table, 13).selection;
+    ASSERT_EQ(sel.planIndex[static_cast<size_t>(orphan)], -1);
+    sel.planIndex[static_cast<size_t>(orphan)] = 0;
+    const auto findings = auditSelection(table, sel);
+    ASSERT_FALSE(findings.empty());
+    EXPECT_EQ(findings[0].node, orphan);
+    EXPECT_NE(findings[0].message.find("dead node"), std::string::npos);
+}
+
+TEST(SelectionAuditTest, DishonestTotalCostIsFlagged)
+{
+    CostModel model;
+    Graph g = convChain(4);
+    PlanTable table(g, model);
+    Selection sel = selectGcd2Partitioned(table, 13).selection;
+    sel.totalCost += 1;
+    const auto findings = auditSelection(table, sel);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("Agg_Cost"), std::string::npos);
+}
+
+TEST(SelectionAuditTest, QualityChecksCatchValidButSuboptimalPlans)
+{
+    // On a uniform chain the local baseline is already globally optimal,
+    // so deviating on one node is strictly worse: an honest totalCost
+    // passes the structural/cost checks but trips both the local floor
+    // and the deep exact re-solve.
+    CostModel model;
+    Graph g = convChain(4);
+    PlanTable table(g, model);
+    Selection sel = selectGcd2Partitioned(table, 13).selection;
+
+    const NodeId victim = table.freeNodes().front();
+    const auto &plans = table.plans(victim);
+    const int chosen = sel.planIndex[static_cast<size_t>(victim)];
+    int worse = -1;
+    for (int p = 0; p < static_cast<int>(plans.size()); ++p)
+        if (p != chosen &&
+            plans[static_cast<size_t>(p)].cycles >
+                plans[static_cast<size_t>(chosen)].cycles)
+            worse = p;
+    ASSERT_GE(worse, 0);
+    sel.planIndex[static_cast<size_t>(victim)] = worse;
+    sel.totalCost = aggCost(table, sel); // keep the ledger honest
+
+    EXPECT_TRUE(auditSelection(table, sel).empty())
+        << "structural + cost checks alone cannot see suboptimality";
+    const auto findings = auditSelection(table, sel, fullAudit());
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_NE(findings[0].message.find("local baseline"),
+              std::string::npos);
+    EXPECT_NE(findings[1].message.find("exact optimum"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace gcd2::select

@@ -108,6 +108,36 @@ TEST(SelectionProperties, SolverOrderingOnRandomGraphs)
     }
 }
 
+TEST(SelectionProperties, PartitionedMatchesExhaustiveOnSmallRandomGraphs)
+{
+    // The partitioned solver with a bound covering every component must
+    // equal the exhaustive optimum -- including on graphs with fan-out
+    // (residual adds), where the old chain-DP reconstruction could
+    // double-resolve shared producers. ~50 graphs, all kept small enough
+    // for the exhaustive reference.
+    Rng rng(8080);
+    CostModel model;
+    int checked = 0;
+    for (int trial = 0; trial < 80 && checked < 50; ++trial) {
+        Graph g = randomGraph(rng, static_cast<int>(rng.uniformInt(4, 9)));
+        PlanTable table(g, model);
+        if (table.freeNodes().size() > 12)
+            continue;
+        ++checked;
+
+        const SelectorResult gcd2 = selectGcd2Partitioned(table, 13);
+        const SelectorResult opt = selectGlobalOptimal(table, 12);
+        EXPECT_EQ(gcd2.selection.totalCost, opt.selection.totalCost)
+            << "trial " << trial;
+        EXPECT_EQ(gcd2.selection.totalCost,
+                  aggCost(table, gcd2.selection))
+            << "trial " << trial;
+        EXPECT_FALSE(gcd2.truncated);
+    }
+    // The generator must actually produce enough in-range graphs.
+    EXPECT_EQ(checked, 50);
+}
+
 TEST(SelectionProperties, SmallerPartitionsNeverBeatLargerOnes)
 {
     Rng rng(31337);

@@ -205,5 +205,98 @@ TEST_F(SelectorTest, SearchTimeGrowsWithPartitionBound)
     EXPECT_GT(slow.evaluations, fast.evaluations);
 }
 
+TEST_F(SelectorTest, ChainDpOnDiamondsNotWorseThanLocal)
+{
+    // Fan-out regression: the DP's reconstruction visits a shared
+    // producer once per consumer; before conflict repair, the first
+    // visitor's (possibly contradicted) choice could leave a selection
+    // strictly worse than the local baseline. Asymmetric branches make
+    // the two consumers prefer different producer layouts.
+    const auto diamondVariant = [](int64_t branchC) {
+        Graph g;
+        NodeId x = input(g, {32, 16, 16});
+        NodeId stem = conv(g, x, 32, 1, 1, 0, false);
+        NodeId a = conv(g, stem, branchC, 1, 1, 0, false);
+        NodeId a2 = conv(g, a, 32, 1, 1, 0, false);
+        NodeId b = conv(g, stem, 32, 1, 1, 0, false);
+        NodeId sum = add(g, a2, b);
+        NodeId out = conv(g, sum, 32, 1, 1, 0, false);
+        g.add(OpType::Output, {out});
+        graph::optimize(g);
+        return g;
+    };
+    for (int64_t branchC : {32, 48, 64, 96}) {
+        Graph g = diamondVariant(branchC);
+        PlanTable table(g, model);
+        const SelectorResult dp = selectChainDp(table);
+        const SelectorResult local = selectLocal(table);
+        EXPECT_LE(dp.selection.totalCost, local.selection.totalCost)
+            << "branch channels " << branchC;
+    }
+    // And the plain diamond stays covered.
+    Graph g = diamond();
+    PlanTable table(g, model);
+    EXPECT_LE(selectChainDp(table).selection.totalCost,
+              selectLocal(table).selection.totalCost);
+}
+
+TEST_F(SelectorTest, BudgetedExhaustiveServesBestSoFarInsteadOfRefusing)
+{
+    // 30 free operators (refused without a budget, as
+    // ExhaustiveSearchGuardsAgainstExplosion proves) alternating between
+    // narrow (8) and wide (256) channels, so adjacent operators prefer
+    // *different* schemes (deep reductions favor vrmpy, shallow ones
+    // vmpa) and every complete assignment pays transforms somewhere. The
+    // admissible suffix bound then has a real gap and the budget
+    // genuinely expires instead of the incumbent closing the search
+    // instantly -- with uniform widths the per-node-minimum incumbent
+    // equals the bound and the search proves optimality in a handful of
+    // evaluations.
+    Graph g;
+    NodeId x = input(g, {8, 8, 8});
+    for (int i = 0; i < 30; ++i)
+        x = conv(g, x, (i % 2 == 0) ? 256 : 8, 1, 1, 0, false);
+    g.add(OpType::Output, {x});
+    graph::optimize(g);
+    PlanTable table(g, model);
+    EXPECT_THROW(selectGlobalOptimal(table, 10), FatalError);
+    const SelectorResult truncated = selectGlobalOptimal(table, 10, 500);
+    EXPECT_TRUE(truncated.truncated);
+    // The served assignment is complete and no worse than the local
+    // baseline (the search is seeded with it as an incumbent).
+    for (const auto &node : g.nodes())
+        if (!node.dead)
+            EXPECT_GE(truncated.selection
+                          .planIndex[static_cast<size_t>(node.id)],
+                      0);
+    const SelectorResult local = selectLocal(table);
+    EXPECT_LE(truncated.selection.totalCost, local.selection.totalCost);
+    EXPECT_EQ(truncated.selection.totalCost,
+              aggCost(table, truncated.selection));
+}
+
+TEST_F(SelectorTest, BudgetedPartitionedMonotoneAtEveryBudget)
+{
+    Graph g = convChain(20, 32, 8);
+    PlanTable table(g, model);
+    const SelectorResult local = selectLocal(table);
+    const SelectorResult exact = selectGcd2Partitioned(table, 13);
+    EXPECT_FALSE(exact.truncated);
+    for (uint64_t budget : {1u, 10u, 100u, 100000u}) {
+        const SelectorResult r =
+            selectGcd2Partitioned(table, 13, nullptr, budget);
+        EXPECT_LE(r.selection.totalCost, local.selection.totalCost)
+            << "budget " << budget;
+        EXPECT_GE(r.selection.totalCost, exact.selection.totalCost)
+            << "budget " << budget;
+        EXPECT_EQ(r.selection.totalCost, aggCost(table, r.selection));
+    }
+    // A generous budget finds the exact optimum and reports untruncated.
+    const SelectorResult generous =
+        selectGcd2Partitioned(table, 13, nullptr, 100000000ull);
+    EXPECT_FALSE(generous.truncated);
+    EXPECT_EQ(generous.selection.totalCost, exact.selection.totalCost);
+}
+
 } // namespace
 } // namespace gcd2::select

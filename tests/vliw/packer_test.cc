@@ -303,6 +303,248 @@ TEST(PackerTest, RandomStraightLineProgramsStayCorrect)
     }
 }
 
+/** Node -> instruction indices for pipelinedBlockCost helpers. */
+std::vector<size_t>
+nodesToInsts(const Idg &idg, const std::vector<size_t> &nodes)
+{
+    std::vector<size_t> insts;
+    for (size_t n : nodes)
+        insts.push_back(idg.instIndex(n));
+    return insts;
+}
+
+/** Is moving @p node into packet @p target dependence-legal? */
+bool
+moveLegal(const Idg &idg, const std::vector<size_t> &packetOf, size_t node,
+          size_t target)
+{
+    for (const IdgEdge &e : idg.node(node).preds) {
+        const size_t p = packetOf[static_cast<size_t>(e.other)];
+        if (p > target || (p == target && e.kind != dsp::DepKind::Soft))
+            return false;
+    }
+    for (const IdgEdge &e : idg.node(node).succs) {
+        const size_t p = packetOf[static_cast<size_t>(e.other)];
+        if (p < target || (p == target && e.kind != dsp::DepKind::Soft))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Count the legal, slot-feasible single-instruction moves that would
+ * strictly lower pipelinedBlockCost -- the move set improveBlockSchedule
+ * searches. Zero means the repair genuinely converged.
+ */
+int
+improvingMovesLeft(const Program &prog, const dsp::AliasAnalysis &alias,
+                   const Idg &idg,
+                   const std::vector<std::vector<size_t>> &packets)
+{
+    std::vector<size_t> packetOf(idg.size(), 0);
+    for (size_t p = 0; p < packets.size(); ++p)
+        for (size_t node : packets[p])
+            packetOf[node] = p;
+    const uint64_t base =
+        pipelinedBlockCost(prog, alias, idg, packets);
+    int count = 0;
+    for (size_t p = 0; p < packets.size(); ++p)
+        for (size_t slot = 0; slot < packets[p].size(); ++slot) {
+            const size_t node = packets[p][slot];
+            for (size_t q = 0; q < packets.size(); ++q) {
+                if (q == p)
+                    continue;
+                std::vector<size_t> with = packets[q];
+                with.push_back(node);
+                if (!dsp::slotsFeasible(prog, nodesToInsts(idg, with)))
+                    continue;
+                std::vector<size_t> po = packetOf;
+                po[node] = q;
+                if (!moveLegal(idg, po, node, q))
+                    continue;
+                auto trial = packets;
+                trial[q].push_back(node);
+                trial[p].erase(trial[p].begin() +
+                               static_cast<long>(slot));
+                if (trial[p].empty())
+                    trial.erase(trial.begin() + static_cast<long>(p));
+                if (pipelinedBlockCost(prog, alias, idg, trial) < base)
+                    ++count;
+            }
+        }
+    return count;
+}
+
+/**
+ * The pre-fix repair loop, kept as a foil: the slot index was unsigned,
+ * so the restart decrement after an accepted move from slot 0 wrapped to
+ * SIZE_MAX and the structure-changed guard silently abandoned the rest of
+ * that packet's repair round. Later rounds mop the skipped moves up, but
+ * in a different order -- a different greedy trajectory that can settle
+ * in a strictly worse local minimum.
+ */
+void
+wrappingImprove(const Program &prog, const dsp::AliasAnalysis &alias,
+                const Idg &idg, std::vector<std::vector<size_t>> &packets)
+{
+    std::vector<size_t> packetOf(idg.size(), 0);
+    auto rebuildIndex = [&]() {
+        for (size_t p = 0; p < packets.size(); ++p)
+            for (size_t node : packets[p])
+                packetOf[node] = p;
+    };
+    rebuildIndex();
+    uint64_t bestCost = pipelinedBlockCost(prog, alias, idg, packets);
+    bool changed = true;
+    for (int round = 0; round < 6 && changed; ++round) {
+        changed = false;
+        for (size_t p = 0; p < packets.size(); ++p) {
+            for (size_t slot = 0; slot < packets[p].size(); ++slot) {
+                const size_t node = packets[p][slot];
+                for (size_t q = 0; q < packets.size(); ++q) {
+                    if (q == p)
+                        continue;
+                    std::vector<size_t> with = packets[q];
+                    with.push_back(node);
+                    if (!dsp::slotsFeasible(prog, nodesToInsts(idg, with)))
+                        continue;
+                    packetOf[node] = q;
+                    if (!moveLegal(idg, packetOf, node, q)) {
+                        packetOf[node] = p;
+                        continue;
+                    }
+                    packets[q].push_back(node);
+                    packets[p].erase(packets[p].begin() +
+                                     static_cast<long>(slot));
+                    const bool erased = packets[p].empty();
+                    std::vector<std::vector<size_t>> trial = packets;
+                    if (erased)
+                        trial.erase(trial.begin() + static_cast<long>(p));
+                    const uint64_t cost =
+                        pipelinedBlockCost(prog, alias, idg, trial);
+                    if (cost < bestCost || (erased && cost <= bestCost)) {
+                        bestCost = cost;
+                        if (erased) {
+                            packets = std::move(trial);
+                            rebuildIndex();
+                        }
+                        changed = true;
+                        --slot; // the historical wrap at slot == 0
+                        break;
+                    }
+                    packets[q].pop_back();
+                    packets[p].insert(packets[p].begin() +
+                                          static_cast<long>(slot),
+                                      node);
+                    packetOf[node] = p;
+                }
+                if (packets.size() <= p || packets[p].size() <= slot)
+                    break;
+            }
+        }
+    }
+}
+
+TEST(PackerTest, ScheduleRepairSlotRestartDoesNotAbandonPacket)
+{
+    // Directed regression for the unsigned-wrap bug: on this block the
+    // skipped moves matter. The movi/loadw -> add chain plus the
+    // anti-dependence between the first vaddb and the vload admit several
+    // profitable merges; abandoning the packet scan after the first
+    // slot-0 move reorders them and the old loop settles in a local
+    // minimum two cycles worse (6 vs 4).
+    Program prog;
+    prog.push(makeMovi(sreg(2), 93));
+    prog.push(makeVecBinary(Opcode::VADDB, vreg(0), vreg(1), vreg(6)));
+    prog.push(makeLoad(Opcode::LOADW, sreg(6), sreg(0), 68));
+    prog.push(makeBinary(Opcode::ADD, sreg(7), sreg(2), sreg(6)));
+    prog.push(makeVload(vreg(1), sreg(0), 384));
+    prog.push(makeVecBinary(Opcode::VADDB, vreg(2), vreg(6), vreg(6)));
+
+    const dsp::AliasAnalysis alias(prog);
+    BasicBlock block;
+    block.begin = 0;
+    block.end = prog.code.size();
+    const Idg idg(prog, block, alias, SoftDepPolicy::Aware);
+
+    std::vector<std::vector<size_t>> fixed;
+    for (size_t i = 0; i < prog.code.size(); ++i)
+        fixed.push_back({i});
+    std::vector<std::vector<size_t>> wrapped = fixed;
+
+    improveBlockSchedule(prog, alias, idg, fixed);
+    wrappingImprove(prog, alias, idg, wrapped);
+
+    const uint64_t fixedCost = pipelinedBlockCost(prog, alias, idg, fixed);
+    const uint64_t wrappedCost =
+        pipelinedBlockCost(prog, alias, idg, wrapped);
+    EXPECT_LT(fixedCost, wrappedCost)
+        << "the repaired loop must keep scanning the packet after a "
+           "slot-0 move";
+    // And the repaired result is a genuine local optimum of the move set.
+    EXPECT_EQ(improvingMovesLeft(prog, alias, idg, fixed), 0);
+}
+
+TEST(PackerTest, ScheduleRepairReachesSingleMoveFixedPoint)
+{
+    // Property: after improveBlockSchedule no legal, slot-feasible,
+    // strictly improving single-instruction move may remain, and the
+    // schedule stays a permutation of the block.
+    Rng rng(987);
+    for (int trial = 0; trial < 15; ++trial) {
+        Program prog;
+        const int n = static_cast<int>(rng.uniformInt(6, 20));
+        for (int i = 0; i < n; ++i) {
+            switch (rng.uniformInt(0, 4)) {
+              case 0:
+                prog.push(makeMovi(sreg(rng.uniformInt(1, 7)),
+                                   rng.uniformInt(-50, 50)));
+                break;
+              case 1:
+                prog.push(makeBinary(Opcode::ADD,
+                                     sreg(rng.uniformInt(1, 7)),
+                                     sreg(rng.uniformInt(1, 7)),
+                                     sreg(rng.uniformInt(1, 7))));
+                break;
+              case 2:
+                prog.push(makeLoad(Opcode::LOADW,
+                                   sreg(rng.uniformInt(1, 7)), sreg(0),
+                                   4 * rng.uniformInt(0, 30)));
+                break;
+              case 3:
+                prog.push(makeVload(vreg(rng.uniformInt(0, 7)), sreg(0),
+                                    128 * rng.uniformInt(1, 4)));
+                break;
+              case 4:
+                prog.push(makeVecBinary(Opcode::VADDB,
+                                        vreg(rng.uniformInt(0, 7)),
+                                        vreg(rng.uniformInt(0, 7)),
+                                        vreg(rng.uniformInt(0, 7))));
+                break;
+            }
+        }
+        const dsp::AliasAnalysis alias(prog);
+        BasicBlock block;
+        block.begin = 0;
+        block.end = prog.code.size();
+        const Idg idg(prog, block, alias, SoftDepPolicy::Aware);
+
+        std::vector<std::vector<size_t>> packets;
+        for (size_t i = 0; i < prog.code.size(); ++i)
+            packets.push_back({i});
+        improveBlockSchedule(prog, alias, idg, packets);
+
+        EXPECT_EQ(improvingMovesLeft(prog, alias, idg, packets), 0)
+            << "trial " << trial;
+        std::vector<int> seen(prog.code.size(), 0);
+        for (const auto &packet : packets)
+            for (size_t node : packet)
+                seen[node] += 1;
+        for (size_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i], 1) << "trial " << trial << " inst " << i;
+    }
+}
+
 TEST(CfgTest, SplitsAtLabelsAndBranches)
 {
     const Program prog = fig5Program();

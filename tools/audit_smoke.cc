@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Mutation smoke check for the compilation auditors (CI: driven by
+ * scripts/check_audit.py).
+ *
+ * Three modes, each printing machine-parseable lines on stdout:
+ *
+ *   corrupt-selection  seed selection-level corruptions (out-of-range
+ *                      plan, dead-node plan, dishonest totalCost,
+ *                      valid-but-suboptimal plans) and report how many
+ *                      findings select::auditSelection raises for each;
+ *   corrupt-schedule   seed schedule-level corruptions (duplicated /
+ *                      dropped instructions, co-packed hard dependency,
+ *                      broken label map) against vliw::auditSchedule;
+ *   clean-zoo          compile all ten evaluation models with the audit
+ *                      pass enabled and report per-model Error/Warning
+ *                      diagnostic counts (all must be zero).
+ *
+ * An auditor that misses a seeded corruption (findings=0) or flags a
+ * clean compile is a regression the driver script turns into a CI
+ * failure.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "models/zoo.h"
+#include "runtime/compiler.h"
+#include "select/audit.h"
+#include "vliw/audit.h"
+#include "vliw/packer.h"
+
+namespace {
+
+using namespace gcd2;
+
+void
+reportSelection(const char *label, size_t findings)
+{
+    std::printf("corrupt-selection %s findings=%zu\n", label, findings);
+}
+
+int
+runCorruptSelection()
+{
+    select::CostModel model;
+    const graph::Graph g = models::buildModel(models::ModelId::WdsrB);
+    select::PlanTable table(g, model);
+    const select::Selection clean =
+        select::selectGcd2Partitioned(table, 13).selection;
+
+    select::SelectionAuditOptions full;
+    full.checkNotWorseThanLocal = true;
+    full.deep = true;
+
+    // Control: the solver's own output must audit clean.
+    reportSelection("control-clean",
+                    select::auditSelection(table, clean, full).size());
+
+    select::Selection outOfRange = clean;
+    const graph::NodeId victim = table.freeNodes().front();
+    outOfRange.planIndex[static_cast<size_t>(victim)] =
+        static_cast<int>(table.plans(victim).size());
+    reportSelection(
+        "out-of-range-plan",
+        select::auditSelection(table, outOfRange, full).size());
+
+    select::Selection negative = clean;
+    negative.planIndex[static_cast<size_t>(table.freeNodes().back())] = -1;
+    reportSelection("missing-plan",
+                    select::auditSelection(table, negative, full).size());
+
+    select::Selection dishonest = clean;
+    dishonest.totalCost += 4096;
+    reportSelection("dishonest-cost",
+                    select::auditSelection(table, dishonest, full).size());
+
+    // Swap every free node to its most expensive plan and keep the
+    // ledger honest: structurally fine, but the quality checks object.
+    select::Selection suboptimal = clean;
+    for (graph::NodeId id : table.freeNodes()) {
+        const auto &plans = table.plans(id);
+        size_t worst = 0;
+        for (size_t p = 1; p < plans.size(); ++p)
+            if (plans[p].cycles > plans[worst].cycles)
+                worst = p;
+        suboptimal.planIndex[static_cast<size_t>(id)] =
+            static_cast<int>(worst);
+    }
+    suboptimal.totalCost = select::aggCost(table, suboptimal);
+    reportSelection(
+        "suboptimal-plans",
+        select::auditSelection(table, suboptimal, full).size());
+    return 0;
+}
+
+void
+reportSchedule(const char *label, size_t findings)
+{
+    std::printf("corrupt-schedule %s findings=%zu\n", label, findings);
+}
+
+int
+runCorruptSchedule()
+{
+    dsp::Program prog;
+    const int loop = prog.newLabel();
+    prog.push(dsp::makeMovi(dsp::sreg(5), 4));
+    prog.bindLabel(loop);
+    prog.push(dsp::makeVload(dsp::vreg(1), dsp::sreg(0), 128));
+    prog.push(dsp::makeVecBinary(dsp::Opcode::VADDB, dsp::vreg(2),
+                                 dsp::vreg(1), dsp::vreg(0)));
+    prog.push(dsp::makeVstore(dsp::sreg(0), dsp::vreg(2), 256));
+    prog.push(dsp::makeAddi(dsp::sreg(5), dsp::sreg(5), -1));
+    prog.push(dsp::makeJumpNz(dsp::sreg(5), loop));
+    const dsp::PackedProgram clean = vliw::pack(prog);
+
+    reportSchedule("control-clean", vliw::auditSchedule(clean).size());
+
+    dsp::PackedProgram duplicated = clean;
+    duplicated.packets.back().insts.push_back(
+        duplicated.packets.front().insts.front());
+    reportSchedule("duplicated-instruction",
+                   vliw::auditSchedule(duplicated).size());
+
+    dsp::PackedProgram dropped = clean;
+    for (auto &packet : dropped.packets)
+        if (!packet.insts.empty()) {
+            packet.insts.pop_back();
+            break;
+        }
+    reportSchedule("dropped-instruction",
+                   vliw::auditSchedule(dropped).size());
+
+    // Co-pack the vload with the vaddb that consumes v1: vector RAW is
+    // a hard dependency and may never share a packet.
+    dsp::PackedProgram merged = clean;
+    size_t producerPacket = merged.packets.size();
+    size_t consumerPacket = merged.packets.size();
+    for (size_t p = 0; p < merged.packets.size(); ++p)
+        for (size_t idx : merged.packets[p].insts) {
+            if (idx == 1)
+                producerPacket = p;
+            if (idx == 2)
+                consumerPacket = p;
+        }
+    if (producerPacket < merged.packets.size() &&
+        consumerPacket < merged.packets.size() &&
+        producerPacket != consumerPacket) {
+        auto &dst = merged.packets[producerPacket].insts;
+        for (size_t idx : merged.packets[consumerPacket].insts)
+            dst.push_back(idx);
+        std::sort(dst.begin(), dst.end());
+        merged.packets.erase(merged.packets.begin() +
+                             static_cast<long>(consumerPacket));
+    }
+    reportSchedule("co-packed-hard-dep",
+                   vliw::auditSchedule(merged).size());
+
+    dsp::PackedProgram badLabel = clean;
+    badLabel.labelPacket[0] = badLabel.packets.size() + 7;
+    reportSchedule("label-past-end",
+                   vliw::auditSchedule(badLabel).size());
+    return 0;
+}
+
+int
+runCleanZoo()
+{
+    size_t compiled = 0;
+    size_t failed = 0;
+    for (const models::ModelInfo &info : models::allModels()) {
+        const graph::Graph g = models::buildModel(info.id);
+        runtime::CompileOptions opts; // audit defaults to Cheap, and the
+                                      // GCD2_DEEP_AUDIT env escalates it
+        const runtime::CompiledModel model = runtime::compile(g, opts);
+        const size_t errors = model.report.diagnosticCount(
+            common::DiagSeverity::Error);
+        const size_t warnings = model.report.diagnosticCount(
+            common::DiagSeverity::Warning);
+        std::printf("clean-zoo model=%s errors=%zu warnings=%zu rung=%d\n",
+                    info.name, errors, warnings,
+                    model.report.selectionRung);
+        ++compiled;
+        if (errors > 0 || model.report.selectionRung != 0)
+            ++failed;
+    }
+    std::printf("clean-zoo summary models=%zu flagged=%zu\n", compiled,
+                failed);
+    return failed == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string mode = argc > 1 ? argv[1] : "";
+    if (mode == "corrupt-selection")
+        return runCorruptSelection();
+    if (mode == "corrupt-schedule")
+        return runCorruptSchedule();
+    if (mode == "clean-zoo")
+        return runCleanZoo();
+    std::fprintf(stderr,
+                 "usage: %s corrupt-selection|corrupt-schedule|clean-zoo\n",
+                 argv[0]);
+    return 2;
+}
