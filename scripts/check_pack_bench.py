@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Gate packer-throughput results against the checked-in baseline.
+
+Usage: check_pack_bench.py BENCH_pack.json bench/pack_baseline.json
+
+The benchmark reports the fast-packer / reference-packer speedup per
+block and as a geometric mean, on single blocks of >= 512 instructions.
+The speedup is a same-machine ratio, so it is comparable across CI
+runners in a way absolute packets/sec are not. This gate fails when the
+measured geomean speedup falls more than 20% below the baseline's, which
+also enforces the hard floor that the scalable packer is at least 5x the
+reference on large blocks.
+"""
+import json
+import sys
+
+ALLOWED_REGRESSION = 0.20
+HARD_FLOOR = 5.0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    measured = current["geomean_speedup"]
+    expected = baseline["geomean_speedup"]
+    threshold = max(expected * (1.0 - ALLOWED_REGRESSION), HARD_FLOOR)
+
+    print(f"blocks:")
+    for k in current.get("kernels", []):
+        print(f"  {k['name']:32s} speedup {k['speedup']:.2f}x "
+              f"({k['instructions']} insts, {k['static_packets']} packets)")
+    print(f"geomean speedup: measured {measured:.2f}x, "
+          f"baseline {expected:.2f}x, threshold {threshold:.2f}x")
+
+    if measured < threshold:
+        print(f"FAIL: fast-packer speedup {measured:.2f}x regressed "
+              f"below {threshold:.2f}x", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "dsp/verify.h"
+#include "vliw/pack_cache.h"
 
 namespace gcd2::kernels {
 
@@ -51,7 +52,8 @@ runKernel(const dsp::Program &prog, const KernelBuffers &buffers,
         dsp::requireVerified(prog, {kRegInput, kRegWeights, kRegOutput,
                                     kRegScratch});
     }
-    const dsp::PackedProgram packed = vliw::pack(prog, packOpts);
+    const std::shared_ptr<const dsp::PackedProgram> packed =
+        vliw::PackCache::global().lookupOrPack(prog, packOpts);
 
     dsp::TimingSimulator sim(mem);
     sim.regs().scalar[kRegInput] = static_cast<uint32_t>(inputBase);
@@ -60,8 +62,9 @@ runKernel(const dsp::Program &prog, const KernelBuffers &buffers,
     sim.regs().scalar[kRegScratch] = static_cast<uint32_t>(scratchBase);
 
     KernelRunResult result;
-    result.stats = sim.run(packed, validate);
-    result.staticPackets = packed.packets.size();
+    result.stats = sim.run(*packed, validate);
+    result.staticPackets = packed->packets.size();
+    result.packed = packed;
     result.staticInstructions = prog.code.size();
     result.output.resize(static_cast<size_t>(buffers.outputBytes));
     if (buffers.outputBytes > 0)

@@ -12,12 +12,15 @@
  * Execution goes through TimingSimulator::run, i.e. the pre-decoded
  * engine (dsp/decoded.h) -- bit-identical to the reference interpreting
  * loop but several times faster, with repeated runs of the same program
- * hitting the process-wide DecodeCache.
+ * hitting the process-wide DecodeCache. Packing likewise goes through the
+ * process-wide vliw::PackCache, so re-probing the same kernel program
+ * (across plans, partitions, and compiles) packs it once.
  */
 #ifndef GCD2_KERNELS_RUNNER_H
 #define GCD2_KERNELS_RUNNER_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dsp/timing_sim.h"
@@ -33,6 +36,10 @@ struct KernelRunResult
     dsp::TimingStats stats;
     size_t staticPackets = 0; ///< packets in the scheduled program
     size_t staticInstructions = 0;
+    /** The schedule that was executed (shared with the PackCache); the
+     *  pipeline retains these so the audit pass can audit the programs
+     *  actually served rather than a re-pack. */
+    std::shared_ptr<const dsp::PackedProgram> packed;
 };
 
 /**

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/diag.h"
+#include "dsp/packet.h"
 #include "select/selector.h"
 
 namespace gcd2::runtime {
@@ -166,6 +167,13 @@ struct CompileOptions
      * the auditors. Null in production.
      */
     std::function<void(select::SelectorResult &)> testSelectionFault;
+    /**
+     * Test-only fault injection: invoked on the first schedule retained
+     * by kernel generation (on a private copy -- the PackCache is never
+     * corrupted). Mutating the program exercises the schedule auditor
+     * against the *served* schedules. Null in production.
+     */
+    std::function<void(dsp::PackedProgram &)> testScheduleFault;
 };
 
 /** A compiled model with its aggregated execution statistics. */
@@ -175,6 +183,17 @@ inline constexpr double kPeakMacsPerCycle = 256.0;
 
 struct CompiledModel
 {
+    /** A schedule the compile serves for one live operator: the packed
+     *  program of the canonical kernel the cost model simulated when
+     *  costing the node's chosen plan (shared with the process-wide
+     *  vliw::PackCache). Retained so the audit pass audits what was
+     *  served, not a re-pack. */
+    struct ServedSchedule
+    {
+        graph::NodeId node = 0;
+        std::shared_ptr<const dsp::PackedProgram> program;
+    };
+
     select::Selection selection;
     select::SelectorResult selector;
     select::NodeExecStats totals;       ///< kernels + transforms + overhead
@@ -187,6 +206,10 @@ struct CompiledModel
     std::vector<uint64_t> nodeCycles;
     /** Per-pass timing and telemetry of the compilation itself. */
     PipelineReport report;
+    /** Schedules served for the live operators (one per node with a
+     *  kernel program; analytic operators contribute none). Distinct
+     *  nodes often share one program via the PackCache. */
+    std::vector<ServedSchedule> schedules;
 
     /** The k most expensive operators (id, cycles), descending. */
     std::vector<std::pair<graph::NodeId, uint64_t>>

@@ -12,6 +12,7 @@
 #include "kernels/unroll.h"
 #include "select/audit.h"
 #include "vliw/audit.h"
+#include "vliw/pack_cache.h"
 #include "vliw/packer.h"
 
 namespace gcd2::runtime {
@@ -22,6 +23,40 @@ using select::CostModel;
 using select::ExecutionPlan;
 using select::NodeExecStats;
 using select::PlanTable;
+
+namespace {
+
+/**
+ * Report how much VLIW packing a pass caused: hit/miss/time deltas of
+ * the process-wide PackCache between the pass's start and end. Cache
+ * hits are programs the pass requested that had already been packed
+ * (this compile or an earlier one); misses are fresh pack runs, whose
+ * wall-clock is charged as pack-us.
+ */
+class PackCacheDelta
+{
+  public:
+    PackCacheDelta() : start_(vliw::PackCache::global().stats()) {}
+
+    void
+    report(PassReport &pass) const
+    {
+        const vliw::PackCache::Stats now =
+            vliw::PackCache::global().stats();
+        pass.counters.emplace_back("pack-hits", now.hits - start_.hits);
+        pass.counters.emplace_back("pack-misses",
+                                   now.misses - start_.misses);
+        pass.counters.emplace_back(
+            "pack-us",
+            static_cast<uint64_t>(
+                (now.packSeconds - start_.packSeconds) * 1e6));
+    }
+
+  private:
+    vliw::PackCache::Stats start_;
+};
+
+} // namespace
 
 const char *
 selectionModeName(SelectionMode mode)
@@ -145,6 +180,7 @@ CompilationSession::passPlanTable(PassReport &pass)
     model_.emplace(options_.cost, options_.costCache);
     const uint64_t hits0 = model_->cache().hits();
     const uint64_t misses0 = model_->cache().misses();
+    const PackCacheDelta packDelta;
     table_.emplace(graph_, *model_, &pool_);
 
     uint64_t candidatePlans = 0;
@@ -163,6 +199,7 @@ CompilationSession::passPlanTable(PassReport &pass)
                                model_->cache().misses() - misses0);
     pass.counters.emplace_back("cache-hits",
                                model_->cache().hits() - hits0);
+    packDelta.report(pass);
 }
 
 void
@@ -280,6 +317,7 @@ CompilationSession::passKernelGeneration(PassReport &pass,
     // cycle-accounting pass (in node order) to keep totals
     // thread-count-invariant by construction.
     const uint64_t misses0 = model_->cache().misses();
+    const PackCacheDelta packDelta;
     nodeStats_.assign(graph_.size(), NodeExecStats{});
     const std::vector<graph::Node> &nodes = graph_.nodes();
     pool_.parallelFor(
@@ -295,6 +333,30 @@ CompilationSession::passKernelGeneration(PassReport &pass,
                 model_->planStats(graph_, node.id, plan);
         });
 
+    // Retain the schedule served for every live operator: the packed
+    // program of the same canonical kernel planStats just simulated,
+    // answered by the PackCache (all hits at this point). Serial and in
+    // node order so the retained list is thread-count-invariant.
+    for (const graph::Node &node : nodes) {
+        if (node.dead)
+            continue;
+        const int planIdx =
+            result.selection.planIndex[static_cast<size_t>(node.id)];
+        const ExecutionPlan &plan =
+            table_->plans(node.id)[static_cast<size_t>(planIdx)];
+        std::shared_ptr<const dsp::PackedProgram> program =
+            model_->canonicalSchedule(graph_, node.id, plan);
+        if (program == nullptr)
+            continue; // analytic operator: no kernel program served
+        if (options_.testScheduleFault && result.schedules.empty()) {
+            // Corrupt a private copy, never the cached program.
+            auto corrupt = std::make_shared<dsp::PackedProgram>(*program);
+            options_.testScheduleFault(*corrupt);
+            program = std::move(corrupt);
+        }
+        result.schedules.push_back({node.id, std::move(program)});
+    }
+
     uint64_t kernels = 0;
     for (const graph::Node &node : nodes)
         if (!node.dead)
@@ -302,6 +364,10 @@ CompilationSession::passKernelGeneration(PassReport &pass,
     pass.counters.emplace_back("kernels", kernels);
     pass.counters.emplace_back("kernel-sims",
                                model_->cache().misses() - misses0);
+    pass.counters.emplace_back(
+        "schedules-retained",
+        static_cast<uint64_t>(result.schedules.size()));
+    packDelta.report(pass);
 }
 
 void
@@ -415,50 +481,25 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     for (Diag &diag : selectionFindings)
         diag_.add(std::move(diag));
 
-    // Schedule audit: re-pack small canonical kernels under the
-    // session's pack options -- one matmul tile per distinct chosen
-    // scheme (deep: with the tile's adaptive unroll, plus an
-    // elementwise representative) -- and check packet legality.
-    std::set<kernels::MatMulScheme> schemes;
-    for (const graph::Node &node : graph_.nodes()) {
-        if (node.dead || !graph::isMatMulFamily(node.op))
-            continue;
-        const int planIdx =
-            result.selection.planIndex[static_cast<size_t>(node.id)];
-        const ExecutionPlan &plan =
-            table_->plans(node.id)[static_cast<size_t>(planIdx)];
-        if (plan.isMatMulPlan())
-            schemes.insert(plan.scheme);
-    }
+    // Schedule audit: check packet legality of the schedules the compile
+    // actually serves -- the packed programs kernel generation retained
+    // from the cost model's canonical kernels (see CompiledModel::
+    // schedules). No re-packing happens here: auditing a fresh pack of
+    // the same source program would vacuously re-verify the packer and
+    // miss any corruption of the served artifact. Distinct nodes often
+    // share one cached program, so audit each distinct program once.
+    const PackCacheDelta packDelta;
     uint64_t schedulesAudited = 0;
     size_t scheduleFailures = 0;
-    const auto auditProgram = [&](const dsp::Program &prog) {
-        const dsp::PackedProgram packed =
-            vliw::pack(prog, options_.cost.packOptions);
-        std::vector<Diag> findings = vliw::auditSchedule(packed);
+    std::set<const dsp::PackedProgram *> auditedPrograms;
+    for (const CompiledModel::ServedSchedule &sched : result.schedules) {
+        if (!auditedPrograms.insert(sched.program.get()).second)
+            continue;
+        std::vector<Diag> findings = vliw::auditSchedule(*sched.program);
         scheduleFailures += findings.size();
         for (Diag &diag : findings)
             diag_.add(std::move(diag));
         ++schedulesAudited;
-    };
-    for (kernels::MatMulScheme scheme : schemes) {
-        kernels::MatMulShape tile;
-        tile.m = 8;
-        tile.k = 64;
-        tile.n = 32;
-        kernels::MatMulConfig config;
-        config.scheme = scheme;
-        if (deep)
-            config = kernels::withUnroll(
-                config, kernels::adaptiveUnroll(tile, scheme));
-        const kernels::MatMulKernel kernel(tile, config);
-        auditProgram(kernel.program());
-    }
-    if (deep) {
-        kernels::EwConfig ew;
-        ew.op = kernels::EwOp::Add;
-        ew.length = 256;
-        auditProgram(kernels::ElementwiseKernel(ew).program());
     }
 
     if (selectionFailures + scheduleFailures == 0)
@@ -471,6 +512,7 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     pass.counters.emplace_back("schedule-findings", scheduleFailures);
     pass.counters.emplace_back("schedules-audited", schedulesAudited);
     pass.counters.emplace_back("deep", deep ? 1 : 0);
+    packDelta.report(pass);
 }
 
 CompiledModel

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "kernels/conv.h"
 #include "kernels/runner.h"
+#include "vliw/pack_cache.h"
 
 namespace gcd2::select {
 
@@ -172,26 +173,9 @@ CostModel::matmulTileStats(MatMulScheme scheme, const UnrollChoice &choice,
     });
 }
 
-NodeExecStats
-CostModel::matmulStats(const MatMulShape &shape, MatMulScheme scheme,
-                       uint64_t extraCycles) const
+UnrollChoice
+CostModel::unrollFor(const MatMulShape &shape, MatMulScheme scheme) const
 {
-    const int panel = panelRowsOf(scheme);
-    const int unit = colsPerUnitOf(scheme);
-
-    auto scaledTotal = [&](const UnrollChoice &choice) {
-        const int64_t panelSpan =
-            static_cast<int64_t>(panel) * choice.outer;
-        const int64_t tileSpan =
-            static_cast<int64_t>(unit) * choice.cols;
-        const double panels = static_cast<double>(
-            roundUp(shape.m, panelSpan) / panelSpan);
-        const double tiles = static_cast<double>(
-            roundUp(shape.n, tileSpan) / tileSpan);
-        return matmulTileStats(scheme, choice, shape.k)
-            .scaled(panels * tiles);
-    };
-
     UnrollChoice choice{1, 1, 1};
     switch (options_.unroll) {
       case UnrollStrategy::None:
@@ -209,9 +193,22 @@ CostModel::matmulStats(const MatMulShape &shape, MatMulScheme scheme,
         choice = kernels::adaptiveUnroll(shape, scheme);
         break;
       case UnrollStrategy::Exhaustive: {
+        const int panel = panelRowsOf(scheme);
+        const int unit = colsPerUnitOf(scheme);
         uint64_t best = UINT64_MAX;
         for (const UnrollChoice &candidate : kernels::unrollCandidates()) {
-            const uint64_t cycles = scaledTotal(candidate).cycles;
+            const int64_t panelSpan =
+                static_cast<int64_t>(panel) * candidate.outer;
+            const int64_t tileSpan =
+                static_cast<int64_t>(unit) * candidate.cols;
+            const double panels = static_cast<double>(
+                roundUp(shape.m, panelSpan) / panelSpan);
+            const double tiles = static_cast<double>(
+                roundUp(shape.n, tileSpan) / tileSpan);
+            const uint64_t cycles =
+                matmulTileStats(scheme, candidate, shape.k)
+                    .scaled(panels * tiles)
+                    .cycles;
             if (cycles < best) {
                 best = cycles;
                 choice = candidate;
@@ -220,8 +217,25 @@ CostModel::matmulStats(const MatMulShape &shape, MatMulScheme scheme,
         break;
       }
     }
+    return choice;
+}
 
-    NodeExecStats stats = scaledTotal(choice);
+NodeExecStats
+CostModel::matmulStats(const MatMulShape &shape, MatMulScheme scheme,
+                       uint64_t extraCycles) const
+{
+    const int panel = panelRowsOf(scheme);
+    const int unit = colsPerUnitOf(scheme);
+    const UnrollChoice choice = unrollFor(shape, scheme);
+
+    const int64_t panelSpan = static_cast<int64_t>(panel) * choice.outer;
+    const int64_t tileSpan = static_cast<int64_t>(unit) * choice.cols;
+    const double panels =
+        static_cast<double>(roundUp(shape.m, panelSpan) / panelSpan);
+    const double tiles =
+        static_cast<double>(roundUp(shape.n, tileSpan) / tileSpan);
+    NodeExecStats stats =
+        matmulTileStats(scheme, choice, shape.k).scaled(panels * tiles);
     stats.cycles += extraCycles;
     return stats;
 }
@@ -485,6 +499,134 @@ CostModel::planStats(const graph::Graph &graph, NodeId id,
                      const ExecutionPlan &plan) const
 {
     return computeStats(graph, id, plan);
+}
+
+std::shared_ptr<const dsp::PackedProgram>
+CostModel::canonicalSchedule(const graph::Graph &graph, NodeId id,
+                             const ExecutionPlan &plan) const
+{
+    const graph::Node &node = graph.node(id);
+    const MatrixView view = matrixView(node.shape);
+    const int64_t elements = node.shape.elements();
+    const int64_t paddedElements =
+        tensor::packedByteSize(plan.inLayout, view.rows, view.cols);
+
+    auto packOf = [&](const dsp::Program &prog) {
+        return vliw::PackCache::global().lookupOrPack(
+            prog, options_.packOptions);
+    };
+    auto matmulSchedule = [&](const MatMulShape &shape,
+                              MatMulScheme scheme) {
+        // Rebuild the exact canonical tile kernel matmulTileStats
+        // simulates for this shape's unroll choice.
+        const UnrollChoice choice = unrollFor(shape, scheme);
+        MatMulShape tile;
+        tile.m = static_cast<int64_t>(panelRowsOf(scheme)) * choice.outer;
+        tile.k = shape.k;
+        tile.n = static_cast<int64_t>(colsPerUnitOf(scheme)) * choice.cols;
+        kernels::MatMulConfig config;
+        config.scheme = scheme;
+        config = kernels::withUnroll(config, choice);
+        return packOf(kernels::MatMulKernel(tile, config).program());
+    };
+    auto elementwiseSchedule = [&](EwOp op, int64_t length) {
+        // Mirror elementwiseStats' canonical simulation length.
+        const bool scalarOp = op == EwOp::Div || op == EwOp::DivLut;
+        kernels::EwConfig config;
+        config.op = op;
+        config.length = std::min<int64_t>(length, scalarOp ? 512 : 8192);
+        return packOf(kernels::ElementwiseKernel(config).program());
+    };
+
+    switch (node.op) {
+      case OpType::Input:
+      case OpType::Constant:
+      case OpType::Output:
+      case OpType::Reshape:
+      case OpType::Upsample:
+      case OpType::Concat:
+      case OpType::Transpose:
+        return nullptr; // costed analytically; no kernel program served
+
+      case OpType::Conv2D: {
+        const tensor::Shape &in = graph.node(node.inputs[0]).shape;
+        kernels::ConvShape conv;
+        conv.inC = in.dim(0);
+        conv.inH = in.dim(1);
+        conv.inW = in.dim(2);
+        conv.outC = node.attrs.outC;
+        conv.kH = node.attrs.kH;
+        conv.kW = node.attrs.kW;
+        conv.strideH = node.attrs.strideH;
+        conv.strideW = node.attrs.strideW;
+        conv.padH = node.attrs.padH;
+        conv.padW = node.attrs.padW;
+        return matmulSchedule(conv.matmulShape(), plan.scheme);
+      }
+
+      case OpType::MatMul: {
+        const tensor::Shape &a = graph.node(node.inputs[0]).shape;
+        MatMulShape shape;
+        shape.m = a.dim(a.rank() - 2);
+        shape.k = a.dim(a.rank() - 1);
+        shape.n = node.shape.dim(node.shape.rank() - 1);
+        return matmulSchedule(shape, plan.scheme);
+      }
+
+      case OpType::DepthwiseConv2D: {
+        const int stride = node.attrs.strideW == 1 ? 1 : 2;
+        kernels::DepthwiseConfig config;
+        config.channels = 1;
+        config.stride = stride;
+        config.inH = stride == 2 ? 5 : 4;
+        config.inW = 256;
+        return packOf(kernels::DepthwiseKernel(config).program());
+      }
+
+      case OpType::Add:
+      case OpType::Sub:
+      case OpType::Mul:
+        return elementwiseSchedule(EwOp::Add, paddedElements);
+
+      case OpType::Div:
+        return elementwiseSchedule(options_.lutOptimization ? EwOp::Lut
+                                                            : EwOp::Div,
+                                   paddedElements);
+
+      case OpType::Pow:
+      case OpType::Sigmoid:
+      case OpType::Tanh:
+      case OpType::Gelu:
+        return elementwiseSchedule(options_.lutOptimization ? EwOp::Lut
+                                                            : EwOp::DivLut,
+                                   paddedElements);
+
+      case OpType::Clamp:
+        return elementwiseSchedule(EwOp::Clamp, paddedElements);
+
+      case OpType::Softmax:
+        return elementwiseSchedule(options_.lutOptimization ? EwOp::Lut
+                                                            : EwOp::DivLut,
+                                   elements);
+
+      case OpType::LayerNorm:
+        return elementwiseSchedule(EwOp::Add, elements);
+
+      case OpType::MaxPool:
+      case OpType::AvgPool:
+        return elementwiseSchedule(node.op == OpType::MaxPool
+                                       ? EwOp::MaxPool
+                                       : EwOp::AvgPool,
+                                   2 * elements);
+
+      case OpType::GlobalAvgPool:
+        return elementwiseSchedule(
+            EwOp::Add, graph.node(node.inputs[0]).shape.elements());
+
+      case OpType::kNumOps:
+        break;
+    }
+    GCD2_PANIC("unhandled op in canonicalSchedule");
 }
 
 uint64_t

@@ -96,9 +96,27 @@ class CostModel
                               kernels::MatMulScheme scheme,
                               uint64_t extraCycles) const;
 
+    /**
+     * The schedule served for (node, plan): the packed program of the
+     * same canonical kernel this model simulates when costing the plan,
+     * fetched through the process-wide vliw::PackCache (a cache hit once
+     * the plan has been costed). The pipeline retains these in
+     * CompiledModel so the audit pass audits served schedules directly.
+     * Returns nullptr for operators costed analytically (no kernel
+     * program exists for them).
+     */
+    std::shared_ptr<const dsp::PackedProgram>
+    canonicalSchedule(const graph::Graph &graph, graph::NodeId id,
+                      const ExecutionPlan &plan) const;
+
   private:
     /** Key prefix shared by every simulation under these options. */
     CostKey baseKey(CostKind kind) const;
+
+    /** The unroll choice matmulStats uses for @p shape under this
+     *  model's strategy (Exhaustive scans the candidate set by cost). */
+    kernels::UnrollChoice unrollFor(const kernels::MatMulShape &shape,
+                                    kernels::MatMulScheme scheme) const;
 
     NodeExecStats matmulTileStats(kernels::MatMulScheme scheme,
                                   const kernels::UnrollChoice &choice,

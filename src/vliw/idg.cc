@@ -172,14 +172,22 @@ std::vector<size_t>
 Idg::freeInstructions(const std::vector<size_t> &candidatePacket) const
 {
     std::vector<size_t> free;
+    freeInstructions(candidatePacket, free);
+    return free;
+}
+
+void
+Idg::freeInstructions(const std::vector<size_t> &candidatePacket,
+                      std::vector<size_t> &out) const
+{
+    out.clear();
     for (size_t i = 0; i < nodes_.size(); ++i) {
         const bool inPacket =
             std::find(candidatePacket.begin(), candidatePacket.end(), i) !=
             candidatePacket.end();
         if (!inPacket && isFree(i, candidatePacket))
-            free.push_back(i);
+            out.push_back(i);
     }
-    return free;
 }
 
 } // namespace gcd2::vliw

@@ -7,6 +7,15 @@
  * by Algorithm 1 and Fig. 5 of the paper: solid (hard) and dotted (soft)
  * edges, per-node rank (distance from the artificial entry), transitive
  * predecessor counts, and critical-path extraction by accumulated latency.
+ *
+ * Complexity: construction classifies all O(n^2) instruction pairs (each
+ * classifyDependency call allocates four uid vectors), criticalPath() is
+ * a full O(n + e) reverse sweep per call with e itself O(n^2), and
+ * freeInstructions() rescans all nodes with an O(|packet|) membership
+ * probe per successor. That is fine for the small blocks this reference
+ * implementation now serves; large blocks go through vliw::FastIdg
+ * (fast_idg.h), whose chain-built subset graph and incremental state are
+ * differentially tested against this class.
  */
 #ifndef GCD2_VLIW_IDG_H
 #define GCD2_VLIW_IDG_H
@@ -98,6 +107,11 @@ class Idg
     /** All currently free nodes given the current packet contents. */
     std::vector<size_t>
     freeInstructions(const std::vector<size_t> &candidatePacket) const;
+
+    /** Allocation-free variant: clears and refills @p out (the packer
+     *  reuses one scratch vector across all packets of a block). */
+    void freeInstructions(const std::vector<size_t> &candidatePacket,
+                          std::vector<size_t> &out) const;
 
   private:
     BasicBlock block_;

@@ -1,0 +1,151 @@
+#include "vliw/pack_cache.h"
+
+#include <bit>
+#include <mutex>
+#include <type_traits>
+
+#include "common/timer.h"
+
+namespace gcd2::vliw {
+
+namespace {
+
+/** FNV-1a, same lane construction as the decode cache. */
+class Fnv
+{
+  public:
+    explicit Fnv(uint64_t seed) : h_(seed) {}
+
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    template <typename T>
+    void
+    value(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bytes(&v, sizeof(v));
+    }
+
+    uint64_t digest() const { return h_; }
+
+  private:
+    uint64_t h_;
+};
+
+void
+hashRequest(const dsp::Program &prog, const PackOptions &opts, Fnv &fnv)
+{
+    for (const dsp::Instruction &inst : prog.code) {
+        fnv.value(static_cast<uint8_t>(inst.op));
+        fnv.value(static_cast<uint8_t>(inst.dst[0].cls));
+        fnv.value(inst.dst[0].idx);
+        for (const dsp::Operand &src : inst.src) {
+            fnv.value(static_cast<uint8_t>(src.cls));
+            fnv.value(src.idx);
+        }
+        fnv.value(inst.imm);
+    }
+    fnv.value(uint64_t{0xfeed});
+    for (size_t label : prog.labels)
+        fnv.value(static_cast<uint64_t>(label));
+    fnv.value(uint64_t{0xbeef});
+    for (int8_t reg : prog.noaliasRegs)
+        fnv.value(reg);
+    // Options: the policy plus the exact bit patterns of the scoring
+    // tunables (two doubles that differ in any bit pack differently).
+    fnv.value(uint64_t{0x9acc});
+    fnv.value(static_cast<uint8_t>(opts.policy));
+    fnv.value(std::bit_cast<uint64_t>(opts.w));
+    fnv.value(std::bit_cast<uint64_t>(opts.penaltyScale));
+}
+
+} // namespace
+
+PackKey
+fingerprintForPacking(const dsp::Program &prog, const PackOptions &opts)
+{
+    Fnv a(0xcbf29ce484222325ULL);
+    Fnv b(0x9e3779b97f4a7c15ULL);
+    hashRequest(prog, opts, a);
+    hashRequest(prog, opts, b);
+    b.value(uint64_t{0x5eed});
+    PackKey key;
+    key.h0 = a.digest();
+    key.h1 = b.digest();
+    key.instructions = prog.code.size();
+    key.policy = static_cast<uint8_t>(opts.policy);
+    return key;
+}
+
+std::shared_ptr<const dsp::PackedProgram>
+PackCache::lookupOrPack(const dsp::Program &prog, const PackOptions &opts)
+{
+    const PackKey key = fingerprintForPacking(prog, opts);
+    {
+        std::shared_lock lock(mu_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+
+    // Pack outside the lock: two threads may race on the same program,
+    // but packing is a pure function so either result is usable.
+    Timer timer;
+    auto packed =
+        std::make_shared<const dsp::PackedProgram>(pack(prog, opts));
+    const double seconds = timer.seconds();
+
+    std::unique_lock lock(mu_);
+    ++misses_;
+    packSeconds_ += seconds;
+    if (map_.size() >= maxEntries_) {
+        map_.clear();
+        ++evictions_;
+    }
+    const auto [it, inserted] = map_.emplace(key, packed);
+    return inserted ? packed : it->second;
+}
+
+PackCache::Stats
+PackCache::stats() const
+{
+    std::shared_lock lock(mu_);
+    return Stats{hits_, misses_, evictions_, packSeconds_};
+}
+
+size_t
+PackCache::size() const
+{
+    std::shared_lock lock(mu_);
+    return map_.size();
+}
+
+void
+PackCache::clear()
+{
+    std::unique_lock lock(mu_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    packSeconds_ = 0.0;
+}
+
+PackCache &
+PackCache::global()
+{
+    static PackCache cache;
+    return cache;
+}
+
+} // namespace gcd2::vliw

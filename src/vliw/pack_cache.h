@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Process-wide cache of packed programs, keyed by content fingerprint.
+ *
+ * Packing is a pure function of (Program, PackOptions), and the compiler
+ * packs the same few canonical kernel programs over and over: every
+ * cost-model probe of a (plan, kernel) candidate, every kernel-generation
+ * run, and (before PR 4) the audit pass each re-ran the full SDA ensemble
+ * on identical inputs -- across plans, partitions, and whole compiles.
+ * PackCache memoizes the PackedProgram exactly like dsp::DecodeCache
+ * memoizes decoded programs; the two compose into a layered pipeline
+ * (pack once -> decode once -> simulate many), with select::CostCache
+ * above both memoizing the resulting kernel statistics.
+ *
+ * Keying mirrors DecodeCache: two independent FNV-1a lanes over the
+ * instruction stream, labels and noalias ABI declaration, plus the
+ * packing-relevant PackOptions fields (policy and the exact bit patterns
+ * of the Eq. 4 tunables). Eviction is the same wholesale epoch clear at
+ * the entry budget -- no per-entry bookkeeping on the hot path.
+ */
+#ifndef GCD2_VLIW_PACK_CACHE_H
+#define GCD2_VLIW_PACK_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "vliw/packer.h"
+
+namespace gcd2::vliw {
+
+/** Content fingerprint of a (Program, PackOptions) packing request. */
+struct PackKey
+{
+    uint64_t h0 = 0;
+    uint64_t h1 = 0;
+    uint64_t instructions = 0;
+    uint8_t policy = 0;
+
+    bool operator==(const PackKey &other) const = default;
+};
+
+/** Fingerprint covering everything pack() depends on. */
+PackKey fingerprintForPacking(const dsp::Program &prog,
+                              const PackOptions &opts);
+
+/**
+ * Thread-safe pack cache. Reads take a shared lock; a miss packs outside
+ * any lock (packing is pure, so concurrent duplicate work is safe) and
+ * publishes under an exclusive lock.
+ */
+class PackCache
+{
+  public:
+    explicit PackCache(size_t maxEntries = 4096) : maxEntries_(maxEntries)
+    {
+    }
+
+    /** Packed form of @p prog under @p opts, cached by content. */
+    std::shared_ptr<const dsp::PackedProgram>
+    lookupOrPack(const dsp::Program &prog, const PackOptions &opts = {});
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0; ///< whole-cache epoch clears
+        /** Wall-clock seconds spent inside pack() on misses. */
+        double packSeconds = 0.0;
+    };
+
+    Stats stats() const;
+    size_t size() const;
+    void clear();
+
+    /** Process-wide cache used by kernels::runKernel and the pipeline. */
+    static PackCache &global();
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const PackKey &key) const
+        {
+            return static_cast<size_t>(key.h0 ^ (key.h1 * 0x9e3779b9u));
+        }
+    };
+
+    mutable std::shared_mutex mu_;
+    std::unordered_map<PackKey, std::shared_ptr<const dsp::PackedProgram>,
+                       KeyHash>
+        map_;
+    size_t maxEntries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    double packSeconds_ = 0.0;
+};
+
+} // namespace gcd2::vliw
+
+#endif // GCD2_VLIW_PACK_CACHE_H

@@ -44,7 +44,7 @@ int
 selectInstruction(const dsp::Program &prog, const dsp::AliasAnalysis &alias,
                   const Idg &idg, const std::vector<size_t> &freeInsts,
                   const std::vector<size_t> &curPacket,
-                  const PackOptions &opts)
+                  const PackOptions &opts, std::vector<size_t> &withScratch)
 {
     // resource_constraint(free_insts, packet): candidates that satisfy the
     // slot constraints together with the packet members.
@@ -73,10 +73,12 @@ selectInstruction(const dsp::Program &prog, const dsp::AliasAnalysis &alias,
             std::abs(hiLat - node.latency) * (1.0 - opts.w);
 
         // p(i, packet): the stall the soft dependencies of i against the
-        // current packet members would cause.
-        std::vector<size_t> with = curPacket;
-        with.push_back(i);
-        const uint64_t costWith = packetCostOf(prog, alias, idg, with);
+        // current packet members would cause. (Caller-owned scratch: this
+        // runs once per candidate per packet slot.)
+        withScratch.assign(curPacket.begin(), curPacket.end());
+        withScratch.push_back(i);
+        const uint64_t costWith =
+            packetCostOf(prog, alias, idg, withScratch);
         const uint64_t baseline =
             std::max(costWithout, static_cast<uint64_t>(node.latency));
         const bool stalls = costWith > baseline;
@@ -296,8 +298,12 @@ buildSdaSchedule(const dsp::Program &prog, const BasicBlock &block,
     Idg idg(prog, block, alias, graphPolicy);
 
     // Packets are created bottom-up (the seed is the *last* unpacked
-    // instruction of the critical path) and pushed onto a stack.
+    // instruction of the critical path) and pushed onto a stack. The
+    // free-set and candidate-packet scratch vectors are hoisted out of
+    // the per-packet loop and reused across iterations.
     std::vector<std::vector<size_t>> stack;
+    std::vector<size_t> freeInsts;
+    std::vector<size_t> withScratch;
     while (idg.remainingCount() > 0) {
         const std::vector<size_t> path = idg.criticalPath();
         GCD2_ASSERT(!path.empty(), "no critical path with nodes remaining");
@@ -306,9 +312,9 @@ buildSdaSchedule(const dsp::Program &prog, const BasicBlock &block,
         std::vector<size_t> cur{seed};
         idg.remove(seed);
         while (cur.size() < static_cast<size_t>(dsp::kPacketSlots)) {
-            const std::vector<size_t> freeInsts = idg.freeInstructions(cur);
-            const int inst =
-                selectInstruction(prog, alias, idg, freeInsts, cur, opts);
+            idg.freeInstructions(cur, freeInsts);
+            const int inst = selectInstruction(prog, alias, idg, freeInsts,
+                                               cur, opts, withScratch);
             if (inst < 0)
                 break;
             cur.push_back(static_cast<size_t>(inst));
@@ -517,7 +523,7 @@ packBlockListSched(const dsp::Program &prog, const BasicBlock &block,
 } // namespace
 
 dsp::PackedProgram
-pack(const dsp::Program &prog, const PackOptions &opts)
+packReference(const dsp::Program &prog, const PackOptions &opts)
 {
     dsp::PackedProgram packed;
     packed.program = prog;

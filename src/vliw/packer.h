@@ -9,6 +9,18 @@
  * baseline packetizers used to model Halide/TVM/RAKE back-ends (in-order
  * and top-down list scheduling, both soft-dependency-blind) share the same
  * entry point.
+ *
+ * Two implementations share that entry point's semantics. pack() (defined
+ * in pack_fast.cc) runs on FastIdg -- chain-built CSR dependency graph,
+ * incremental free set and critical-path cache, allocation-free pair
+ * classification -- and is the production path. packReference() is the
+ * original direct transcription kept as the bit-identity oracle: per
+ * block it pays O(n^2) classifyDependency calls to build the Idg, a full
+ * O(n + e) reverse sweep per packet for criticalPath(), and O(n * |packet|)
+ * free-set rescans, so it is cubic-ish in block size while pack() is
+ * near-linear outside the repair pass. Differential fuzz
+ * (tests/vliw/pack_differential_test.cc) pins pack() == packReference()
+ * across all five policies.
  */
 #ifndef GCD2_VLIW_PACKER_H
 #define GCD2_VLIW_PACKER_H
@@ -41,6 +53,14 @@ struct PackOptions
 /** Pack a program into VLIW packets under the given policy. */
 dsp::PackedProgram pack(const dsp::Program &prog,
                         const PackOptions &opts = {});
+
+/**
+ * The retained reference packer: bit-identical output to pack(), built on
+ * the all-pairs Idg. Slow on large blocks; exists as the differential
+ * oracle for tests and the baseline for bench/pack_throughput.
+ */
+dsp::PackedProgram packReference(const dsp::Program &prog,
+                                 const PackOptions &opts = {});
 
 /**
  * Believed pipelined cost of a block schedule (packets of IDG node ids)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 
 #include "models/zoo.h"
 #include "runtime/compiler.h"
@@ -111,6 +112,61 @@ TEST(FaultInjectionTest, MutatedSelectionIsCaughtByCheapAudit)
     const PassReport *audit = compiled.report.pass("audit");
     ASSERT_NE(audit, nullptr);
     EXPECT_GE(audit->counter("selection-findings"), 1u);
+}
+
+TEST(FaultInjectionTest, CorruptedServedScheduleIsCaughtByAudit)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    CompileOptions opts;
+    // Corrupt the *served* artifact, not its source program: duplicate an
+    // instruction in the first retained schedule's first packet. Only an
+    // auditor that inspects the retained schedules (rather than
+    // re-packing the source, which would come out clean) can see this.
+    opts.testScheduleFault = [](dsp::PackedProgram &packed) {
+        ASSERT_FALSE(packed.packets.empty());
+        ASSERT_FALSE(packed.packets[0].insts.empty());
+        packed.packets[0].insts.push_back(packed.packets[0].insts[0]);
+    };
+
+    const CompiledModel compiled = compile(g, opts);
+    EXPECT_GE(compiled.report.diagnosticCount(DiagSeverity::Error), 1u);
+    const PassReport *audit = compiled.report.pass("audit");
+    ASSERT_NE(audit, nullptr);
+    EXPECT_GE(audit->counter("schedule-findings"), 1u);
+    EXPECT_GE(audit->counter("schedules-audited"), 1u);
+}
+
+TEST(FaultInjectionTest, AuditConsumesRetainedSchedules)
+{
+    // A clean compile retains a schedule for every operator with a
+    // kernel program, the audit pass checks exactly the distinct ones,
+    // and everything it audits is a program the compile serves (shared
+    // pointers into CompiledModel::schedules) -- found clean.
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    const CompiledModel compiled = compile(g);
+
+    ASSERT_FALSE(compiled.schedules.empty());
+    for (const CompiledModel::ServedSchedule &sched : compiled.schedules) {
+        ASSERT_NE(sched.program, nullptr);
+        EXPECT_FALSE(sched.program->packets.empty());
+    }
+    std::set<const dsp::PackedProgram *> distinct;
+    for (const CompiledModel::ServedSchedule &sched : compiled.schedules)
+        distinct.insert(sched.program.get());
+
+    const PassReport *kernelGen = compiled.report.pass("kernel-generation");
+    ASSERT_NE(kernelGen, nullptr);
+    EXPECT_EQ(kernelGen->counter("schedules-retained"),
+              compiled.schedules.size());
+
+    const PassReport *audit = compiled.report.pass("audit");
+    ASSERT_NE(audit, nullptr);
+    EXPECT_EQ(audit->counter("schedules-audited"), distinct.size());
+    EXPECT_EQ(audit->counter("schedule-findings"), 0u);
+    EXPECT_EQ(compiled.report.diagnosticCount(DiagSeverity::Error), 0u);
+    // No packing happened in the audit pass itself: the schedules were
+    // already in hand.
+    EXPECT_EQ(audit->counter("pack-misses"), 0u);
 }
 
 TEST(FaultInjectionTest, AuditOffSkipsTheAuditPass)
