@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Dataflow lint gate for the served kernel schedules.
+
+Usage: check_lint.py [path/to/gcd2_lint]
+
+Runs the gcd2_lint tool (default ./build/tools/gcd2_lint) over the whole
+evaluation zoo and fails CI when:
+  - any served packed program carries an Error-severity lint finding
+    (use-before-def, intra-packet hazard, dishonest delay claim, or a
+    provably-overlapping noalias pair) -- a miscompile escaped the
+    pipeline;
+  - the summary covers fewer models/programs than expected -- the lint
+    silently skipped kernels.
+
+Warning-severity findings (maybe-uninit, dead stores/packets) are
+reported but do not fail the gate: generated kernels legitimately
+contain dead seed stores.
+"""
+import re
+import subprocess
+import sys
+
+EXPECTED_ZOO_MODELS = 10
+
+
+def main() -> int:
+    binary = sys.argv[1] if len(sys.argv) > 1 else "./build/tools/gcd2_lint"
+    proc = subprocess.run(
+        [binary], capture_output=True, text=True, timeout=600
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+
+    # Exit 1 (warnings only) is acceptable; 2 means Error diags; anything
+    # else means the tool itself fell over.
+    if proc.returncode not in (0, 1):
+        print(f"FAIL: gcd2_lint exited {proc.returncode}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    summary = None
+    for line in proc.stdout.splitlines():
+        match = re.fullmatch(
+            r"lint summary models=(?P<m>\d+) programs=(?P<p>\d+) "
+            r"errors=(?P<e>\d+) warnings=(?P<w>\d+) "
+            r"max-severity=(?P<sev>\w+)", line
+        )
+        if match:
+            summary = match
+    if summary is None:
+        print("FAIL: gcd2_lint printed no summary line", file=sys.stderr)
+        return 1
+
+    if int(summary["m"]) != EXPECTED_ZOO_MODELS:
+        print(f"FAIL: expected {EXPECTED_ZOO_MODELS} models linted, "
+              f"saw {summary['m']}", file=sys.stderr)
+        failures += 1
+    if int(summary["p"]) == 0:
+        print("FAIL: lint covered zero served programs", file=sys.stderr)
+        failures += 1
+    if int(summary["e"]) != 0:
+        print(f"FAIL: {summary['e']} Error-severity lint finding(s) on "
+              "served schedules", file=sys.stderr)
+        failures += 1
+
+    if failures:
+        print(f"check_lint: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"check_lint: {summary['p']} served programs across "
+          f"{summary['m']} models lint Error-free "
+          f"({summary['w']} warnings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gcd2::analysis {
+
+int
+BlockGraph::blockOf(size_t instIdx) const
+{
+    // Blocks are sorted half-open ranges; binary search on begin.
+    int lo = 0;
+    int hi = static_cast<int>(cfg.blocks.size()) - 1;
+    while (lo <= hi) {
+        const int mid = lo + (hi - lo) / 2;
+        const vliw::BasicBlock &block = cfg.blocks[static_cast<size_t>(mid)];
+        if (instIdx < block.begin)
+            hi = mid - 1;
+        else if (instIdx >= block.end)
+            lo = mid + 1;
+        else
+            return mid;
+    }
+    return -1;
+}
+
+namespace {
+
+void
+postorder(const std::vector<std::vector<int>> &succs, int block,
+          std::vector<uint8_t> &state, std::vector<int> &order)
+{
+    // Iterative DFS; blocks can number in the thousands for big kernels.
+    std::vector<std::pair<int, size_t>> stack;
+    stack.emplace_back(block, 0);
+    state[static_cast<size_t>(block)] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const auto &out = succs[static_cast<size_t>(b)];
+        if (next < out.size()) {
+            const int s = out[next++];
+            if (!state[static_cast<size_t>(s)]) {
+                state[static_cast<size_t>(s)] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+BlockGraph
+buildBlockGraph(const dsp::PackedProgram &packed)
+{
+    BlockGraph graph;
+    graph.packed = &packed;
+    const dsp::Program &prog = packed.program;
+    if (prog.code.empty())
+        return graph;
+
+    graph.cfg = vliw::buildCfg(prog);
+    const size_t numBlocks = graph.cfg.blocks.size();
+    graph.succs.resize(numBlocks);
+    graph.preds.resize(numBlocks);
+    graph.exitEdge.assign(numBlocks, false);
+
+    for (size_t b = 0; b < numBlocks; ++b) {
+        const vliw::BasicBlock &block = graph.cfg.blocks[b];
+        const dsp::Instruction &last = prog.code[block.end - 1];
+        auto addEdge = [&](size_t to) {
+            graph.succs[b].push_back(static_cast<int>(to));
+            graph.preds[to].push_back(static_cast<int>(b));
+        };
+        if (last.op != dsp::Opcode::JUMP) {
+            if (b + 1 < numBlocks)
+                addEdge(b + 1);
+            else
+                graph.exitEdge[b] = true;
+        }
+        if (last.isBranch()) {
+            const size_t labelId = static_cast<size_t>(last.imm);
+            GCD2_ASSERT(labelId < prog.labels.size(),
+                        "branch to unknown label");
+            const size_t target = prog.labels[labelId];
+            if (target >= prog.code.size()) {
+                graph.exitEdge[b] = true;
+            } else {
+                const int tb = graph.blockOf(target);
+                GCD2_ASSERT(tb >= 0 &&
+                                graph.cfg.blocks[static_cast<size_t>(tb)]
+                                        .begin == target,
+                            "branch target is not a block head");
+                addEdge(static_cast<size_t>(tb));
+            }
+        }
+    }
+
+    // Reverse postorder from the entry block. Blocks unreachable from
+    // entry (possible in hand-corrupted test programs) are appended in
+    // program order so every block still gets visited.
+    std::vector<uint8_t> state(numBlocks, 0);
+    std::vector<int> post;
+    post.reserve(numBlocks);
+    postorder(graph.succs, 0, state, post);
+    graph.rpo.assign(post.rbegin(), post.rend());
+    for (size_t b = 0; b < numBlocks; ++b)
+        if (!state[b])
+            graph.rpo.push_back(static_cast<int>(b));
+    graph.reachable.resize(numBlocks);
+    for (size_t b = 0; b < numBlocks; ++b)
+        graph.reachable[b] = state[b] != 0;
+
+    // Scheduled instruction order: sort each block's instructions by
+    // (packet, position in packet). Unpacked instructions sort last.
+    graph.packetOf.assign(prog.code.size(), SIZE_MAX);
+    std::vector<size_t> posInPacket(prog.code.size(), 0);
+    for (size_t p = 0; p < packed.packets.size(); ++p)
+        for (size_t k = 0; k < packed.packets[p].insts.size(); ++k) {
+            const size_t idx = packed.packets[p].insts[k];
+            if (idx < prog.code.size() && graph.packetOf[idx] == SIZE_MAX) {
+                graph.packetOf[idx] = p;
+                posInPacket[idx] = k;
+            }
+        }
+    graph.scheduled.resize(numBlocks);
+    for (size_t b = 0; b < numBlocks; ++b) {
+        const vliw::BasicBlock &block = graph.cfg.blocks[b];
+        std::vector<size_t> &order = graph.scheduled[b];
+        order.reserve(block.size());
+        for (size_t i = block.begin; i < block.end; ++i)
+            order.push_back(i);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t c) {
+                             if (graph.packetOf[a] != graph.packetOf[c])
+                                 return graph.packetOf[a] <
+                                        graph.packetOf[c];
+                             return posInPacket[a] < posInPacket[c];
+                         });
+    }
+    return graph;
+}
+
+DataflowResult
+solveDataflow(const BlockGraph &graph, const DataflowProblem &problem)
+{
+    using Direction = DataflowProblem::Direction;
+    using Meet = DataflowProblem::Meet;
+
+    const size_t numBlocks = graph.numBlocks();
+    GCD2_ASSERT(problem.gen.size() == numBlocks &&
+                    problem.kill.size() == numBlocks,
+                "gen/kill must cover every block");
+
+    DataflowResult result;
+    // Union starts from bottom (empty); intersection from top (full) so
+    // the fixpoint narrows instead of sticking at the first iterate.
+    const RegSet init = problem.meet == Meet::Union ? RegSet{0} : kAllRegs;
+    result.in.assign(numBlocks, init);
+    result.out.assign(numBlocks, init);
+    if (numBlocks == 0)
+        return result;
+
+    const bool forward = problem.direction == Direction::Forward;
+
+    // Visit order: RPO for forward flows, reverse RPO for backward, so
+    // acyclic graphs converge in one round and loops in depth + 2.
+    std::vector<int> visit = graph.rpo;
+    if (!forward)
+        std::reverse(visit.begin(), visit.end());
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++result.rounds;
+        for (int bi : visit) {
+            const size_t b = static_cast<size_t>(bi);
+
+            // Meet over flow predecessors, plus the boundary fact set on
+            // entry (forward) / exit-edge blocks (backward).
+            const std::vector<int> &sources =
+                forward ? graph.preds[b] : graph.succs[b];
+            const bool atBoundary =
+                forward ? b == 0 : graph.exitEdge[b] != false;
+            RegSet met = init;
+            bool any = false;
+            auto meetWith = [&](RegSet value) {
+                if (!any) {
+                    met = value;
+                    any = true;
+                } else if (problem.meet == Meet::Union) {
+                    met |= value;
+                } else {
+                    met &= value;
+                }
+            };
+            for (int s : sources)
+                meetWith(forward ? result.out[static_cast<size_t>(s)]
+                                 : result.in[static_cast<size_t>(s)]);
+            if (atBoundary)
+                meetWith(problem.boundary);
+
+            RegSet &inSet = forward ? result.in[b] : result.out[b];
+            RegSet &outSet = forward ? result.out[b] : result.in[b];
+            const RegSet transferred =
+                problem.gen[b] | (met & ~problem.kill[b]);
+            if (met != inSet || transferred != outSet) {
+                inSet = met;
+                outSet = transferred;
+                changed = true;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace gcd2::analysis

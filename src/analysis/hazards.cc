@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Intra-packet hazard lint (see analysis/lint.h): write-write register
+ * conflicts, slot/unit resource overcommit, and a differential check of
+ * the packer's mask-based co-pack delay claims (FastIdg::copackDelay)
+ * against the ground-truth dsp::deps classification. The cross-check is
+ * deliberately against classifyDependency, not the pruned FastIdg edge
+ * set -- the edge set is what the packer already believes, so checking
+ * against it would verify nothing.
+ */
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.h"
+#include "dsp/alias.h"
+#include "dsp/deps.h"
+#include "vliw/fast_idg.h"
+
+namespace gcd2::analysis {
+
+using common::Diag;
+using common::DiagCode;
+using common::DiagSeverity;
+
+namespace {
+
+std::string
+regName(int uid)
+{
+    const bool scalar = uid < dsp::kNumScalarRegs;
+    std::string name(1, scalar ? 'r' : 'v');
+    name += std::to_string(scalar ? uid : uid - dsp::kNumScalarRegs);
+    return name;
+}
+
+} // namespace
+
+size_t
+analyzeHazards(const BlockGraph &graph, std::vector<Diag> &diags)
+{
+    const dsp::PackedProgram &packed = *graph.packed;
+    const dsp::Program &prog = packed.program;
+    if (prog.code.empty())
+        return 0;
+
+    size_t findings = 0;
+    auto report = [&](DiagCode code, size_t node, std::string message) {
+        ++findings;
+        diags.push_back(Diag{DiagSeverity::Error, "lint",
+                             static_cast<int64_t>(node),
+                             std::move(message), code});
+    };
+
+    const dsp::AliasAnalysis alias(prog);
+
+    // Per-block FastIdg instances built lazily: only blocks that actually
+    // hold a multi-instruction packet pay for construction.
+    std::vector<std::unique_ptr<vliw::FastIdg>> idgs(graph.numBlocks());
+    auto idgFor = [&](size_t b) -> const vliw::FastIdg & {
+        if (!idgs[b])
+            idgs[b] = std::make_unique<vliw::FastIdg>(
+                prog, graph.cfg.blocks[b], alias,
+                vliw::SoftDepPolicy::Aware);
+        return *idgs[b];
+    };
+
+    for (size_t p = 0; p < packed.packets.size(); ++p) {
+        const std::vector<size_t> &insts = packed.packets[p].insts;
+
+        // Structurally corrupt packets (out-of-range members) belong to
+        // the schedule check table; skip them here.
+        bool valid = true;
+        for (size_t idx : insts)
+            if (idx >= prog.code.size())
+                valid = false;
+        if (!valid || insts.empty())
+            continue;
+
+        // --- write-write conflicts ---------------------------------
+        // Two same-packet writes of one register race in the write
+        // stage; the dependency classifier calls every WAW hard.
+        RegSet written = 0;
+        for (size_t idx : insts) {
+            for (int uid : dsp::regWrites(prog.code[idx])) {
+                const RegSet bit = RegSet{1} << uid;
+                if (written & bit)
+                    report(DiagCode::LintWriteConflict, idx,
+                           "packet " + std::to_string(p) +
+                               " writes " + regName(uid) +
+                               " twice ('" + prog.code[idx].toString() +
+                               "')");
+                written |= bit;
+            }
+        }
+
+        // --- resource overcommit -----------------------------------
+        int branches = 0;
+        int multUnits = 0;
+        for (size_t idx : insts) {
+            if (prog.code[idx].isBranch())
+                ++branches;
+            multUnits += prog.code[idx].info().multUnits;
+        }
+        if (branches > 1)
+            report(DiagCode::LintSlotOvercommit, insts.front(),
+                   "packet " + std::to_string(p) + " holds " +
+                       std::to_string(branches) +
+                       " branches (the branch unit takes one)");
+        if (multUnits > 2)
+            report(DiagCode::LintSlotOvercommit, insts.front(),
+                   "packet " + std::to_string(p) + " needs " +
+                       std::to_string(multUnits) +
+                       " multiply pipelines (the DSP has 2)");
+        if (branches <= 1 && multUnits <= 2 &&
+            insts.size() <= static_cast<size_t>(dsp::kPacketSlots) &&
+            !dsp::slotsFeasible(prog, insts))
+            report(DiagCode::LintSlotOvercommit, insts.front(),
+                   "packet " + std::to_string(p) +
+                       " has no feasible slot assignment");
+
+        // --- delay-claim cross-check -------------------------------
+        // The block the packet schedules (a legal packet never spans
+        // blocks; spanning ones are flagged by the label checks).
+        const int b = graph.blockOf(insts.front());
+        if (b < 0 ||
+            insts.back() >= graph.cfg.blocks[static_cast<size_t>(b)].end)
+            continue;
+        const vliw::FastIdg &idg = idgFor(static_cast<size_t>(b));
+        const size_t begin = graph.cfg.blocks[static_cast<size_t>(b)].begin;
+        for (size_t k = 0; k < insts.size(); ++k)
+            for (size_t m = 0; m < k; ++m) {
+                const size_t early = insts[m];
+                const size_t late = insts[k];
+                const dsp::Dependency dep = dsp::classifyDependency(
+                    prog.code[early], prog.code[late],
+                    alias.mayAlias(early, late));
+                const int expected =
+                    dep.kind == dsp::DepKind::Soft ? dep.penalty : 0;
+                const int claimed =
+                    idg.copackDelay(early - begin, late - begin);
+                if (claimed != expected) {
+                    std::ostringstream msg;
+                    msg << "packet " << p << ": packer claims "
+                        << claimed << " stall cycle(s) for '"
+                        << prog.code[early].toString() << "' -> '"
+                        << prog.code[late].toString()
+                        << "' but the dependency classifier says "
+                        << expected;
+                    report(DiagCode::LintDelayClaim, late, msg.str());
+                }
+            }
+    }
+    return findings;
+}
+
+} // namespace gcd2::analysis

@@ -1,0 +1,45 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+
+namespace gcd2::analysis {
+
+using common::DiagSeverity;
+
+DiagSeverity
+LintResult::maxSeverity() const
+{
+    DiagSeverity worst = DiagSeverity::Info;
+    for (const common::Diag &diag : diags)
+        worst = std::max(worst, diag.severity);
+    return worst;
+}
+
+LintResult
+lintPackedProgram(const dsp::PackedProgram &packed,
+                  const LintOptions &options)
+{
+    LintResult result;
+    const BlockGraph graph = buildBlockGraph(packed);
+
+    if (options.useBeforeDef)
+        result.counts.useBeforeDef =
+            analyzeUseBeforeDef(graph, options, result.diags);
+    if (options.deadStore)
+        result.counts.deadStore = analyzeDeadStores(graph, result.diags);
+    if (options.hazards)
+        result.counts.hazards = analyzeHazards(graph, result.diags);
+    if (options.noalias)
+        result.counts.noalias =
+            analyzeNoalias(graph, options, result.diags);
+
+    for (const common::Diag &diag : result.diags) {
+        if (diag.severity == DiagSeverity::Error)
+            ++result.counts.errors;
+        else if (diag.severity == DiagSeverity::Warning)
+            ++result.counts.warnings;
+    }
+    return result;
+}
+
+} // namespace gcd2::analysis

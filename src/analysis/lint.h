@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Dataflow lint layer over packed DSP programs.
+ *
+ * Four analyzers, all reporting through common::Diag with stable
+ * DiagCodes (pass name "lint"):
+ *
+ *  - Use-before-def (use_def.cc): two forward dataflow problems over the
+ *    scheduled instruction order. A read outside the *maybe*-assigned set
+ *    (union meet) can never have been written on any path: Error
+ *    LintUseBeforeDef. A read inside maybe- but outside the
+ *    *definitely*-assigned set (intersection meet) is uninitialized on at
+ *    least one path: Warning LintMaybeUninit. Registers declared in
+ *    Program::noaliasRegs are entry-defined (the kernel buffer ABI),
+ *    matching dsp::verifyProgram.
+ *
+ *  - Dead-store (use_def.cc): backward liveness. A side-effect-free
+ *    instruction none of whose written registers are live afterwards is a
+ *    dead store (Warning LintDeadStore); a packet made up entirely of
+ *    dead instructions is a dead packet (Warning LintDeadPacket).
+ *
+ *  - Intra-packet hazards (hazards.cc): per-packet pair scan. Write-write
+ *    register conflicts (Error LintWriteConflict), resource overcommit
+ *    beyond the slot/unit model (Error LintSlotOvercommit), and a
+ *    differential check of the packer's mask-based co-pack delay claims
+ *    (FastIdg::copackDelay) against the ground-truth dsp::deps
+ *    classification (Error LintDelayClaim) -- deliberately *not* checked
+ *    against the pruned FastIdg edge set, which would be circular.
+ *
+ *  - Noalias audit (noalias_audit.cc): per-block symbolic address
+ *    derivation (base symbol + constant offset). A same-block,
+ *    store-involving access pair whose addresses provably overlap while
+ *    the alias oracle claims disjointness is a lying claim: Error
+ *    LintNoaliasOverlap. Duplicate Program::noaliasRegs entries (two
+ *    "disjoint" buffers with the same base) are Error LintNoaliasDupBase.
+ *
+ * Severity policy: only findings that prove a miscompile or a lying
+ * oracle are Errors; maybe-uninitialized and dead code are Warnings so
+ * conservatively generated kernels cannot fail CI on them.
+ */
+#ifndef GCD2_ANALYSIS_LINT_H
+#define GCD2_ANALYSIS_LINT_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "common/diag.h"
+#include "dsp/packet.h"
+
+namespace gcd2::analysis {
+
+/** Which analyzers to run and with what environment assumptions. */
+struct LintOptions
+{
+    bool useBeforeDef = true;
+    bool deadStore = true;
+    bool hazards = true;
+    bool noalias = true;
+
+    /**
+     * Scalar registers holding valid values at program entry. When unset,
+     * defaults to Program::noaliasRegs -- the kernel buffer ABI, the same
+     * convention dsp::verifyProgram checks against.
+     */
+    const std::vector<int8_t> *entryDefinedRegs = nullptr;
+
+    /**
+     * The may-alias oracle whose claims the noalias audit cross-checks
+     * (what the packer was told). When unset, a dsp::AliasAnalysis of the
+     * program is built -- the production configuration. Tests inject
+     * lying oracles here.
+     */
+    std::function<bool(size_t, size_t)> mayAliasClaim;
+};
+
+/** Finding counts, by analyzer and by severity. */
+struct LintCounts
+{
+    size_t useBeforeDef = 0;
+    size_t deadStore = 0;
+    size_t hazards = 0;
+    size_t noalias = 0;
+    size_t errors = 0;
+    size_t warnings = 0;
+
+    size_t total() const
+    {
+        return useBeforeDef + deadStore + hazards + noalias;
+    }
+};
+
+/** All findings of one lint run. */
+struct LintResult
+{
+    std::vector<common::Diag> diags;
+    LintCounts counts;
+
+    common::DiagSeverity maxSeverity() const;
+};
+
+/** Run the enabled analyzers over @p packed. */
+LintResult lintPackedProgram(const dsp::PackedProgram &packed,
+                             const LintOptions &options = {});
+
+// Individual analyzers (append to @p diags, return finding count) -----
+
+size_t analyzeUseBeforeDef(const BlockGraph &graph,
+                           const LintOptions &options,
+                           std::vector<common::Diag> &diags);
+size_t analyzeDeadStores(const BlockGraph &graph,
+                         std::vector<common::Diag> &diags);
+size_t analyzeHazards(const BlockGraph &graph,
+                      std::vector<common::Diag> &diags);
+size_t analyzeNoalias(const BlockGraph &graph, const LintOptions &options,
+                      std::vector<common::Diag> &diags);
+
+} // namespace gcd2::analysis
+
+#endif // GCD2_ANALYSIS_LINT_H

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Noalias claim audit (see analysis/lint.h).
+ *
+ * The packer reorders memory instructions on the strength of the alias
+ * oracle's "provably disjoint" answers; a wrong answer silently
+ * miscompiles. This analyzer re-derives addresses *independently*: a
+ * per-block symbolic walk where every scalar register at block entry is
+ * an opaque base symbol and MOVI/MOV/ADDI/ADD/SUB propagate
+ * (symbol, constant offset) pairs. Two accesses with the same symbol and
+ * overlapping [offset, offset + size) intervals touch the same bytes on
+ * every execution of the block -- if the oracle claimed them disjoint,
+ * the claim is a lie (Error LintNoaliasOverlap).
+ *
+ * Same-block only, by design: the packer only co-schedules within a
+ * block, and block-entry symbols change meaning across iterations of a
+ * loop, so cross-block interval comparison would be unsound.
+ */
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "dsp/alias.h"
+#include "dsp/deps.h"
+
+namespace gcd2::analysis {
+
+using common::Diag;
+using common::DiagCode;
+using common::DiagSeverity;
+
+namespace {
+
+/** A scalar register's value as "base symbol + constant offset". Symbols
+ *  0..31 are block-entry register values; kConstRoot is the literal zero
+ *  base (MOVI results compare as absolute addresses); higher ids are
+ *  fresh opaque values (one per non-derivable def, never equal). */
+struct SymVal
+{
+    int root = 0;
+    int64_t offset = 0;
+};
+
+constexpr int kConstRoot = dsp::kNumScalarRegs;
+
+/** One memory access with a derived symbolic address. */
+struct SymRef
+{
+    size_t inst = 0;
+    bool isStore = false;
+    int root = 0;
+    int64_t begin = 0;
+    int64_t end = 0;
+};
+
+} // namespace
+
+size_t
+analyzeNoalias(const BlockGraph &graph, const LintOptions &options,
+               std::vector<Diag> &diags)
+{
+    const dsp::Program &prog = graph.packed->program;
+    size_t findings = 0;
+
+    // --- duplicate noalias bases ------------------------------------
+    // One register declared twice means two "pairwise disjoint" buffers
+    // share a base address: every disjointness conclusion drawn from the
+    // declaration is suspect.
+    std::vector<int> declared(dsp::kNumScalarRegs, 0);
+    for (int8_t reg : prog.noaliasRegs) {
+        if (reg < 0 || reg >= dsp::kNumScalarRegs)
+            continue;
+        if (++declared[reg] == 2) {
+            ++findings;
+            diags.push_back(Diag{DiagSeverity::Error, "lint", -1,
+                                 "register r" + std::to_string(reg) +
+                                     " declared twice in noaliasRegs",
+                                 DiagCode::LintNoaliasDupBase});
+        }
+    }
+    if (prog.code.empty())
+        return findings;
+
+    // The claims the packer acted on. Production callers leave this unset
+    // and get the real AliasAnalysis; tests inject liars.
+    const dsp::AliasAnalysis alias(prog);
+    auto claimsMayAlias = [&](size_t i, size_t j) {
+        return options.mayAliasClaim ? options.mayAliasClaim(i, j)
+                                     : alias.mayAlias(i, j);
+    };
+
+    for (size_t b = 0; b < graph.numBlocks(); ++b) {
+        // Block-entry state: register i holds opaque symbol i.
+        std::vector<SymVal> state(dsp::kNumScalarRegs);
+        for (int r = 0; r < dsp::kNumScalarRegs; ++r)
+            state[static_cast<size_t>(r)] = SymVal{r, 0};
+        int nextOpaque = kConstRoot + 1;
+
+        // Value of a scalar source operand (fresh opaque if malformed).
+        auto valueOf = [&](const dsp::Operand &op) {
+            if (op.cls == dsp::RegClass::Scalar && op.idx >= 0 &&
+                op.idx < dsp::kNumScalarRegs)
+                return state[static_cast<size_t>(op.idx)];
+            return SymVal{nextOpaque++, 0};
+        };
+
+        std::vector<SymRef> refs;
+        for (size_t i : graph.scheduled[b]) {
+            const dsp::Instruction &inst = prog.code[i];
+
+            // Record the access before updating state: the base operand
+            // is read with its pre-instruction value.
+            const int bytes = dsp::memAccessBytes(inst);
+            if (bytes > 0 && inst.src[0].cls == dsp::RegClass::Scalar) {
+                const SymVal base = valueOf(inst.src[0]);
+                refs.push_back(
+                    SymRef{i, inst.info().mem == dsp::MemKind::Store,
+                           base.root, base.offset + inst.imm,
+                           base.offset + inst.imm + bytes});
+            }
+
+            if (!inst.dst[0].valid() ||
+                inst.dst[0].cls != dsp::RegClass::Scalar)
+                continue;
+            SymVal &dst = state[static_cast<size_t>(inst.dst[0].idx)];
+            switch (inst.op) {
+            case dsp::Opcode::MOVI:
+                dst = SymVal{kConstRoot, inst.imm};
+                break;
+            case dsp::Opcode::MOV:
+                dst = valueOf(inst.src[0]);
+                break;
+            case dsp::Opcode::ADDI: {
+                const SymVal src = valueOf(inst.src[0]);
+                dst = SymVal{src.root, src.offset + inst.imm};
+                break;
+            }
+            case dsp::Opcode::ADD:
+            case dsp::Opcode::SUB: {
+                const SymVal lhs = valueOf(inst.src[0]);
+                const SymVal rhs = valueOf(inst.src[1]);
+                if (rhs.root == kConstRoot)
+                    dst = SymVal{lhs.root,
+                                 inst.op == dsp::Opcode::ADD
+                                     ? lhs.offset + rhs.offset
+                                     : lhs.offset - rhs.offset};
+                else if (lhs.root == kConstRoot &&
+                         inst.op == dsp::Opcode::ADD)
+                    dst = SymVal{rhs.root, lhs.offset + rhs.offset};
+                else
+                    dst = SymVal{nextOpaque++, 0};
+                break;
+            }
+            default:
+                // Loads, shifts, multiplies, ... -- not derivable as
+                // base + constant; a fresh symbol never matches anything.
+                dst = SymVal{nextOpaque++, 0};
+                break;
+            }
+        }
+
+        // --- provable overlap vs. the oracle's claims ----------------
+        // Load/load pairs never constrain packing (no ordering hazard),
+        // so only store-involving pairs can expose a lying claim.
+        for (size_t x = 0; x < refs.size(); ++x)
+            for (size_t y = x + 1; y < refs.size(); ++y) {
+                const SymRef &a = refs[x];
+                const SymRef &c = refs[y];
+                if (!a.isStore && !c.isStore)
+                    continue;
+                if (a.root != c.root)
+                    continue; // different bases: no proof either way
+                if (a.begin >= c.end || c.begin >= a.end)
+                    continue; // disjoint intervals
+                const size_t first = std::min(a.inst, c.inst);
+                const size_t second = std::max(a.inst, c.inst);
+                if (claimsMayAlias(first, second))
+                    continue; // oracle already says "may overlap"
+                ++findings;
+                diags.push_back(Diag{
+                    DiagSeverity::Error, "lint",
+                    static_cast<int64_t>(second),
+                    "accesses '" + prog.code[first].toString() +
+                        "' and '" + prog.code[second].toString() +
+                        "' provably overlap but were claimed noalias",
+                    DiagCode::LintNoaliasOverlap});
+            }
+    }
+    return findings;
+}
+
+} // namespace gcd2::analysis

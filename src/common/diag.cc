@@ -18,6 +18,54 @@ diagSeverityName(DiagSeverity severity)
     return "?";
 }
 
+const char *
+diagCodeName(DiagCode code)
+{
+    switch (code) {
+      case DiagCode::None:
+        return "none";
+      case DiagCode::SchedEmptyPacket:
+        return "sched-empty-packet";
+      case DiagCode::SchedOversizedPacket:
+        return "sched-oversized-packet";
+      case DiagCode::SchedBadInstIndex:
+        return "sched-bad-inst-index";
+      case DiagCode::SchedSlotInfeasible:
+        return "sched-slot-infeasible";
+      case DiagCode::SchedPacketOrder:
+        return "sched-packet-order";
+      case DiagCode::SchedHardDepInPacket:
+        return "sched-hard-dep-in-packet";
+      case DiagCode::SchedInstCoverage:
+        return "sched-inst-coverage";
+      case DiagCode::SchedLabelMapSize:
+        return "sched-label-map-size";
+      case DiagCode::SchedLabelPastEnd:
+        return "sched-label-past-end";
+      case DiagCode::SchedLabelBoundary:
+        return "sched-label-boundary";
+      case DiagCode::LintUseBeforeDef:
+        return "lint-use-before-def";
+      case DiagCode::LintMaybeUninit:
+        return "lint-maybe-uninit";
+      case DiagCode::LintDeadStore:
+        return "lint-dead-store";
+      case DiagCode::LintDeadPacket:
+        return "lint-dead-packet";
+      case DiagCode::LintWriteConflict:
+        return "lint-write-conflict";
+      case DiagCode::LintSlotOvercommit:
+        return "lint-slot-overcommit";
+      case DiagCode::LintDelayClaim:
+        return "lint-delay-claim";
+      case DiagCode::LintNoaliasOverlap:
+        return "lint-noalias-overlap";
+      case DiagCode::LintNoaliasDupBase:
+        return "lint-noalias-dup-base";
+    }
+    return "?";
+}
+
 std::string
 Diag::toString() const
 {
@@ -25,6 +73,8 @@ Diag::toString() const
     out << "[" << diagSeverityName(severity) << "] " << pass;
     if (node >= 0)
         out << " (node " << node << ")";
+    if (code != DiagCode::None)
+        out << " [" << diagCodeName(code) << "]";
     out << ": " << message;
     return out.str();
 }

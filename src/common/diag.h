@@ -36,6 +36,46 @@ enum class DiagSeverity : uint8_t
 
 const char *diagSeverityName(DiagSeverity severity);
 
+/**
+ * Machine-readable classification of a diagnostic. Codes are stable
+ * identifiers (golden tests and CI scripts match on them, not on message
+ * text): `Sched*` codes come from the shared packed-schedule check table
+ * (dsp/schedule_checks.h) and always mean a violated structural
+ * invariant; `Lint*` codes come from the static dataflow analyzers
+ * (analysis/lint.h). None marks diagnostics that predate the code
+ * taxonomy (fallback decisions, audit summaries).
+ */
+enum class DiagCode : uint16_t
+{
+    None = 0,
+
+    // Packed-schedule structural invariants (shared check table).
+    SchedEmptyPacket,
+    SchedOversizedPacket,
+    SchedBadInstIndex,
+    SchedSlotInfeasible,
+    SchedPacketOrder,
+    SchedHardDepInPacket,
+    SchedInstCoverage,
+    SchedLabelMapSize,
+    SchedLabelPastEnd,
+    SchedLabelBoundary,
+
+    // Dataflow lint analyzers.
+    LintUseBeforeDef,   ///< read with no prior write on any path (Error)
+    LintMaybeUninit,    ///< read with no prior write on some path (Warning)
+    LintDeadStore,      ///< register write never observed (Warning)
+    LintDeadPacket,     ///< every write in the packet is dead (Warning)
+    LintWriteConflict,  ///< two same-packet writes of one register
+    LintSlotOvercommit, ///< packet oversubscribes mult/branch resources
+    LintDelayClaim,     ///< packer delay claim contradicts dsp::deps
+    LintNoaliasOverlap, ///< claimed-noalias pair provably overlaps
+    LintNoaliasDupBase, ///< one register declared as two disjoint buffers
+};
+
+/** Stable kebab-case name of a code ("sched-empty-packet", ...). */
+const char *diagCodeName(DiagCode code);
+
 /** One structured diagnostic event. */
 struct Diag
 {
@@ -46,8 +86,10 @@ struct Diag
      *  artifact. */
     int64_t node = -1;
     std::string message;
+    /** Machine-readable classification (None for uncoded events). */
+    DiagCode code = DiagCode::None;
 
-    /** "[error] selection (node 7): ..." single-line rendering. */
+    /** "[error] selection (node 7) [lint-dead-store]: ..." rendering. */
     std::string toString() const;
 };
 

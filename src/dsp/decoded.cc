@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "dsp/alias.h"
 #include "dsp/deps.h"
+#include "dsp/schedule_checks.h"
 #include "dsp/sim_math.h"
 
 namespace gcd2::dsp {
@@ -99,7 +100,6 @@ needsFallback(const Instruction &inst)
 {
     const int d = inst.dst[0].idx;
     const int s0 = inst.src[0].idx;
-    const int s1 = inst.src[1].idx;
     switch (inst.op) {
       case Opcode::VMPY:
       case Opcode::VMPYACC:
@@ -117,7 +117,8 @@ needsFallback(const Instruction &inst)
         return d == s0 || d == s0 + 1;
       case Opcode::VLUT:
         // Only the table pair (s0, s0+1) is read cross-lane; the index
-        // vector is read lane-aligned, so d == s1 stays on the fast path.
+        // vector (src[1]) is read lane-aligned, so a destination equal to
+        // it stays on the fast path.
         return d == s0 || d == s0 + 1;
       default:
         return false;
@@ -844,6 +845,23 @@ fingerprintProgram(const PackedProgram &packed)
 std::shared_ptr<const DecodedProgram>
 DecodedProgram::build(const PackedProgram &packed)
 {
+    // Decode indexes the raw code through packet membership, so the
+    // structural rows of the shared invariant table (every instruction
+    // in exactly one packet, indices in range, label map shape) are a
+    // precondition here -- run them, not a private re-implementation.
+    // Full-depth legality (slots, hard deps) stays with the validating
+    // simulator entry points; decode does not need it for memory safety.
+    runScheduleChecks(
+        packed, CheckDepth::Structure,
+        [](common::DiagCode code, int64_t node, const std::string &msg) {
+            GCD2_PANIC("cannot decode packed program: invariant '"
+                       << common::diagCodeName(code) << "' violated"
+                       << (node >= 0 ? " at instruction " +
+                                           std::to_string(node)
+                                     : std::string())
+                       << ": " << msg);
+        });
+
     const Program &prog = packed.program;
     AliasAnalysis alias(prog);
 

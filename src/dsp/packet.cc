@@ -5,8 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
-#include "dsp/alias.h"
-#include "dsp/deps.h"
+#include "dsp/schedule_checks.h"
 
 namespace gcd2::dsp {
 
@@ -93,62 +92,18 @@ PackedProgram::toString() const
 void
 validatePackedProgram(const PackedProgram &packed)
 {
-    const Program &prog = packed.program;
-    std::vector<int> seen(prog.code.size(), 0);
-    AliasAnalysis alias(prog);
-
-    for (const Packet &packet : packed.packets) {
-        GCD2_ASSERT(!packet.insts.empty(), "empty packet");
-        GCD2_ASSERT(packet.insts.size() <=
-                        static_cast<size_t>(kPacketSlots),
-                    "packet exceeds " << kPacketSlots << " slots");
-        GCD2_ASSERT(slotsFeasible(prog, packet.insts),
-                    "packet violates slot constraints");
-        for (size_t k = 0; k < packet.insts.size(); ++k) {
-            const size_t idx = packet.insts[k];
-            ++seen[idx];
-            if (k > 0) {
-                GCD2_ASSERT(packet.insts[k - 1] < idx,
-                            "packet members not in program order");
-            }
-            for (size_t m = 0; m < k; ++m) {
-                const size_t earlier = packet.insts[m];
-                const Dependency dep = classifyDependency(
-                    prog.code[earlier], prog.code[idx],
-                    alias.mayAlias(earlier, idx));
-                GCD2_ASSERT(dep.kind != DepKind::Hard,
-                            "hard dependency inside packet: "
-                                << prog.code[earlier].toString() << " -> "
-                                << prog.code[idx].toString());
-            }
-        }
-    }
-
-    for (size_t i = 0; i < seen.size(); ++i) {
-        GCD2_ASSERT(seen[i] == 1, "instruction " << i << " ("
-                        << prog.code[i].toString() << ") appears "
-                        << seen[i] << " times in packets");
-    }
-
-    GCD2_ASSERT(packed.labelPacket.size() == prog.labels.size(),
-                "labelPacket size mismatch");
-    for (size_t l = 0; l < prog.labels.size(); ++l) {
-        const size_t packetIdx = packed.labelPacket[l];
-        // A label may map one past the last packet: a branch to the
-        // program's end (exit label).
-        GCD2_ASSERT(packetIdx <= packed.packets.size(),
-                    "label " << l << " maps past the last packet");
-        // The label's target instruction must live at or after the start
-        // of its packet: every instruction of the labelled block region
-        // must be scheduled no earlier than the label's packet.
-        const size_t target = prog.labels[l];
-        for (size_t p = 0; p < packetIdx; ++p)
-            for (size_t idx : packed.packets[p].insts)
-                GCD2_ASSERT(idx < target,
-                            "instruction " << idx
-                                << " scheduled before label L" << l
-                                << " but belongs after it");
-    }
+    // The invariants live in the shared check table (schedule_checks.h);
+    // this consumer's policy is panic-on-first-violation.
+    runScheduleChecks(
+        packed, CheckDepth::Full,
+        [](common::DiagCode code, int64_t node, const std::string &msg) {
+            GCD2_PANIC("packed program invariant '"
+                       << common::diagCodeName(code) << "' violated"
+                       << (node >= 0 ? " at instruction " +
+                                           std::to_string(node)
+                                     : std::string())
+                       << ": " << msg);
+        });
 }
 
 } // namespace gcd2::dsp

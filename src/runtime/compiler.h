@@ -102,8 +102,11 @@ const char *selectionModeName(SelectionMode mode);
 enum class AuditMode : uint8_t
 {
     Off,   ///< no audit pass (trusted caller, fastest compile)
-    Cheap, ///< structural + cost-honesty checks, always affordable
-    Deep,  ///< Cheap plus exact re-solves and extra schedule audits
+    Cheap, ///< structural + cost-honesty checks and the per-packet
+           ///< hazard lint, always affordable
+    Deep,  ///< Cheap plus exact re-solves and the whole-program dataflow
+           ///< lint (use-before-def, dead stores, noalias audit); the
+           ///< audit pass reports per-analyzer "lint-*-findings" counters
 };
 
 /** Full compile-time configuration. */

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/lint.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "graph/passes.h"
@@ -488,6 +489,19 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     // the same source program would vacuously re-verify the packer and
     // miss any corruption of the served artifact. Distinct nodes often
     // share one cached program, so audit each distinct program once.
+    // The dataflow lint rides the same loop. Cheap runs only the
+    // per-packet hazard lint (linear in packet members); Deep adds the
+    // whole-program dataflow analyzers (use-before-def, dead stores) and
+    // the noalias claim audit. Lint Warnings never block a compile --
+    // only Errors count as failures alongside the structural audits.
+    analysis::LintOptions lintOpts;
+    lintOpts.useBeforeDef = deep;
+    lintOpts.deadStore = deep;
+    lintOpts.hazards = true;
+    lintOpts.noalias = deep;
+    analysis::LintCounts lint;
+    size_t lintErrors = 0;
+
     const PackCacheDelta packDelta;
     uint64_t schedulesAudited = 0;
     size_t scheduleFailures = 0;
@@ -499,10 +513,20 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
         scheduleFailures += findings.size();
         for (Diag &diag : findings)
             diag_.add(std::move(diag));
+
+        const analysis::LintResult linted =
+            analysis::lintPackedProgram(*sched.program, lintOpts);
+        lint.useBeforeDef += linted.counts.useBeforeDef;
+        lint.deadStore += linted.counts.deadStore;
+        lint.hazards += linted.counts.hazards;
+        lint.noalias += linted.counts.noalias;
+        lintErrors += linted.counts.errors;
+        for (const Diag &diag : linted.diags)
+            diag_.add(diag);
         ++schedulesAudited;
     }
 
-    if (selectionFailures + scheduleFailures == 0)
+    if (selectionFailures + scheduleFailures + lintErrors == 0)
         diag_.add(DiagSeverity::Info, "audit", -1,
                   std::string(deep ? "deep" : "cheap") +
                       " audit passed (" +
@@ -511,6 +535,11 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     pass.counters.emplace_back("selection-findings", selectionFailures);
     pass.counters.emplace_back("schedule-findings", scheduleFailures);
     pass.counters.emplace_back("schedules-audited", schedulesAudited);
+    pass.counters.emplace_back("lint-use-def-findings", lint.useBeforeDef);
+    pass.counters.emplace_back("lint-dead-store-findings", lint.deadStore);
+    pass.counters.emplace_back("lint-hazard-findings", lint.hazards);
+    pass.counters.emplace_back("lint-noalias-findings", lint.noalias);
+    pass.counters.emplace_back("lint-errors", lintErrors);
     pass.counters.emplace_back("deep", deep ? 1 : 0);
     packDelta.report(pass);
 }

@@ -1,9 +1,6 @@
 #include "vliw/audit.h"
 
-#include <sstream>
-
-#include "dsp/alias.h"
-#include "dsp/deps.h"
+#include "dsp/schedule_checks.h"
 
 namespace gcd2::vliw {
 
@@ -13,95 +10,15 @@ using common::DiagSeverity;
 std::vector<Diag>
 auditSchedule(const dsp::PackedProgram &packed)
 {
+    // Same invariant table as dsp::validatePackedProgram and the
+    // decode-time guard; this consumer's policy is collect-everything.
     std::vector<Diag> findings;
-    const auto fail = [&](int64_t node, std::string message) {
-        findings.push_back(Diag{DiagSeverity::Error, "vliw-audit", node,
-                                std::move(message)});
-    };
-
-    const dsp::Program &prog = packed.program;
-    std::vector<int> seen(prog.code.size(), 0);
-    dsp::AliasAnalysis alias(prog);
-
-    for (size_t p = 0; p < packed.packets.size(); ++p) {
-        const dsp::Packet &packet = packed.packets[p];
-        if (packet.insts.empty()) {
-            fail(-1, "packet " + std::to_string(p) + " is empty");
-            continue;
-        }
-        if (packet.insts.size() > static_cast<size_t>(dsp::kPacketSlots))
-            fail(-1, "packet " + std::to_string(p) + " holds " +
-                         std::to_string(packet.insts.size()) +
-                         " instructions (max " +
-                         std::to_string(dsp::kPacketSlots) + ")");
-        bool indicesValid = true;
-        for (size_t idx : packet.insts)
-            if (idx >= prog.code.size()) {
-                fail(static_cast<int64_t>(idx),
-                     "packet " + std::to_string(p) +
-                         " references out-of-range instruction");
-                indicesValid = false;
-            }
-        if (!indicesValid)
-            continue;
-        if (!dsp::slotsFeasible(prog, packet.insts))
-            fail(-1, "packet " + std::to_string(p) +
-                         " violates slot constraints");
-        for (size_t k = 0; k < packet.insts.size(); ++k) {
-            const size_t idx = packet.insts[k];
-            ++seen[idx];
-            if (k > 0 && packet.insts[k - 1] >= idx)
-                fail(static_cast<int64_t>(idx),
-                     "packet " + std::to_string(p) +
-                         " members not in program order");
-            for (size_t m = 0; m < k; ++m) {
-                const size_t earlier = packet.insts[m];
-                const dsp::Dependency dep = dsp::classifyDependency(
-                    prog.code[earlier], prog.code[idx],
-                    alias.mayAlias(earlier, idx));
-                if (dep.kind == dsp::DepKind::Hard) {
-                    std::ostringstream msg;
-                    msg << "hard dependency inside packet " << p << ": "
-                        << prog.code[earlier].toString() << " -> "
-                        << prog.code[idx].toString();
-                    fail(static_cast<int64_t>(idx), msg.str());
-                }
-            }
-        }
-    }
-
-    for (size_t i = 0; i < seen.size(); ++i)
-        if (seen[i] != 1)
-            fail(static_cast<int64_t>(i),
-                 "instruction appears " + std::to_string(seen[i]) +
-                     " times in packets (" + prog.code[i].toString() +
-                     ")");
-
-    if (packed.labelPacket.size() != prog.labels.size()) {
-        fail(-1, "labelPacket size " +
-                     std::to_string(packed.labelPacket.size()) +
-                     " != label count " +
-                     std::to_string(prog.labels.size()));
-        return findings;
-    }
-    for (size_t l = 0; l < prog.labels.size(); ++l) {
-        const size_t packetIdx = packed.labelPacket[l];
-        // One past the last packet is legal: a branch to program end.
-        if (packetIdx > packed.packets.size()) {
-            fail(-1, "label L" + std::to_string(l) +
-                         " maps past the last packet");
-            continue;
-        }
-        // Everything belonging to the labelled region must be scheduled
-        // no earlier than the label's packet.
-        const size_t target = prog.labels[l];
-        for (size_t p = 0; p < packetIdx; ++p)
-            for (size_t idx : packed.packets[p].insts)
-                if (idx >= target)
-                    fail(static_cast<int64_t>(idx),
-                         "instruction scheduled before label L" +
-                             std::to_string(l) + " but belongs after it");
-    }
+    dsp::runScheduleChecks(
+        packed, dsp::CheckDepth::Full,
+        [&](common::DiagCode code, int64_t node, const std::string &msg) {
+            findings.push_back(
+                Diag{DiagSeverity::Error, "vliw-audit", node, msg, code});
+        });
     return findings;
 }
 

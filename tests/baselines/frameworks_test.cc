@@ -39,8 +39,9 @@ TEST_P(FrameworkOrdering, Gcd2FastestOnEverySupportedModel)
         EXPECT_LT(gcd2->latencyMs(), snpe->latencyMs());
         EXPECT_GT(gcd2->utilization(), snpe->utilization());
     }
-    if (tflite && snpe)
+    if (tflite && snpe) {
         EXPECT_LT(snpe->latencyMs(), tflite->latencyMs());
+    }
 }
 
 std::string

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dataflow lint CLI (CI: driven by scripts/check_lint.py).
+ *
+ * Compiles evaluation models (audit off -- this tool IS the audit) and
+ * runs every analysis/lint.h analyzer over each distinct packed program
+ * the compile serves. Prints machine-parseable per-program counts, every
+ * finding verbatim, and a summary line; the exit code is the maximum
+ * severity seen (0 = clean/info, 1 = warnings only, 2 = errors), so CI
+ * can gate on "no Error-severity diagnostics on any served kernel".
+ *
+ * Usage: gcd2_lint [model-name ...]   (default: the whole zoo)
+ */
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "common/diag.h"
+#include "models/zoo.h"
+#include "runtime/compiler.h"
+
+namespace {
+
+using namespace gcd2;
+
+int
+lintModel(const models::ModelInfo &info, size_t &programs, size_t &errors,
+          size_t &warnings)
+{
+    const graph::Graph g = models::buildModel(info.id);
+    runtime::CompileOptions opts;
+    opts.audit = runtime::AuditMode::Off; // the lint below replaces it
+    const runtime::CompiledModel model = runtime::compile(g, opts);
+
+    analysis::LintCounts totals;
+    std::set<const dsp::PackedProgram *> distinct;
+    std::vector<common::Diag> findings;
+    for (const runtime::CompiledModel::ServedSchedule &sched :
+         model.schedules) {
+        if (!sched.program || !distinct.insert(sched.program.get()).second)
+            continue;
+        const analysis::LintResult result =
+            analysis::lintPackedProgram(*sched.program);
+        totals.useBeforeDef += result.counts.useBeforeDef;
+        totals.deadStore += result.counts.deadStore;
+        totals.hazards += result.counts.hazards;
+        totals.noalias += result.counts.noalias;
+        totals.errors += result.counts.errors;
+        totals.warnings += result.counts.warnings;
+        findings.insert(findings.end(), result.diags.begin(),
+                        result.diags.end());
+    }
+
+    std::printf("lint model=%s programs=%zu use-def=%zu dead-store=%zu "
+                "hazards=%zu noalias=%zu errors=%zu warnings=%zu\n",
+                info.name, distinct.size(), totals.useBeforeDef,
+                totals.deadStore, totals.hazards, totals.noalias,
+                totals.errors, totals.warnings);
+    for (const common::Diag &diag : findings)
+        std::printf("diag model=%s %s\n", info.name,
+                    diag.toString().c_str());
+
+    programs += distinct.size();
+    errors += totals.errors;
+    warnings += totals.warnings;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> wanted(argv + 1, argv + argc);
+    size_t models = 0;
+    size_t programs = 0;
+    size_t errors = 0;
+    size_t warnings = 0;
+    bool matchedAll = true;
+
+    for (const std::string &name : wanted) {
+        bool known = false;
+        for (const models::ModelInfo &info : models::allModels())
+            known = known || name == info.name;
+        if (!known) {
+            std::fprintf(stderr, "unknown model '%s' (see `lint model=` "
+                                 "lines for valid names)\n",
+                         name.c_str());
+            matchedAll = false;
+        }
+    }
+    if (!matchedAll)
+        return 2;
+
+    for (const models::ModelInfo &info : models::allModels()) {
+        if (!wanted.empty() &&
+            std::find(wanted.begin(), wanted.end(), info.name) ==
+                wanted.end())
+            continue;
+        lintModel(info, programs, errors, warnings);
+        ++models;
+    }
+
+    const char *severity =
+        errors > 0 ? "error" : (warnings > 0 ? "warning" : "clean");
+    std::printf("lint summary models=%zu programs=%zu errors=%zu "
+                "warnings=%zu max-severity=%s\n",
+                models, programs, errors, warnings, severity);
+    return errors > 0 ? 2 : (warnings > 0 ? 1 : 0);
+}
