@@ -111,6 +111,18 @@ size_t analyzeUseBeforeDef(const BlockGraph &graph,
                            std::vector<common::Diag> &diags);
 size_t analyzeDeadStores(const BlockGraph &graph,
                          std::vector<common::Diag> &diags);
+
+/**
+ * Backward-liveness dead mask: dead[i] = 1 iff instruction i writes only
+ * registers no path ever reads afterwards (and has no memory/control
+ * effect). Instructions flagged in @p removed (optional) are treated as
+ * already deleted -- their reads keep nothing alive -- which is what
+ * lets rewriteDeadCode iterate the mask to a fixpoint. The single source
+ * of truth behind both analyzeDeadStores and the DCE rewrite.
+ */
+std::vector<uint8_t>
+deadInstructionMask(const BlockGraph &graph,
+                    const std::vector<uint8_t> *removed = nullptr);
 size_t analyzeHazards(const BlockGraph &graph,
                       std::vector<common::Diag> &diags);
 size_t analyzeNoalias(const BlockGraph &graph, const LintOptions &options,

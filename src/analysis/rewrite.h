@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dead-code elimination over served packed programs.
+ *
+ * PR 5's dataflow lint layer only *warned* about dead stores in served
+ * schedules; this pass closes the loop. It consumes the same backward-
+ * liveness solution (analysis::deadInstructionMask), iterated to a
+ * fixpoint so a value chain that only fed a dead result dies with it,
+ * deletes the dead instructions from the underlying dsp::Program,
+ * remaps branch labels, and re-packs the compacted program through the
+ * process-wide vliw::PackCache. The rewritten schedule is only served
+ * if it survives the full structural audit (vliw::auditSchedule) and a
+ * re-lint showing zero remaining dead stores and zero Error findings;
+ * otherwise the original program is returned untouched with a Warning
+ * diagnostic -- graceful degradation, never a worse artifact.
+ *
+ * Determinism: the dead mask is a pure function of the input program,
+ * the materialization walks instructions in original program order, and
+ * PackCache keys by content -- so repeated compiles and any thread
+ * count produce bit-identical rewritten schedules.
+ */
+#ifndef GCD2_ANALYSIS_REWRITE_H
+#define GCD2_ANALYSIS_REWRITE_H
+
+#include <memory>
+#include <vector>
+
+#include "common/diag.h"
+#include "dsp/packet.h"
+#include "vliw/packer.h"
+
+namespace gcd2::analysis {
+
+/** Outcome counters of one rewriteDeadCode run. */
+struct DceStats
+{
+    /** Dead instructions deleted from the program. */
+    size_t removedInstructions = 0;
+    /** Net packets saved (original minus re-packed packet count). */
+    size_t removedPackets = 0;
+    /** Liveness fixpoint rounds (>= 1 when anything was removed). */
+    int rounds = 0;
+    /** True iff a rewritten program is being served. */
+    bool rewritten = false;
+};
+
+/** A (possibly) rewritten schedule plus its provenance. */
+struct DceResult
+{
+    /** The schedule to serve: rewritten, or the original on a no-op or
+     *  a rejected rewrite. Never null when the input was non-null. */
+    std::shared_ptr<const dsp::PackedProgram> program;
+    DceStats stats;
+    /** Rejection diagnostics (empty on no-op or clean rewrite). */
+    std::vector<common::Diag> diags;
+};
+
+/**
+ * Delete dead stores/packets from @p packed and re-pack under
+ * @p packOptions (which must be the options the original was packed
+ * with, so the rewritten schedule is policy-consistent).
+ */
+DceResult
+rewriteDeadCode(std::shared_ptr<const dsp::PackedProgram> packed,
+                const vliw::PackOptions &packOptions = {});
+
+} // namespace gcd2::analysis
+
+#endif // GCD2_ANALYSIS_REWRITE_H

@@ -129,18 +129,23 @@ analyzeUseBeforeDef(const BlockGraph &graph, const LintOptions &options,
     return findings;
 }
 
-size_t
-analyzeDeadStores(const BlockGraph &graph, std::vector<Diag> &diags)
+std::vector<uint8_t>
+deadInstructionMask(const BlockGraph &graph,
+                    const std::vector<uint8_t> *removed)
 {
-    const dsp::PackedProgram &packed = *graph.packed;
-    const dsp::Program &prog = packed.program;
+    const dsp::Program &prog = graph.packed->program;
+    std::vector<uint8_t> dead(prog.code.size(), 0);
     if (prog.code.empty())
-        return 0;
+        return dead;
+    const auto skip = [&](size_t i) {
+        return removed != nullptr && (*removed)[i] != 0;
+    };
 
     // Backward liveness. Per block (walking the scheduled order
     // backwards): gen = upward-exposed reads, kill = writes. Nothing is
     // live at program exit -- kernel results leave through stores, not
-    // registers (the buffer ABI).
+    // registers (the buffer ABI). Instructions in @p removed are treated
+    // as already deleted: their reads keep nothing alive.
     DataflowProblem problem;
     problem.direction = DataflowProblem::Direction::Backward;
     problem.meet = DataflowProblem::Meet::Union;
@@ -152,6 +157,8 @@ analyzeDeadStores(const BlockGraph &graph, std::vector<Diag> &diags)
         RegSet &kill = problem.kill[b];
         const std::vector<size_t> &order = graph.scheduled[b];
         for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            if (skip(*it))
+                continue;
             const dsp::Instruction &inst = prog.code[*it];
             const RegSet writes = writeMask(inst);
             gen &= ~writes;
@@ -161,13 +168,13 @@ analyzeDeadStores(const BlockGraph &graph, std::vector<Diag> &diags)
     }
     const DataflowResult live = solveDataflow(graph, problem);
 
-    size_t findings = 0;
-    std::vector<uint8_t> dead(prog.code.size(), 0);
     for (size_t b = 0; b < graph.numBlocks(); ++b) {
         RegSet liveSet = live.out[b];
         const std::vector<size_t> &order = graph.scheduled[b];
         for (auto it = order.rbegin(); it != order.rend(); ++it) {
             const size_t i = *it;
+            if (skip(i))
+                continue;
             const dsp::Instruction &inst = prog.code[i];
             const RegSet writes = writeMask(inst);
             // A register-writing instruction with no other architectural
@@ -175,18 +182,39 @@ analyzeDeadStores(const BlockGraph &graph, std::vector<Diag> &diags)
             // branches have effects beyond registers; NOPs write nothing.
             if (writes != 0 && (writes & liveSet) == 0 &&
                 inst.info().mem != dsp::MemKind::Store &&
-                !inst.isBranch()) {
+                !inst.isBranch())
                 dead[i] = 1;
-                ++findings;
-                diags.push_back(
-                    Diag{DiagSeverity::Warning, "lint",
-                         static_cast<int64_t>(i),
-                         "result of '" + inst.toString() +
-                             "' is never used on any path",
-                         DiagCode::LintDeadStore});
-            }
             liveSet &= ~writes;
             liveSet |= readMask(inst);
+        }
+    }
+    return dead;
+}
+
+size_t
+analyzeDeadStores(const BlockGraph &graph, std::vector<Diag> &diags)
+{
+    const dsp::PackedProgram &packed = *graph.packed;
+    const dsp::Program &prog = packed.program;
+    if (prog.code.empty())
+        return 0;
+
+    const std::vector<uint8_t> dead = deadInstructionMask(graph, nullptr);
+
+    size_t findings = 0;
+    for (size_t b = 0; b < graph.numBlocks(); ++b) {
+        const std::vector<size_t> &order = graph.scheduled[b];
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            const size_t i = *it;
+            if (!dead[i])
+                continue;
+            ++findings;
+            diags.push_back(
+                Diag{DiagSeverity::Warning, "lint",
+                     static_cast<int64_t>(i),
+                     "result of '" + prog.code[i].toString() +
+                         "' is never used on any path",
+                     DiagCode::LintDeadStore});
         }
     }
 

@@ -60,6 +60,9 @@ frameworkOptions(Framework fw)
         options.cost.unroll = kernels::UnrollStrategy::Mid2;
         options.cost.lutOptimization = false;
         options.libraryStyleBoundaries = true;
+        // Library runtimes execute Reshape/Transpose operators as
+        // written -- no cross-operator transform elimination.
+        options.eliminateLayoutTransforms = false;
         // Interpreter dispatch + Hexagon NN call overhead per operator.
         options.perOpOverheadCycles = 12000;
         break;
@@ -73,6 +76,8 @@ frameworkOptions(Framework fw)
         options.cost.unroll = kernels::UnrollStrategy::Mid;
         options.cost.lutOptimization = false;
         options.libraryStyleBoundaries = true;
+        // Same per-call transform execution as the TFLite delegate.
+        options.eliminateLayoutTransforms = false;
         // Leaner ahead-of-time graph runtime.
         options.perOpOverheadCycles = 4000;
         break;

@@ -151,7 +151,7 @@ pooledDim(int64_t in, int64_t k, int64_t stride)
 } // namespace
 
 tensor::Shape
-inferNodeShape(const Node &node, const std::vector<Shape> &inputs)
+naturalNodeShape(const Node &node, const std::vector<Shape> &inputs)
 {
     const NodeAttrs &a = node.attrs;
     auto in = [&](size_t i) -> const Shape & {
@@ -275,6 +275,29 @@ inferNodeShape(const Node &node, const std::vector<Shape> &inputs)
         break;
     }
     GCD2_PANIC("unhandled op in shape inference");
+}
+
+tensor::Shape
+naturalNodeShape(const Graph &graph, const Node &node)
+{
+    std::vector<Shape> inputs;
+    inputs.reserve(node.inputs.size());
+    for (NodeId in : node.inputs)
+        inputs.push_back(graph.node(in).shape);
+    return naturalNodeShape(node, inputs);
+}
+
+tensor::Shape
+inferNodeShape(const Node &node, const std::vector<Shape> &inputs)
+{
+    Shape natural = naturalNodeShape(node, inputs);
+    if (!node.attrs.fusedTransform)
+        return natural;
+    const Shape fused(node.attrs.fusedOutShape);
+    GCD2_REQUIRE(fused.elements() == natural.elements(),
+                 "fused transform changes element count: "
+                     << natural.toString() << " -> " << fused.toString());
+    return fused;
 }
 
 void

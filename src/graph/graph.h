@@ -75,9 +75,19 @@ class Graph
 /** Infer output shapes for every node (inputs must carry shapes). */
 void inferShapes(Graph &graph);
 
-/** Per-op shape inference given resolved input shapes. */
+/** Per-op shape inference given resolved input shapes. Applies the
+ *  fused epilogue transform (attrs.fusedTransform), if any. */
 tensor::Shape inferNodeShape(const Node &node,
                              const std::vector<tensor::Shape> &inputs);
+
+/** The shape the node's kernel computes before any fused epilogue
+ *  transform is applied -- what the compute loops and the cost model's
+ *  scheme mapping see. Equals inferNodeShape when nothing is fused. */
+tensor::Shape naturalNodeShape(const Node &node,
+                               const std::vector<tensor::Shape> &inputs);
+
+/** naturalNodeShape with input shapes resolved from the graph. */
+tensor::Shape naturalNodeShape(const Graph &graph, const Node &node);
 
 } // namespace gcd2::graph
 

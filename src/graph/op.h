@@ -110,6 +110,15 @@ struct NodeAttrs
     bool fusedLut = false;
     /** Fused residual add: the extra input streams through the epilogue. */
     bool fusedAdd = false;
+    /** Fused epilogue layout transform (set by eliminateLayoutTransforms):
+     *  the kernel writes its result directly in the transformed view, so
+     *  no standalone Reshape/Transpose node runs afterwards. */
+    bool fusedTransform = false;
+    /** Final output dims once the fused transform chain is applied. */
+    std::vector<int64_t> fusedOutShape;
+    /** True iff a non-identity Transpose was folded in (the store pass
+     *  permutes; a pure Reshape epilogue is free metadata). */
+    bool fusedTransformPermutes = false;
 };
 
 } // namespace gcd2::graph

@@ -16,6 +16,30 @@ struct PassStats
     int64_t foldedNodes = 0;
     int64_t fusedActivations = 0;
     int64_t removedNodes = 0;
+
+    // eliminateLayoutTransforms, per rule.
+    int64_t cancelledTransforms = 0; ///< inverse pairs / identities gone
+    int64_t sunkTransforms = 0;      ///< pushed below layout-agnostic ops
+    int64_t fusedTransforms = 0;     ///< folded into producer epilogues
+    /** Estimated standalone transform cycles removed from the graph
+     *  (analytic copy estimate; epilogue residue is charged to plans). */
+    int64_t transformCyclesSaved = 0;
+
+    // Extended fusion (OptimizeOptions::extendedFusion).
+    int64_t fusedLuts = 0;
+    int64_t fusedResiduals = 0;
+};
+
+/** Knobs for optimize(). Defaults preserve historical behavior: model
+ *  builders bake in only fold/clamp-fuse/DCE, so built graphs keep their
+ *  Reshape/Transpose nodes and the compile pipeline decides (via
+ *  runtime::CompileOptions) whether to eliminate them. */
+struct OptimizeOptions
+{
+    /** Cancel / sink / fuse layout transforms (Reshape, Transpose). */
+    bool eliminateLayoutTransforms = false;
+    /** Also run fuseLutActivations + fuseResidualAdds. */
+    bool extendedFusion = false;
 };
 
 /**
@@ -53,8 +77,34 @@ int64_t fuseLutActivations(Graph &graph);
  */
 int64_t fuseResidualAdds(Graph &graph);
 
-/** Run the standard pipeline: fold, fuse, eliminate; then re-infer. */
-PassStats optimize(Graph &graph);
+/**
+ * Transform-elimination pass group (SmartMem-style, applied before
+ * layout selection so the plan table prices the reduced graph):
+ *
+ *   1. cancel   -- drop identity Reshape/Transpose nodes, compose
+ *                  Reshape-of-Reshape and Transpose-of-Transpose chains
+ *                  (inverse pairs cancel to identity and vanish);
+ *   2. sink     -- push a transform below a layout-agnostic consumer
+ *                  (unary elementwise, or a binary elementwise whose
+ *                  operands went through identical transforms, or whose
+ *                  other operand is a scalar broadcast), re-exposing
+ *                  producer/consumer pairs the other rules can collapse;
+ *   3. fuse     -- fold a surviving single-consumer transform into its
+ *                  matmul-family producer as an epilogue attribute
+ *                  (attrs.fusedTransform / fusedOutShape): the kernel
+ *                  stores directly in the transformed view and the edge
+ *                  transform cost disappears.
+ *
+ * Runs the rules to a fixpoint with shape re-inference between rounds;
+ * updates stats.{cancelled,sunk,fused}Transforms and
+ * stats.transformCyclesSaved. Returns the number of rewrites applied.
+ */
+int64_t eliminateLayoutTransforms(Graph &graph, PassStats &stats);
+
+/** Run the standard pipeline: fold, fuse, eliminate; then re-infer.
+ *  OptimizeOptions gates the transform-elimination and extended-fusion
+ *  rewrites (both off by default). */
+PassStats optimize(Graph &graph, const OptimizeOptions &options = {});
 
 } // namespace gcd2::graph
 

@@ -142,6 +142,31 @@ struct CompileOptions
      */
     bool runGraphPasses = true;
     /**
+     * Layout-transform elimination (SmartMem-style rewrite group inside
+     * the graph-optimize pass): cancel inverse Reshape/Transpose pairs,
+     * sink transforms below layout-agnostic operators, and fuse
+     * surviving single-consumer transforms into their producer kernels
+     * as epilogue attributes -- the plan table then prices the reduced
+     * transform-edge matrix. Runs on the session-private graph copy
+     * only (requires runGraphPasses). Library-style baselines disable
+     * it: their runtimes execute every transform as written.
+     */
+    bool eliminateLayoutTransforms = true;
+    /**
+     * Dead-code elimination over served schedules: delete instructions
+     * whose results the backward-liveness analysis proves no path ever
+     * reads, re-pack, and serve the compacted schedule -- but only if
+     * it passes the structural audit and re-lints clean (otherwise the
+     * original is served with a Warning). See analysis/rewrite.h.
+     */
+    bool deadCodeElimination = true;
+    /**
+     * DSP-friendly extended operator fusion (the paper's future-work
+     * extension): fold single-consumer LUT nonlinearities and residual
+     * Adds into the producing matmul-family kernel's epilogue.
+     */
+    bool enableExtendedFusion = false;
+    /**
      * Optional cross-compile kernel-simulation cache. When several
      * models (or repeated compiles of one model) are compiled with the
      * same kernel-level options, sharing a cache skips re-simulating

@@ -1,10 +1,12 @@
 #include "runtime/pipeline.h"
 
 #include <cstdlib>
+#include <map>
 #include <set>
 #include <sstream>
 
 #include "analysis/lint.h"
+#include "analysis/rewrite.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "graph/passes.h"
@@ -164,13 +166,40 @@ CompilationSession::passGraphOptimize(PassReport &pass)
         pass.counters.emplace_back("skipped", 1);
         return;
     }
-    const graph::PassStats stats = graph::optimize(graph_);
+    graph::OptimizeOptions optimizeOptions;
+    optimizeOptions.eliminateLayoutTransforms =
+        options_.eliminateLayoutTransforms;
+    optimizeOptions.extendedFusion = options_.enableExtendedFusion;
+    const graph::PassStats stats =
+        graph::optimize(graph_, optimizeOptions);
+    transformCyclesSaved_ = stats.transformCyclesSaved;
     pass.counters.emplace_back(
         "folded", static_cast<uint64_t>(stats.foldedNodes));
     pass.counters.emplace_back(
         "fused", static_cast<uint64_t>(stats.fusedActivations));
     pass.counters.emplace_back(
         "removed", static_cast<uint64_t>(stats.removedNodes));
+    pass.counters.emplace_back(
+        "transform-eliminated",
+        static_cast<uint64_t>(stats.cancelledTransforms +
+                              stats.fusedTransforms));
+    pass.counters.emplace_back(
+        "transform-cancelled",
+        static_cast<uint64_t>(stats.cancelledTransforms));
+    pass.counters.emplace_back(
+        "transform-sunk", static_cast<uint64_t>(stats.sunkTransforms));
+    pass.counters.emplace_back(
+        "transform-fused", static_cast<uint64_t>(stats.fusedTransforms));
+    pass.counters.emplace_back(
+        "transform-cycles-saved",
+        static_cast<uint64_t>(stats.transformCyclesSaved));
+    if (options_.enableExtendedFusion) {
+        pass.counters.emplace_back(
+            "lut-fused", static_cast<uint64_t>(stats.fusedLuts));
+        pass.counters.emplace_back(
+            "residual-fused",
+            static_cast<uint64_t>(stats.fusedResiduals));
+    }
     pass.counters.emplace_back(
         "live-operators", static_cast<uint64_t>(graph_.operatorCount()));
 }
@@ -338,6 +367,18 @@ CompilationSession::passKernelGeneration(PassReport &pass,
     // program of the same canonical kernel planStats just simulated,
     // answered by the PackCache (all hits at this point). Serial and in
     // node order so the retained list is thread-count-invariant.
+    //
+    // Dead-code elimination rewrites each distinct source program once
+    // (memoized by identity -- nodes sharing a cached program share the
+    // rewrite) and must run *before* any fault injection: the injected
+    // corruption targets the served artifact and the auditors must
+    // still catch it, not have DCE repair or mask it.
+    std::map<const dsp::PackedProgram *,
+             std::shared_ptr<const dsp::PackedProgram>>
+        dceMemo;
+    uint64_t dceRemovedInsts = 0;
+    uint64_t dceRemovedPackets = 0;
+    uint64_t dceRewritten = 0;
     for (const graph::Node &node : nodes) {
         if (node.dead)
             continue;
@@ -349,6 +390,24 @@ CompilationSession::passKernelGeneration(PassReport &pass,
             model_->canonicalSchedule(graph_, node.id, plan);
         if (program == nullptr)
             continue; // analytic operator: no kernel program served
+        if (options_.deadCodeElimination) {
+            const auto memo = dceMemo.find(program.get());
+            if (memo != dceMemo.end()) {
+                program = memo->second;
+            } else {
+                analysis::DceResult dce = analysis::rewriteDeadCode(
+                    program, options_.cost.packOptions);
+                for (Diag &diag : dce.diags)
+                    diag_.add(std::move(diag));
+                if (dce.stats.rewritten) {
+                    dceRemovedInsts += dce.stats.removedInstructions;
+                    dceRemovedPackets += dce.stats.removedPackets;
+                    ++dceRewritten;
+                }
+                dceMemo.emplace(program.get(), dce.program);
+                program = std::move(dce.program);
+            }
+        }
         if (options_.testScheduleFault && result.schedules.empty()) {
             // Corrupt a private copy, never the cached program.
             auto corrupt = std::make_shared<dsp::PackedProgram>(*program);
@@ -368,6 +427,9 @@ CompilationSession::passKernelGeneration(PassReport &pass,
     pass.counters.emplace_back(
         "schedules-retained",
         static_cast<uint64_t>(result.schedules.size()));
+    pass.counters.emplace_back("dce-removed-insts", dceRemovedInsts);
+    pass.counters.emplace_back("dce-removed-packets", dceRemovedPackets);
+    pass.counters.emplace_back("dce-rewritten-programs", dceRewritten);
     packDelta.report(pass);
 }
 
@@ -445,6 +507,13 @@ CompilationSession::passCycleAccounting(PassReport &pass,
     pass.counters.emplace_back("total-cycles", result.totals.cycles);
     pass.counters.emplace_back("transform-cycles",
                                result.transformOnly.cycles);
+    // What the transform edges would have cost had graph-optimize not
+    // eliminated standing transforms: the paid cycles plus the analytic
+    // estimate of the cycles the elimination pass removed.
+    pass.counters.emplace_back(
+        "transform-cycles-pre",
+        result.transformOnly.cycles +
+            static_cast<uint64_t>(transformCyclesSaved_));
     pass.counters.emplace_back(
         "live-operators", static_cast<uint64_t>(result.liveOperators));
 }

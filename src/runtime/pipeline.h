@@ -75,6 +75,9 @@ class CompilationSession
     std::optional<select::PlanTable> table_;
     /** Stats of each node's selected plan (kernel-generation output). */
     std::vector<select::NodeExecStats> nodeStats_;
+    /** Standalone transform cycles the graph-optimize pass eliminated
+     *  (analytic estimate; feeds the transform-cycles-pre counter). */
+    int64_t transformCyclesSaved_ = 0;
 };
 
 } // namespace gcd2::runtime

@@ -299,6 +299,30 @@ CostModel::computeStats(const graph::Graph &graph, NodeId id,
     const uint64_t perRowDiv =
         options_.lutOptimization ? kLutDivCycles : kScalarDivCycles;
 
+    // Epilogue of a fused layout transform (attrs.fusedTransform): the
+    // kernel's store pass writes the transformed row-major view
+    // directly. Charged at half the standalone unpack cost (the store
+    // traffic is already paid by the kernel; only the scatter pattern
+    // and setup remain), plus one permute-unit op per output vector
+    // when a non-identity Transpose was folded in. Living in the plan's
+    // cycles keeps auditSelection's Eq.-1 re-derivation consistent: the
+    // edge sees a RowMajor producer layout and prices 0.
+    const auto fusedTransformEpilogue = [&](NodeExecStats &stats) {
+        if (!node.attrs.fusedTransform)
+            return;
+        const tensor::Shape natural =
+            graph::naturalNodeShape(graph, node);
+        uint64_t cycles =
+            transformCost(natural, plan.inLayout, Layout::RowMajor) / 2;
+        if (node.attrs.fusedTransformPermutes) {
+            const uint64_t vectors = static_cast<uint64_t>(
+                (natural.elements() + 127) / 128);
+            cycles += vectors;
+            stats.instructions += vectors;
+        }
+        stats.cycles += cycles;
+    };
+
     switch (node.op) {
       case OpType::Input:
       case OpType::Constant:
@@ -352,15 +376,19 @@ CostModel::computeStats(const graph::Graph &graph, NodeId id,
             stats.bytesLoaded += vectors * 128;
             stats.instructions += 2 * vectors;
         }
+        fusedTransformEpilogue(stats);
         return stats;
       }
 
       case OpType::MatMul: {
         const tensor::Shape &a = graph.node(node.inputs[0]).shape;
+        // node.shape may carry a fused epilogue transform; the kernel's
+        // own output columns come from the natural (pre-transform) shape.
+        const tensor::Shape natural = graph::naturalNodeShape(graph, node);
         MatMulShape shape;
         shape.m = a.dim(a.rank() - 2);
         shape.k = a.dim(a.rank() - 1);
-        shape.n = node.shape.dim(node.shape.rank() - 1);
+        shape.n = natural.dim(natural.rank() - 1);
         const int64_t batch =
             std::max<int64_t>(1, a.elements() / (shape.m * shape.k));
         NodeExecStats stats = matmulStats(shape, plan.scheme, 0);
@@ -377,13 +405,17 @@ CostModel::computeStats(const graph::Graph &graph, NodeId id,
             stats.bytesLoaded += vectors * 128;
             stats.instructions += 2 * vectors;
         }
+        fusedTransformEpilogue(stats);
         return stats;
       }
 
       case OpType::DepthwiseConv2D: {
-        const int64_t c = node.shape.dim(0);
-        const int64_t oh = node.shape.dim(1);
-        const int64_t ow = node.shape.dim(2);
+        // Compute-loop extents come from the natural shape (a fused
+        // transform only changes the stored view).
+        const tensor::Shape natural = graph::naturalNodeShape(graph, node);
+        const int64_t c = natural.dim(0);
+        const int64_t oh = natural.dim(1);
+        const int64_t ow = natural.dim(2);
         const int stride = node.attrs.strideW == 1 ? 1 : 2;
         // Stride-2 tiles yield 128 outputs per pass, stride-1 tiles 256.
         const int64_t tileOut = stride == 2 ? 128 : 256;
@@ -394,7 +426,9 @@ CostModel::computeStats(const graph::Graph &graph, NodeId id,
         // The canonical tile is 3x3; other kernel extents scale by taps.
         rowTiles *= static_cast<double>(node.attrs.kH * node.attrs.kW) /
                     9.0;
-        return depthwiseRowStats(stride).scaled(rowTiles);
+        NodeExecStats stats = depthwiseRowStats(stride).scaled(rowTiles);
+        fusedTransformEpilogue(stats);
+        return stats;
       }
 
       case OpType::Add:
@@ -566,10 +600,12 @@ CostModel::canonicalSchedule(const graph::Graph &graph, NodeId id,
 
       case OpType::MatMul: {
         const tensor::Shape &a = graph.node(node.inputs[0]).shape;
+        // Mirror computeStats: kernel columns from the natural shape.
+        const tensor::Shape natural = graph::naturalNodeShape(graph, node);
         MatMulShape shape;
         shape.m = a.dim(a.rank() - 2);
         shape.k = a.dim(a.rank() - 1);
-        shape.n = node.shape.dim(node.shape.rank() - 1);
+        shape.n = natural.dim(natural.rank() - 1);
         return matmulSchedule(shape, plan.scheme);
       }
 

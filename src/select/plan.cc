@@ -40,7 +40,13 @@ enumeratePlans(const graph::Graph &graph, graph::NodeId id)
             ExecutionPlan plan;
             plan.scheme = scheme;
             plan.inLayout = kernels::schemeLayout(scheme);
-            plan.outLayout = kernels::schemeLayout(scheme);
+            // A fused epilogue transform stores the result directly in
+            // the row-major transformed view: downstream edges price
+            // from RowMajor and the epilogue residue is charged to the
+            // plan's cycles by the cost model (Eq.-1 consistency).
+            plan.outLayout = node.attrs.fusedTransform
+                                 ? Layout::RowMajor
+                                 : kernels::schemeLayout(scheme);
             plans.push_back(plan);
         }
         return plans;

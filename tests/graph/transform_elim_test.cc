@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Layout-transform elimination tests.
+ *
+ * Directed cases exercise each rewrite rule in isolation -- inverse-pair
+ * cancel, sink-through-elementwise (unary, matched binary, scalar
+ * broadcast), and fuse-into-producer -- and a seeded fuzzer builds random
+ * transform-heavy chains and checks that elimination preserves graph
+ * semantics exactly, using a test-local reference evaluator (transforms,
+ * elementwise, and activations over synthetic per-node data).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "graph/passes.h"
+#include "models/builders.h"
+
+namespace gcd2::graph {
+namespace {
+
+using models::constant;
+using models::input;
+
+/** Row-major linear index -> multi-coordinate for @p dims. */
+std::vector<int64_t>
+coordsOf(int64_t index, const std::vector<int64_t> &dims)
+{
+    std::vector<int64_t> c(dims.size(), 0);
+    for (size_t i = dims.size(); i-- > 0;) {
+        c[i] = index % dims[i];
+        index /= dims[i];
+    }
+    return c;
+}
+
+int64_t
+indexOf(const std::vector<int64_t> &c, const std::vector<int64_t> &dims)
+{
+    int64_t index = 0;
+    for (size_t i = 0; i < dims.size(); ++i)
+        index = index * dims[i] + c[i];
+    return index;
+}
+
+/**
+ * Reference evaluator over float tensors for the op subset the
+ * elimination rules touch. Source nodes (Input / Constant) synthesize
+ * deterministic data from their node id, so the same source produces the
+ * same values before and after the rewrite regardless of where the graph
+ * surgery moved its consumers.
+ */
+class RefEvaluator
+{
+  public:
+    std::map<NodeId, std::vector<float>>
+    evaluate(const Graph &graph) const
+    {
+        std::map<NodeId, std::vector<float>> values;
+        for (const Node &node : graph.nodes()) {
+            if (node.dead)
+                continue;
+            values[node.id] = evalNode(graph, node, values);
+        }
+        return values;
+    }
+
+    /** Values feeding each live Output node, in node order. */
+    std::vector<std::vector<float>>
+    outputs(const Graph &graph) const
+    {
+        const auto values = evaluate(graph);
+        std::vector<std::vector<float>> outs;
+        for (const Node &node : graph.nodes())
+            if (!node.dead && node.op == OpType::Output)
+                outs.push_back(values.at(node.id));
+        return outs;
+    }
+
+  private:
+    static std::vector<float>
+    sourceData(const Node &node)
+    {
+        const int64_t n = node.shape.elements();
+        std::vector<float> data(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i)
+            data[static_cast<size_t>(i)] = static_cast<float>(
+                ((static_cast<int64_t>(node.id) * 131 + i * 7919) % 251) -
+                125);
+        return data;
+    }
+
+    std::vector<float>
+    evalNode(const Graph &graph, const Node &node,
+             const std::map<NodeId, std::vector<float>> &values) const
+    {
+        switch (node.op) {
+          case OpType::Input:
+          case OpType::Constant:
+            return sourceData(node);
+          case OpType::Output:
+          case OpType::Reshape:
+            // Row-major view change: same values, same order.
+            return values.at(node.inputs[0]);
+          case OpType::Transpose: {
+            const Node &src = graph.node(node.inputs[0]);
+            const std::vector<float> &in = values.at(node.inputs[0]);
+            const std::vector<int64_t> inDims = src.shape.dims();
+            const std::vector<int64_t> outDims = node.shape.dims();
+            std::vector<float> out(in.size());
+            // out dims: outDims[i] = inDims[perm[i]]; out coordinate
+            // c'[i] = c[perm[i]].
+            for (int64_t idx = 0;
+                 idx < static_cast<int64_t>(in.size()); ++idx) {
+                const auto c = coordsOf(idx, inDims);
+                std::vector<int64_t> cp(c.size());
+                for (size_t i = 0; i < c.size(); ++i)
+                    cp[i] = c[static_cast<size_t>(node.attrs.perm[i])];
+                out[static_cast<size_t>(indexOf(cp, outDims))] =
+                    in[static_cast<size_t>(idx)];
+            }
+            return out;
+          }
+          case OpType::Clamp: {
+            std::vector<float> out = values.at(node.inputs[0]);
+            for (float &v : out)
+                v = std::min(
+                    std::max(v,
+                             static_cast<float>(node.attrs.clampLo)),
+                    static_cast<float>(node.attrs.clampHi));
+            return out;
+          }
+          case OpType::Sigmoid: {
+            std::vector<float> out = values.at(node.inputs[0]);
+            for (float &v : out)
+                v = 1.0f / (1.0f + std::exp(-v / 64.0f));
+            return out;
+          }
+          case OpType::Add:
+          case OpType::Mul:
+          case OpType::Sub: {
+            const std::vector<float> &a = values.at(node.inputs[0]);
+            const std::vector<float> &b = values.at(node.inputs[1]);
+            std::vector<float> out(std::max(a.size(), b.size()));
+            for (size_t i = 0; i < out.size(); ++i) {
+                const float x = a[a.size() == 1 ? 0 : i];
+                const float y = b[b.size() == 1 ? 0 : i];
+                out[i] = node.op == OpType::Add   ? x + y
+                         : node.op == OpType::Mul ? x * y
+                                                  : x - y;
+            }
+            return out;
+          }
+          default:
+            ADD_FAILURE() << "evaluator: unsupported op "
+                          << opTypeName(node.op);
+            return {};
+        }
+    }
+};
+
+/** Run the elimination group the way optimize() would, without the
+ *  unrelated fold/fuse passes (keeps the evaluator's op set closed). */
+PassStats
+runElimination(Graph &g)
+{
+    inferShapes(g);
+    PassStats stats;
+    eliminateLayoutTransforms(g, stats);
+    stats.removedNodes += eliminateDeadNodes(g);
+    inferShapes(g);
+    return stats;
+}
+
+int64_t
+liveTransformCount(const Graph &g)
+{
+    int64_t n = 0;
+    for (const Node &node : g.nodes())
+        if (!node.dead && isLayoutTransformOp(node.op))
+            ++n;
+    return n;
+}
+
+// ---- directed: cancel ------------------------------------------------
+
+TEST(TransformElimTest, InverseTransposePairCancels)
+{
+    Graph g;
+    const NodeId x = input(g, {2, 3, 5});
+    NodeAttrs p1;
+    p1.perm = {1, 2, 0};
+    const NodeId t1 = g.add(OpType::Transpose, {x}, p1);
+    NodeAttrs p2;
+    p2.perm = {2, 0, 1}; // inverse of p1
+    const NodeId t2 = g.add(OpType::Transpose, {t1}, p2);
+    const NodeId act = g.add(OpType::Clamp, {t2});
+    g.add(OpType::Output, {act});
+    inferShapes(g);
+
+    const auto before = RefEvaluator().outputs(g);
+    const PassStats stats = runElimination(g);
+
+    EXPECT_GE(stats.cancelledTransforms, 1);
+    EXPECT_EQ(liveTransformCount(g), 0);
+    EXPECT_EQ(g.node(act).shape, tensor::Shape({2, 3, 5}));
+    EXPECT_EQ(RefEvaluator().outputs(g), before);
+}
+
+TEST(TransformElimTest, ReshapeChainCollapsesToIdentity)
+{
+    Graph g;
+    const NodeId x = input(g, {4, 6});
+    NodeAttrs r1;
+    r1.targetShape = {24};
+    const NodeId a = g.add(OpType::Reshape, {x}, r1);
+    NodeAttrs r2;
+    r2.targetShape = {4, 6}; // back to the input view
+    const NodeId b = g.add(OpType::Reshape, {a}, r2);
+    const NodeId act = g.add(OpType::Sigmoid, {b});
+    g.add(OpType::Output, {act});
+    inferShapes(g);
+
+    const auto before = RefEvaluator().outputs(g);
+    const PassStats stats = runElimination(g);
+
+    EXPECT_GE(stats.cancelledTransforms, 1);
+    EXPECT_EQ(liveTransformCount(g), 0);
+    EXPECT_EQ(RefEvaluator().outputs(g), before);
+}
+
+// ---- directed: sink --------------------------------------------------
+
+TEST(TransformElimTest, SinkThroughUnaryElementwiseEnablesCancel)
+{
+    // transpose -> sigmoid -> inverse transpose: the sink moves the
+    // first transform past the sigmoid, the cancel rule then removes
+    // the now-adjacent inverse pair.
+    Graph g;
+    const NodeId x = input(g, {3, 4, 5});
+    NodeAttrs p1;
+    p1.perm = {2, 1, 0};
+    const NodeId t1 = g.add(OpType::Transpose, {x}, p1);
+    const NodeId act = g.add(OpType::Sigmoid, {t1});
+    NodeAttrs p2;
+    p2.perm = {2, 1, 0};
+    const NodeId t2 = g.add(OpType::Transpose, {act}, p2);
+    g.add(OpType::Output, {t2});
+    inferShapes(g);
+
+    const auto before = RefEvaluator().outputs(g);
+    const PassStats stats = runElimination(g);
+
+    EXPECT_GE(stats.sunkTransforms, 1);
+    EXPECT_GE(stats.cancelledTransforms, 1);
+    EXPECT_EQ(liveTransformCount(g), 0);
+    EXPECT_EQ(RefEvaluator().outputs(g), before);
+}
+
+TEST(TransformElimTest, SinkBelowMatchedBinaryAdd)
+{
+    // Both Add operands went through the same transpose: one transform
+    // below the Add replaces two above it.
+    Graph g;
+    const NodeId x = input(g, {4, 6});
+    const NodeId y = input(g, {4, 6});
+    NodeAttrs p;
+    p.perm = {1, 0};
+    const NodeId tx = g.add(OpType::Transpose, {x}, p);
+    const NodeId ty = g.add(OpType::Transpose, {y}, p);
+    const NodeId sum = g.add(OpType::Add, {tx, ty});
+    g.add(OpType::Output, {sum});
+    inferShapes(g);
+
+    const auto before = RefEvaluator().outputs(g);
+    const PassStats stats = runElimination(g);
+
+    EXPECT_GE(stats.sunkTransforms, 2);
+    EXPECT_EQ(liveTransformCount(g), 1);
+    EXPECT_EQ(RefEvaluator().outputs(g), before);
+}
+
+TEST(TransformElimTest, SinkBelowScalarBroadcastMul)
+{
+    Graph g;
+    const NodeId x = input(g, {2, 3, 4});
+    const NodeId scale = constant(g, {1});
+    NodeAttrs p;
+    p.perm = {1, 0, 2};
+    const NodeId t = g.add(OpType::Transpose, {x}, p);
+    const NodeId scaled = g.add(OpType::Mul, {t, scale});
+    NodeAttrs pInv;
+    pInv.perm = {1, 0, 2};
+    const NodeId back = g.add(OpType::Transpose, {scaled}, pInv);
+    g.add(OpType::Output, {back});
+    inferShapes(g);
+
+    const auto before = RefEvaluator().outputs(g);
+    const PassStats stats = runElimination(g);
+
+    EXPECT_GE(stats.sunkTransforms, 1);
+    EXPECT_EQ(liveTransformCount(g), 0); // sink exposed the inverse pair
+    EXPECT_EQ(RefEvaluator().outputs(g), before);
+}
+
+// ---- directed: fuse --------------------------------------------------
+
+TEST(TransformElimTest, FuseSingleConsumerTransformIntoMatMul)
+{
+    Graph g;
+    const NodeId x = input(g, {128, 312});
+    const NodeId w = constant(g, {312, 64});
+    const NodeId mm = g.add(OpType::MatMul, {x, w});
+    NodeAttrs p;
+    p.perm = {1, 0};
+    const NodeId t = g.add(OpType::Transpose, {mm}, p);
+    g.add(OpType::Output, {t});
+    inferShapes(g);
+
+    PassStats stats;
+    eliminateLayoutTransforms(g, stats);
+    eliminateDeadNodes(g);
+    inferShapes(g);
+
+    EXPECT_EQ(stats.fusedTransforms, 1);
+    EXPECT_EQ(liveTransformCount(g), 0);
+    const Node &node = g.node(mm);
+    EXPECT_TRUE(node.attrs.fusedTransform);
+    EXPECT_TRUE(node.attrs.fusedTransformPermutes);
+    EXPECT_EQ(node.attrs.fusedOutShape, (std::vector<int64_t>{64, 128}));
+    // Inferred shape is the transformed view; the natural shape stays
+    // the kernel's compute shape.
+    EXPECT_EQ(node.shape, tensor::Shape({64, 128}));
+    EXPECT_EQ(naturalNodeShape(g, node), tensor::Shape({128, 64}));
+}
+
+TEST(TransformElimTest, SharedProducerTransformIsNotFused)
+{
+    // The matmul feeds a direct consumer besides the transform, so
+    // fusing the epilogue would corrupt the direct consumer's view.
+    Graph g;
+    const NodeId x = input(g, {64, 96});
+    const NodeId w = constant(g, {96, 32});
+    const NodeId mm = g.add(OpType::MatMul, {x, w});
+    NodeAttrs p;
+    p.perm = {1, 0};
+    const NodeId t = g.add(OpType::Transpose, {mm}, p);
+    const NodeId a = g.add(OpType::Sigmoid, {t});
+    const NodeId b = g.add(OpType::Clamp, {mm}); // direct consumer
+    g.add(OpType::Output, {a});
+    g.add(OpType::Output, {b});
+    inferShapes(g);
+
+    PassStats stats;
+    eliminateLayoutTransforms(g, stats);
+    EXPECT_EQ(stats.fusedTransforms, 0);
+    EXPECT_FALSE(g.node(mm).attrs.fusedTransform);
+    EXPECT_GE(liveTransformCount(g), 1); // may sink, but never vanishes
+}
+
+TEST(TransformElimTest, MultiConsumerTransformFusesWhenProducerIsSole)
+{
+    // The transform itself fanning out is fine: every consumer is
+    // rewired to the producer's fused output, which all of them wanted.
+    Graph g;
+    const NodeId x = input(g, {64, 96});
+    const NodeId w = constant(g, {96, 32});
+    const NodeId mm = g.add(OpType::MatMul, {x, w});
+    NodeAttrs p;
+    p.perm = {1, 0};
+    const NodeId t = g.add(OpType::Transpose, {mm}, p);
+    const NodeId a = g.add(OpType::Sigmoid, {t});
+    const NodeId b = g.add(OpType::Clamp, {t}); // second consumer
+    const NodeId sum = g.add(OpType::Add, {a, b});
+    g.add(OpType::Output, {sum});
+    inferShapes(g);
+
+    PassStats stats;
+    eliminateLayoutTransforms(g, stats);
+    eliminateDeadNodes(g);
+    EXPECT_EQ(stats.fusedTransforms, 1);
+    EXPECT_TRUE(g.node(mm).attrs.fusedTransform);
+    EXPECT_EQ(liveTransformCount(g), 0);
+    // Both former consumers now read the fused matmul directly.
+    EXPECT_EQ(g.node(a).inputs[0], mm);
+    EXPECT_EQ(g.node(b).inputs[0], mm);
+}
+
+// ---- seeded fuzz: semantics preserved on random chains ---------------
+
+TEST(TransformElimFuzzTest, RandomTransformChainsPreserveSemantics)
+{
+    Rng rng(0xE11A1234ULL);
+    for (int round = 0; round < 30; ++round) {
+        Graph g;
+        std::vector<int64_t> dims = {2 + rng.uniformInt(1, 3),
+                                     2 + rng.uniformInt(1, 4),
+                                     2 + rng.uniformInt(1, 4)};
+        NodeId cur = input(g, dims);
+        const int len = static_cast<int>(rng.uniformInt(3, 10));
+        for (int i = 0; i < len; ++i) {
+            switch (rng.uniformInt(0, 4)) {
+              case 0: { // random 3-d transpose
+                NodeAttrs p;
+                p.perm = {0, 1, 2};
+                for (int s = 2; s > 0; --s)
+                    std::swap(
+                        p.perm[static_cast<size_t>(s)],
+                        p.perm[static_cast<size_t>(
+                            rng.uniformInt(0, s))]);
+                std::vector<int64_t> nd(3);
+                for (size_t d = 0; d < 3; ++d)
+                    nd[d] = dims[static_cast<size_t>(p.perm[d])];
+                dims = nd;
+                cur = g.add(OpType::Transpose, {cur}, p);
+                break;
+              }
+              case 1: { // flatten-or-restore reshape
+                NodeAttrs r;
+                if (rng.uniformInt(0, 1) != 0) {
+                    r.targetShape = {dims[0] * dims[1] * dims[2]};
+                } else {
+                    r.targetShape = dims;
+                }
+                const bool flat = r.targetShape.size() == 1;
+                cur = g.add(OpType::Reshape, {cur}, r);
+                if (flat) {
+                    // Restore 3-d so later transposes stay valid.
+                    NodeAttrs back;
+                    back.targetShape = dims;
+                    cur = g.add(OpType::Reshape, {cur}, back);
+                }
+                break;
+              }
+              case 2:
+                cur = g.add(OpType::Sigmoid, {cur});
+                break;
+              case 3: {
+                NodeAttrs c;
+                c.clampLo = -50;
+                c.clampHi = 50;
+                cur = g.add(OpType::Clamp, {cur}, c);
+                break;
+              }
+              default: {
+                const NodeId s = constant(g, {1});
+                cur = g.add(OpType::Mul, {cur, s});
+                break;
+              }
+            }
+        }
+        g.add(OpType::Output, {cur});
+        inferShapes(g);
+
+        const auto before = RefEvaluator().outputs(g);
+        const int64_t transformsBefore = liveTransformCount(g);
+        const PassStats stats = runElimination(g);
+        EXPECT_LE(liveTransformCount(g), transformsBefore)
+            << "round " << round;
+        EXPECT_GE(stats.transformCyclesSaved, 0) << "round " << round;
+        EXPECT_EQ(RefEvaluator().outputs(g), before)
+            << "round " << round << ": elimination changed semantics";
+        if (HasFailure())
+            break;
+    }
+}
+
+} // namespace
+} // namespace gcd2::graph

