@@ -8,12 +8,12 @@
  *  (b) Eight MatMul kernels (O1..O8) comparing No-unroll, best-Out,
  *      best-Mid, GCD2 adaptive, and exhaustive search.
  */
-#include <chrono>
 #include <iostream>
 #include <map>
 #include <tuple>
 
 #include "common/table.h"
+#include "common/timer.h"
 #include "kernels/runner.h"
 #include "kernels/unroll.h"
 
@@ -50,7 +50,7 @@ cyclesFor(const MatMulShape &shape, const UnrollChoice &choice)
 UnrollChoice
 exhaustiveBest(const MatMulShape &shape, double *searchSeconds = nullptr)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const gcd2::Timer timer;
     UnrollChoice best{1, 1, 1};
     uint64_t bestCycles = UINT64_MAX;
     for (const UnrollChoice &choice : kernels::unrollCandidates()) {
@@ -61,9 +61,7 @@ exhaustiveBest(const MatMulShape &shape, double *searchSeconds = nullptr)
         }
     }
     if (searchSeconds)
-        *searchSeconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
+        *searchSeconds = timer.seconds();
     return best;
 }
 

@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "vliw/pack_cache.h"
 #include "vliw/packer.h"
 
 using namespace gcd2;
@@ -221,6 +222,18 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\nGeomean speedup (fast over reference): "
               << fmtSpeedup(geomean) << "\n";
+
+    // Managed cache tier bound: route every bench program through the
+    // process-wide PackCache and check the LRU capacity held.
+    vliw::PackCache &packCache = vliw::PackCache::global();
+    for (const BenchCase &c : cases)
+        (void)packCache.lookupOrPack(c.prog, c.opts);
+    if (packCache.size() > packCache.capacity()) {
+        std::cerr << "FATAL: PackCache exceeded capacity ("
+                  << packCache.size() << " > " << packCache.capacity()
+                  << ")\n";
+        return 1;
+    }
 
     std::ofstream out(outPath);
     out << json.str();

@@ -271,6 +271,16 @@ main(int argc, char **argv)
     std::cout << "\nGeomean speedup (decoded over reference): "
               << fmtSpeedup(geomean) << "\n";
 
+    // Managed cache tier bound: every decoded run above went through the
+    // process-wide DecodeCache; check the LRU capacity held.
+    const dsp::DecodeCache &decodeCache = dsp::DecodeCache::global();
+    if (decodeCache.size() > decodeCache.capacity()) {
+        std::cerr << "FATAL: DecodeCache exceeded capacity ("
+                  << decodeCache.size() << " > " << decodeCache.capacity()
+                  << ")\n";
+        return 1;
+    }
+
     std::ofstream out(outPath);
     out << json.str();
     out.flush();

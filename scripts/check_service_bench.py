@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Gate compile-service results against the checked-in baseline.
+
+Usage: check_service_bench.py BENCH_service.json bench/service_baseline.json
+
+Two properties are enforced:
+
+ - Warm start: serving ResNet-50 from the on-disk artifact store (in a
+   fresh service, i.e. across a process restart) must be at least 50x
+   faster than the cold compile -- the hard floor from the service
+   design -- and must not regress more than 50% below the baseline's
+   measured speedup. The speedup is a same-machine ratio, comparable
+   across CI runners in a way absolute milliseconds are not.
+
+ - Coalescing: 16 concurrent identical submissions must be served by
+   exactly one compile.
+"""
+import json
+import sys
+
+ALLOWED_REGRESSION = 0.50
+HARD_FLOOR = 50.0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    speedup = current["warm_speedup"]
+    expected = baseline["warm_speedup"]
+    threshold = max(expected * (1.0 - ALLOWED_REGRESSION), HARD_FLOOR)
+
+    print(f"cold compile:   {current['cold_compile_ms']:.1f} ms")
+    print(f"warm start:     {current['warm_start_ms']:.1f} ms")
+    print(f"warm speedup:   measured {speedup:.1f}x, "
+          f"baseline {expected:.1f}x, threshold {threshold:.1f}x")
+    print(f"coalescing:     {current['coalesce_submits']} submits -> "
+          f"{current['coalesce_compiles']} compile(s)")
+    print(f"cached serving: {current['cached_requests_per_sec']:.0f} "
+          f"requests/s")
+
+    failed = False
+    if speedup < threshold:
+        print(f"FAIL: warm-start speedup {speedup:.1f}x below "
+              f"{threshold:.1f}x", file=sys.stderr)
+        failed = True
+    if current["coalesce_compiles"] != 1:
+        print(f"FAIL: {current['coalesce_submits']} identical concurrent "
+              f"submissions took {current['coalesce_compiles']} compiles "
+              f"(want exactly 1)", file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,20 +2,23 @@
  * @file
  * Intra-packet hazard lint (see analysis/lint.h): write-write register
  * conflicts, slot/unit resource overcommit, and a differential check of
- * the packer's mask-based co-pack delay claims (FastIdg::copackDelay)
- * against the ground-truth dsp::deps classification. The cross-check is
- * deliberately against classifyDependency, not the pruned FastIdg edge
- * set -- the edge set is what the packer already believes, so checking
- * against it would verify nothing.
+ * the packer's mask-based co-pack delay claims against the ground-truth
+ * dsp::deps classification. The claims are queried from dsp::CopackModel
+ * -- the exact tables vliw::FastIdg embeds and forwards its copackDelay
+ * to, built here in one O(n) pass over the whole program instead of one
+ * scheduling graph per block (the lint never needs edges, ranks, or
+ * critical paths). The cross-check is deliberately against
+ * classifyDependency, not the pruned FastIdg edge set -- the edge set is
+ * what the packer already believes, so checking against it would verify
+ * nothing.
  */
-#include <memory>
 #include <sstream>
 #include <string>
 
 #include "analysis/lint.h"
 #include "dsp/alias.h"
+#include "dsp/copack.h"
 #include "dsp/deps.h"
-#include "vliw/fast_idg.h"
 
 namespace gcd2::analysis {
 
@@ -53,17 +56,7 @@ analyzeHazards(const BlockGraph &graph, std::vector<Diag> &diags)
     };
 
     const dsp::AliasAnalysis alias(prog);
-
-    // Per-block FastIdg instances built lazily: only blocks that actually
-    // hold a multi-instruction packet pay for construction.
-    std::vector<std::unique_ptr<vliw::FastIdg>> idgs(graph.numBlocks());
-    auto idgFor = [&](size_t b) -> const vliw::FastIdg & {
-        if (!idgs[b])
-            idgs[b] = std::make_unique<vliw::FastIdg>(
-                prog, graph.cfg.blocks[b], alias,
-                vliw::SoftDepPolicy::Aware);
-        return *idgs[b];
-    };
+    const dsp::CopackModel copack(prog, alias);
 
     for (size_t p = 0; p < packed.packets.size(); ++p) {
         const std::vector<size_t> &insts = packed.packets[p].insts;
@@ -120,14 +113,13 @@ analyzeHazards(const BlockGraph &graph, std::vector<Diag> &diags)
                        " has no feasible slot assignment");
 
         // --- delay-claim cross-check -------------------------------
-        // The block the packet schedules (a legal packet never spans
-        // blocks; spanning ones are flagged by the label checks).
+        // Packets spanning blocks carry no packer claim to verify (a
+        // legal packet never spans; spanning ones are flagged by the
+        // label checks), so skip them here.
         const int b = graph.blockOf(insts.front());
         if (b < 0 ||
             insts.back() >= graph.cfg.blocks[static_cast<size_t>(b)].end)
             continue;
-        const vliw::FastIdg &idg = idgFor(static_cast<size_t>(b));
-        const size_t begin = graph.cfg.blocks[static_cast<size_t>(b)].begin;
         for (size_t k = 0; k < insts.size(); ++k)
             for (size_t m = 0; m < k; ++m) {
                 const size_t early = insts[m];
@@ -137,8 +129,7 @@ analyzeHazards(const BlockGraph &graph, std::vector<Diag> &diags)
                     alias.mayAlias(early, late));
                 const int expected =
                     dep.kind == dsp::DepKind::Soft ? dep.penalty : 0;
-                const int claimed =
-                    idg.copackDelay(early - begin, late - begin);
+                const int claimed = copack.copackDelay(early, late);
                 if (claimed != expected) {
                     std::ostringstream msg;
                     msg << "packet " << p << ": packer claims "

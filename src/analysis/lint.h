@@ -23,9 +23,10 @@
  *    register conflicts (Error LintWriteConflict), resource overcommit
  *    beyond the slot/unit model (Error LintSlotOvercommit), and a
  *    differential check of the packer's mask-based co-pack delay claims
- *    (FastIdg::copackDelay) against the ground-truth dsp::deps
- *    classification (Error LintDelayClaim) -- deliberately *not* checked
- *    against the pruned FastIdg edge set, which would be circular.
+ *    (dsp::CopackModel::copackDelay, the tables FastIdg embeds) against
+ *    the ground-truth dsp::deps classification (Error LintDelayClaim) --
+ *    deliberately *not* checked against the pruned FastIdg edge set,
+ *    which would be circular.
  *
  *  - Noalias audit (noalias_audit.cc): per-block symbolic address
  *    derivation (base symbol + constant offset). A same-block,

@@ -27,19 +27,13 @@ regName(int uid)
 RegSet
 readMask(const dsp::Instruction &inst)
 {
-    RegSet mask = 0;
-    for (int uid : dsp::regReads(inst))
-        mask |= RegSet{1} << uid;
-    return mask;
+    return dsp::regMasks(inst).reads;
 }
 
 RegSet
 writeMask(const dsp::Instruction &inst)
 {
-    RegSet mask = 0;
-    for (int uid : dsp::regWrites(inst))
-        mask |= RegSet{1} << uid;
-    return mask;
+    return dsp::regMasks(inst).writes;
 }
 
 /** Per-block register write masks, in scheduled order (order does not

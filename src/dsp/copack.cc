@@ -1,0 +1,30 @@
+#include "dsp/copack.h"
+
+namespace gcd2::dsp {
+
+CopackModel::CopackModel(const Program &prog, size_t begin, size_t count,
+                         const AliasAnalysis &alias)
+    : begin_(begin), alias_(&alias)
+{
+    readMask_.assign(count, 0);
+    writeMask_.assign(count, 0);
+    memPair_.assign(count, 0);
+    fwdPenalty_.assign(count, 1);
+    latency_.resize(count);
+
+    for (size_t i = 0; i < count; ++i) {
+        const Instruction &inst = prog.code[begin + i];
+        const OpcodeInfo &meta = inst.info();
+        const RegMasks masks = regMasks(inst);
+        readMask_[i] = masks.reads;
+        writeMask_[i] = masks.writes;
+        if (meta.mem == MemKind::Load)
+            memPair_[i] = 1;
+        else if (meta.mem == MemKind::Store)
+            memPair_[i] = 2;
+        fwdPenalty_[i] = meta.unit == UnitKind::Mult ? 2 : 1;
+        latency_[i] = meta.latency;
+    }
+}
+
+} // namespace gcd2::dsp

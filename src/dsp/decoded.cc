@@ -81,15 +81,6 @@ hashProgram(const PackedProgram &packed, Fnv &fnv)
 
 // Decoding ------------------------------------------------------------
 
-uint64_t
-maskOf(const std::vector<int> &uids)
-{
-    uint64_t mask = 0;
-    for (int uid : uids)
-        mask |= uint64_t{1} << uid;
-    return mask;
-}
-
 /** Do the vector registers written by @p inst overlap its vector source
  *  registers in a way the fast lane loops do not model (their snapshot
  *  semantics differ from the interpreter's lane-ordered read/write
@@ -904,8 +895,9 @@ DecodedProgram::build(const PackedProgram &packed)
             di.delay = delay[k];
             di.rawIndex = static_cast<uint32_t>(idx);
             di.imm = inst.imm;
-            di.writeMask = maskOf(regWrites(inst));
-            dp.readMask |= maskOf(regReads(inst));
+            const RegMasks masks = regMasks(inst);
+            di.writeMask = masks.writes;
+            dp.readMask |= masks.reads;
             if (inst.isBranch()) {
                 const auto label = static_cast<size_t>(inst.imm);
                 di.target =
@@ -1012,49 +1004,12 @@ std::shared_ptr<const DecodedProgram>
 DecodeCache::lookupOrDecode(const PackedProgram &packed)
 {
     const DecodeKey key = fingerprintProgram(packed);
-    {
-        std::shared_lock lock(mu_);
-        const auto it = map_.find(key);
-        if (it != map_.end()) {
-            ++hits_;
-            return it->second;
-        }
-    }
-
-    // Decode outside the lock: two threads may race on the same program,
-    // but decoding is a pure function so either result is usable.
-    std::shared_ptr<const DecodedProgram> dec =
-        DecodedProgram::build(packed);
-
-    std::unique_lock lock(mu_);
-    ++misses_;
-    if (map_.size() >= maxEntries_) {
-        map_.clear();
-        ++evictions_;
-    }
-    const auto [it, inserted] = map_.emplace(key, dec);
-    return inserted ? dec : it->second;
-}
-
-DecodeCache::Stats
-DecodeCache::stats() const
-{
-    std::shared_lock lock(mu_);
-    return Stats{hits_, misses_, evictions_};
-}
-
-size_t
-DecodeCache::size() const
-{
-    std::shared_lock lock(mu_);
-    return map_.size();
-}
-
-void
-DecodeCache::clear()
-{
-    std::unique_lock lock(mu_);
-    map_.clear();
+    if (auto hit = lru_.lookup(key))
+        return *std::move(hit);
+    // Decode outside the shard lock: two threads may race on the same
+    // program, but decoding is a pure function so either result is
+    // usable; the first insert wins.
+    return lru_.insert(key, DecodedProgram::build(packed));
 }
 
 DecodeCache &

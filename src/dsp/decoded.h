@@ -41,10 +41,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "dsp/functional_sim.h"
 #include "dsp/packet.h"
 #include "dsp/timing_stats.h"
@@ -143,36 +142,32 @@ TimingStats runDecoded(const DecodedProgram &dec, RegisterFile &regs,
                        uint64_t maxPackets = 1ULL << 32);
 
 /**
- * Thread-safe cache of decoded programs keyed on content fingerprint.
- *
- * Concurrent lookups take a shared lock; a miss decodes outside the lock
- * (two threads may race to decode the same program; both results are
- * identical and one wins the insert). When the cache exceeds its entry
- * budget it is cleared wholesale -- an epoch eviction that bounds memory
- * without per-entry bookkeeping on the hot path.
+ * Thread-safe bounded cache of decoded programs keyed on content
+ * fingerprint -- a member of the managed cache tier (common::ShardedLru,
+ * DESIGN.md section 14). A miss decodes outside any lock (two threads
+ * may race to decode the same program; both results are identical and
+ * one wins the insert); when a shard exceeds its share of the capacity
+ * the least-recently-used entry is evicted, so a long-lived service
+ * keeps its hot decoded kernels instead of periodically dropping the
+ * whole working set.
  */
 class DecodeCache
 {
   public:
-    explicit DecodeCache(size_t maxEntries = 4096)
-        : maxEntries_(maxEntries)
-    {
-    }
+    explicit DecodeCache(size_t maxEntries = 4096) : lru_(maxEntries) {}
 
     /** Decoded form of @p packed, reusing a cached copy when present. */
     std::shared_ptr<const DecodedProgram>
     lookupOrDecode(const PackedProgram &packed);
 
-    struct Stats
-    {
-        uint64_t hits = 0;
-        uint64_t misses = 0;
-        uint64_t evictions = 0; ///< whole-cache epoch clears
-    };
+    /** hits / misses / per-entry LRU evictions. */
+    using Stats = common::CacheStats;
 
-    Stats stats() const;
-    size_t size() const;
-    void clear();
+    Stats stats() const { return lru_.stats(); }
+    size_t size() const { return lru_.size(); }
+    /** Enforced entry bound (size() never exceeds it). */
+    size_t capacity() const { return lru_.capacity(); }
+    void clear() { lru_.clear(); }
 
     /** Process-wide cache used by TimingSimulator::run. */
     static DecodeCache &global();
@@ -186,14 +181,9 @@ class DecodeCache
         }
     };
 
-    mutable std::shared_mutex mu_;
-    std::unordered_map<DecodeKey, std::shared_ptr<const DecodedProgram>,
+    common::ShardedLru<DecodeKey, std::shared_ptr<const DecodedProgram>,
                        KeyHash>
-        map_;
-    size_t maxEntries_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t evictions_ = 0;
+        lru_;
 };
 
 } // namespace gcd2::dsp

@@ -1,26 +1,8 @@
 #include "dsp/deps.h"
 
-#include <algorithm>
-
 namespace gcd2::dsp {
 
 namespace {
-
-/** True if @p uid appears in @p uids. */
-bool
-contains(const std::vector<int> &uids, int uid)
-{
-    return std::find(uids.begin(), uids.end(), uid) != uids.end();
-}
-
-bool
-intersects(const std::vector<int> &a, const std::vector<int> &b)
-{
-    for (int uid : a)
-        if (contains(b, uid))
-            return true;
-    return false;
-}
 
 /** Soft-dependency stall for a RAW on a scalar producer. */
 int
@@ -31,35 +13,35 @@ scalarForwardPenalty(const Instruction &producer)
 
 } // namespace
 
-std::vector<int>
+RegList
 regWrites(const Instruction &inst)
 {
-    std::vector<int> out;
+    RegList out;
     const OpcodeInfo &meta = inst.info();
     if (inst.dst[0].valid()) {
-        out.push_back(regUid(inst.dst[0]));
+        out.push(regUid(inst.dst[0]));
         if (meta.writesPair)
-            out.push_back(regUid(inst.dst[0]) + 1);
+            out.push(regUid(inst.dst[0]) + 1);
     }
     return out;
 }
 
-std::vector<int>
+RegList
 regReads(const Instruction &inst)
 {
-    std::vector<int> out;
+    RegList out;
     const OpcodeInfo &meta = inst.info();
     if (inst.src[0].valid()) {
-        out.push_back(regUid(inst.src[0]));
+        out.push(regUid(inst.src[0]));
         if (meta.readsPairSrc)
-            out.push_back(regUid(inst.src[0]) + 1);
+            out.push(regUid(inst.src[0]) + 1);
     }
     if (inst.src[1].valid())
-        out.push_back(regUid(inst.src[1]));
+        out.push(regUid(inst.src[1]));
     if (meta.readsDst && inst.dst[0].valid()) {
-        out.push_back(regUid(inst.dst[0]));
+        out.push(regUid(inst.dst[0]));
         if (meta.writesPair)
-            out.push_back(regUid(inst.dst[0]) + 1);
+            out.push(regUid(inst.dst[0]) + 1);
     }
     return out;
 }
@@ -86,49 +68,40 @@ Dependency
 classifyDependency(const Instruction &early, const Instruction &late,
                    bool memMayAlias)
 {
-    const auto earlyWrites = regWrites(early);
-    const auto earlyReads = regReads(early);
-    const auto lateWrites = regWrites(late);
-    const auto lateReads = regReads(late);
+    const RegMasks e = regMasks(early);
+    const RegMasks l = regMasks(late);
 
-    Dependency dep;
-
-    auto upgrade = [&](DepKind kind, int penalty) {
-        if (kind > dep.kind)
-            dep = Dependency{kind, penalty};
-        else if (kind == dep.kind && kind == DepKind::Soft)
-            dep.penalty = std::max(dep.penalty, penalty);
-    };
+    // The hard aspects dominate in the severity lattice, so each can
+    // return as soon as it holds; among the soft aspects a penalized
+    // scalar RAW dominates a free WAR.
 
     // Memory ordering: any pair involving a store that may alias.
     const MemKind earlyMem = early.info().mem;
     const MemKind lateMem = late.info().mem;
     if (earlyMem != MemKind::None && lateMem != MemKind::None &&
         (earlyMem == MemKind::Store || lateMem == MemKind::Store) &&
-        memMayAlias) {
-        upgrade(DepKind::Hard, 0);
-    }
-
-    // RAW: late reads what early writes.
-    for (int uid : earlyWrites) {
-        if (contains(lateReads, uid)) {
-            if (uid < kNumScalarRegs)
-                upgrade(DepKind::Soft, scalarForwardPenalty(early));
-            else
-                upgrade(DepKind::Hard, 0);
-        }
-    }
+        memMayAlias)
+        return Dependency{DepKind::Hard, 0};
 
     // WAW: both write the same register.
-    if (intersects(earlyWrites, lateWrites))
-        upgrade(DepKind::Hard, 0);
+    if ((e.writes & l.writes) != 0)
+        return Dependency{DepKind::Hard, 0};
+
+    // RAW: late reads what early writes. No intra-packet forwarding
+    // path exists for 1024-bit vector results, so a vector RAW is hard;
+    // a scalar RAW is soft at the producer's forwarding penalty.
+    const uint64_t raw = e.writes & l.reads;
+    if ((raw & kVectorUidMask) != 0)
+        return Dependency{DepKind::Hard, 0};
+    if (raw != 0)
+        return Dependency{DepKind::Soft, scalarForwardPenalty(early)};
 
     // WAR: late writes what early reads (free when co-packed: all reads
     // happen in the read stage before any write commits).
-    if (intersects(earlyReads, lateWrites))
-        upgrade(DepKind::Soft, 0);
+    if ((e.reads & l.writes) != 0)
+        return Dependency{DepKind::Soft, 0};
 
-    return dep;
+    return Dependency{};
 }
 
 } // namespace gcd2::dsp

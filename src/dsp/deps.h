@@ -26,7 +26,7 @@
 #ifndef GCD2_DSP_DEPS_H
 #define GCD2_DSP_DEPS_H
 
-#include <vector>
+#include <cstdint>
 
 #include "dsp/isa.h"
 
@@ -55,14 +55,79 @@ regUid(const Operand &op)
     return op.cls == RegClass::Scalar ? op.idx : kNumScalarRegs + op.idx;
 }
 
+/** Uid-mask of the scalar (forwardable) register file. */
+inline constexpr uint64_t kScalarUidMask =
+    (uint64_t{1} << kNumScalarRegs) - 1;
+/** Uid-mask of the vector register file. */
+inline constexpr uint64_t kVectorUidMask = ~kScalarUidMask;
+
+/**
+ * Fixed-capacity register-uid list. An instruction touches at most five
+ * uids (paired destination, paired first source, second source), so the
+ * accessor functions below can return by value without heap traffic --
+ * they sit on every dependence-classification and dataflow hot path.
+ */
+class RegList
+{
+  public:
+    void push(int uid) { uids_[count_++] = static_cast<int8_t>(uid); }
+
+    const int8_t *begin() const { return uids_; }
+    const int8_t *end() const { return uids_ + count_; }
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    int operator[](size_t i) const { return uids_[i]; }
+
+  private:
+    int8_t uids_[5] = {};
+    uint8_t count_ = 0;
+};
+
 /** Register uids written by an instruction (including pair highs). */
-std::vector<int> regWrites(const Instruction &inst);
+RegList regWrites(const Instruction &inst);
 
 /**
  * Register uids read by an instruction (sources, pair-source highs, and
  * read-modify-write destinations).
  */
-std::vector<int> regReads(const Instruction &inst);
+RegList regReads(const Instruction &inst);
+
+/** An instruction's register footprint as uid bit-masks. */
+struct RegMasks
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+/**
+ * Mask form of regReads/regWrites, computed in a handful of shifts --
+ * the hot-path representation (classifyDependency, the IDG builders,
+ * the hazard lint, and the decoder all work on these masks).
+ */
+inline RegMasks
+regMasks(const Instruction &inst)
+{
+    const OpcodeInfo &meta = inst.info();
+    RegMasks m;
+    if (inst.dst[0].valid()) {
+        const int uid = regUid(inst.dst[0]);
+        uint64_t bits = uint64_t{1} << uid;
+        if (meta.writesPair)
+            bits |= uint64_t{1} << (uid + 1);
+        m.writes = bits;
+        if (meta.readsDst)
+            m.reads |= bits;
+    }
+    if (inst.src[0].valid()) {
+        const int uid = regUid(inst.src[0]);
+        m.reads |= uint64_t{1} << uid;
+        if (meta.readsPairSrc)
+            m.reads |= uint64_t{1} << (uid + 1);
+    }
+    if (inst.src[1].valid())
+        m.reads |= uint64_t{1} << regUid(inst.src[1]);
+    return m;
+}
 
 /**
  * Classify the dependency of @p late on @p early (program order:

@@ -9,6 +9,7 @@
 #include "analysis/rewrite.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "dsp/decoded.h"
 #include "graph/passes.h"
 #include "kernels/elementwise.h"
 #include "kernels/matmul.h"
@@ -30,16 +31,22 @@ using select::PlanTable;
 namespace {
 
 /**
- * Report how much VLIW packing a pass caused: hit/miss/time deltas of
- * the process-wide PackCache between the pass's start and end. Cache
- * hits are programs the pass requested that had already been packed
- * (this compile or an earlier one); misses are fresh pack runs, whose
- * wall-clock is charged as pack-us.
+ * Report how much work a pass pushed through the process-wide cache
+ * tier: hit/miss/eviction (and pack-time) deltas of the PackCache and
+ * DecodeCache between the pass's start and end. Cache hits are requests
+ * answered by an earlier pack/decode (this compile or a previous one);
+ * misses are fresh runs, whose packing wall-clock is charged as
+ * pack-us; evictions count entries the LRU capacity bound displaced
+ * while the pass ran.
  */
 class PackCacheDelta
 {
   public:
-    PackCacheDelta() : start_(vliw::PackCache::global().stats()) {}
+    PackCacheDelta()
+        : start_(vliw::PackCache::global().stats()),
+          decodeStart_(dsp::DecodeCache::global().stats())
+    {
+    }
 
     void
     report(PassReport &pass) const
@@ -49,14 +56,25 @@ class PackCacheDelta
         pass.counters.emplace_back("pack-hits", now.hits - start_.hits);
         pass.counters.emplace_back("pack-misses",
                                    now.misses - start_.misses);
+        pass.counters.emplace_back("pack-evictions",
+                                   now.evictions - start_.evictions);
         pass.counters.emplace_back(
             "pack-us",
             static_cast<uint64_t>(
                 (now.packSeconds - start_.packSeconds) * 1e6));
+        const dsp::DecodeCache::Stats dec =
+            dsp::DecodeCache::global().stats();
+        pass.counters.emplace_back("decode-hits",
+                                   dec.hits - decodeStart_.hits);
+        pass.counters.emplace_back("decode-misses",
+                                   dec.misses - decodeStart_.misses);
+        pass.counters.emplace_back("decode-evictions",
+                                   dec.evictions - decodeStart_.evictions);
     }
 
   private:
     vliw::PackCache::Stats start_;
+    dsp::DecodeCache::Stats decodeStart_;
 };
 
 } // namespace
@@ -210,6 +228,7 @@ CompilationSession::passPlanTable(PassReport &pass)
     model_.emplace(options_.cost, options_.costCache);
     const uint64_t hits0 = model_->cache().hits();
     const uint64_t misses0 = model_->cache().misses();
+    const uint64_t evictions0 = model_->cache().evictions();
     const PackCacheDelta packDelta;
     table_.emplace(graph_, *model_, &pool_);
 
@@ -229,6 +248,8 @@ CompilationSession::passPlanTable(PassReport &pass)
                                model_->cache().misses() - misses0);
     pass.counters.emplace_back("cache-hits",
                                model_->cache().hits() - hits0);
+    pass.counters.emplace_back("cache-evictions",
+                               model_->cache().evictions() - evictions0);
     packDelta.report(pass);
 }
 

@@ -34,57 +34,4 @@ CostKeyHash::operator()(const CostKey &key) const noexcept
     return static_cast<size_t>(hash);
 }
 
-CostCache::Shard &
-CostCache::shardFor(const CostKey &key)
-{
-    return shards_[CostKeyHash{}(key) % kShardCount];
-}
-
-NodeExecStats
-CostCache::lookupOrCompute(const CostKey &key,
-                           const std::function<NodeExecStats()> &compute)
-{
-    Shard &shard = shardFor(key);
-    {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        const auto it = shard.map.find(key);
-        if (it != shard.map.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            return it->second;
-        }
-    }
-
-    // Simulate outside the lock; the value is a pure function of the
-    // key, so a concurrent duplicate computation is wasted work at
-    // worst, never a different answer.
-    const NodeExecStats value = compute();
-    misses_.fetch_add(1, std::memory_order_relaxed);
-
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto [it, inserted] = shard.map.try_emplace(key, value);
-    return it->second;
-}
-
-size_t
-CostCache::size() const
-{
-    size_t total = 0;
-    for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        total += shard.map.size();
-    }
-    return total;
-}
-
-void
-CostCache::clear()
-{
-    for (Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.map.clear();
-    }
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-}
-
 } // namespace gcd2::select

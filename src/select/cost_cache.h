@@ -10,11 +10,14 @@
  * and the full VLIW packing configuration) is part of the key, which
  * replaces the descriptor strings the cache used to be keyed on.
  *
- * The table is sharded: each shard is an unordered_map behind its own
- * mutex, so concurrent plan costing from the compile-time worker pool
- * scales without a global lock. Values are returned *by value*; the old
- * reference-returning API could hand out a reference that a concurrent
- * rehash of the underlying map would invalidate.
+ * The table is the managed cache tier's sharded bounded LRU
+ * (common::ShardedLru, DESIGN.md section 14): each shard sits behind its
+ * own mutex, so concurrent plan costing from the compile-time worker
+ * pool scales without a global lock, and capacity overflow evicts the
+ * least-recently-used entry instead of growing without bound. Values
+ * are returned *by value*; the old reference-returning API could hand
+ * out a reference that a concurrent rehash of the underlying map would
+ * invalidate.
  *
  * Because an entry's value is a pure function of its key, the cache is
  * safe to share between CostModel instances (and across compiles): if
@@ -25,13 +28,10 @@
 #ifndef GCD2_SELECT_COST_CACHE_H
 #define GCD2_SELECT_COST_CACHE_H
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <unordered_map>
 
+#include "common/lru_cache.h"
 #include "select/exec_stats.h"
 #include "vliw/packer.h"
 
@@ -74,6 +74,14 @@ struct CostKeyHash
 class CostCache
 {
   public:
+    /** @param maxEntries capacity bound (entries are ~100 bytes, so the
+     *        default comfortably covers every distinct canonical kernel
+     *        the model zoo generates while still bounding a service). */
+    explicit CostCache(size_t maxEntries = 1 << 16)
+        : lru_(maxEntries, kShardCount)
+    {
+    }
+
     /**
      * Return the stats for @p key, running @p compute on a miss. The
      * computation executes outside the shard lock, so concurrent misses
@@ -82,34 +90,27 @@ class CostCache
      */
     NodeExecStats
     lookupOrCompute(const CostKey &key,
-                    const std::function<NodeExecStats()> &compute);
-
-    /** Cached entry count (approximate under concurrency). */
-    size_t size() const;
-
-    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-    uint64_t
-    misses() const
+                    const std::function<NodeExecStats()> &compute)
     {
-        return misses_.load(std::memory_order_relaxed);
+        return lru_.lookupOrCompute(key, compute);
     }
 
-    void clear();
+    /** Cached entry count (approximate under concurrency). */
+    size_t size() const { return lru_.size(); }
+    /** Enforced entry bound (size() never exceeds it). */
+    size_t capacity() const { return lru_.capacity(); }
+
+    uint64_t hits() const { return lru_.stats().hits; }
+    uint64_t misses() const { return lru_.stats().misses; }
+    uint64_t evictions() const { return lru_.stats().evictions; }
+    common::CacheStats stats() const { return lru_.stats(); }
+
+    void clear() { lru_.clear(); }
 
   private:
     static constexpr size_t kShardCount = 16;
 
-    struct Shard
-    {
-        mutable std::mutex mutex;
-        std::unordered_map<CostKey, NodeExecStats, CostKeyHash> map;
-    };
-
-    Shard &shardFor(const CostKey &key);
-
-    std::array<Shard, kShardCount> shards_;
-    std::atomic<uint64_t> hits_{0};
-    std::atomic<uint64_t> misses_{0};
+    common::ShardedLru<CostKey, NodeExecStats, CostKeyHash> lru_;
 };
 
 } // namespace gcd2::select

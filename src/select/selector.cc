@@ -1,28 +1,17 @@
 #include "select/selector.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace gcd2::select {
 
 using graph::NodeId;
 using graph::OpType;
 
-namespace {
-
-double
-elapsedSeconds(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
-
-} // namespace
 
 PlanTable::PlanTable(const graph::Graph &graph, const CostModel &model,
                      ThreadPool *pool)
@@ -375,7 +364,7 @@ freeComponents(const PlanTable &table)
 SelectorResult
 selectLocal(const PlanTable &table)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const Timer timer;
     SelectorResult result;
     result.selection = emptySelection(table);
     for (const graph::Node &node : table.graph().nodes()) {
@@ -393,14 +382,14 @@ selectLocal(const PlanTable &table)
         result.evaluations += plans.size();
     }
     result.selection.totalCost = aggCost(table, result.selection);
-    result.seconds = elapsedSeconds(start);
+    result.seconds = timer.seconds();
     return result;
 }
 
 SelectorResult
 selectChainDp(const PlanTable &table)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const Timer timer;
     const graph::Graph &graph = table.graph();
 
     // Eq. 2, generalized from chains to in-trees: process in topological
@@ -540,7 +529,7 @@ selectChainDp(const PlanTable &table)
     }
 
     result.selection.totalCost = aggCost(table, result.selection);
-    result.seconds = elapsedSeconds(start);
+    result.seconds = timer.seconds();
     return result;
 }
 
@@ -557,14 +546,14 @@ selectGlobalOptimal(const PlanTable &table, size_t maxFreeNodes,
                          << " free operators would take too long (cap "
                          << maxFreeNodes << ")");
     }
-    const auto start = std::chrono::steady_clock::now();
+    const Timer timer;
     SelectorResult result;
     result.selection = emptySelection(table);
     solveSubsetOptimal(table, table.freeNodes(), result.selection,
                        result.evaluations, maxEvaluations,
                        result.truncated);
     result.selection.totalCost = aggCost(table, result.selection);
-    result.seconds = elapsedSeconds(start);
+    result.seconds = timer.seconds();
     return result;
 }
 
@@ -627,7 +616,7 @@ selectGcd2Partitioned(const PlanTable &table, int maxPartition,
                       ThreadPool *pool, uint64_t maxEvaluations)
 {
     GCD2_REQUIRE(maxPartition >= 1, "partition bound must be positive");
-    const auto start = std::chrono::steady_clock::now();
+    const Timer timer;
 
     SelectorResult result;
     result.selection = emptySelection(table);
@@ -671,7 +660,7 @@ selectGcd2Partitioned(const PlanTable &table, int maxPartition,
         result.truncated = result.truncated || flag != 0;
 
     result.selection.totalCost = aggCost(table, result.selection);
-    result.seconds = elapsedSeconds(start);
+    result.seconds = timer.seconds();
     return result;
 }
 

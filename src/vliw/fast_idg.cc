@@ -25,29 +25,10 @@ struct TempEdge
 
 FastIdg::FastIdg(const dsp::Program &prog, const BasicBlock &block,
                  const dsp::AliasAnalysis &alias, SoftDepPolicy policy)
-    : n_(block.size()), blockBegin_(block.begin), alias_(&alias)
+    : n_(block.size()), blockBegin_(block.begin),
+      pair_(prog, block.begin, block.size(), alias)
 {
     const size_t n = n_;
-    latency_.resize(n);
-    readMask_.assign(n, 0);
-    writeMask_.assign(n, 0);
-    memPair_.assign(n, 0);
-    fwdPenalty_.assign(n, 1);
-
-    for (size_t i = 0; i < n; ++i) {
-        const dsp::Instruction &inst = prog.code[blockBegin_ + i];
-        const dsp::OpcodeInfo &meta = inst.info();
-        latency_[i] = meta.latency;
-        for (int uid : dsp::regReads(inst))
-            readMask_[i] |= uint64_t{1} << uid;
-        for (int uid : dsp::regWrites(inst))
-            writeMask_[i] |= uint64_t{1} << uid;
-        if (meta.mem == dsp::MemKind::Load)
-            memPair_[i] = 1;
-        else if (meta.mem == dsp::MemKind::Store)
-            memPair_[i] = 2;
-        fwdPenalty_[i] = meta.unit == dsp::UnitKind::Mult ? 2 : 1;
-    }
 
     // Chain-based candidate generation: rather than classifying all
     // O(n^2) pairs, walk the block once keeping, per register uid, the
@@ -74,19 +55,19 @@ FastIdg::FastIdg(const dsp::Program &prog, const BasicBlock &block,
             }
         };
 
-        for (uint64_t bits = readMask_[j]; bits != 0; bits &= bits - 1)
+        for (uint64_t bits = pair_.readMask(j); bits != 0; bits &= bits - 1)
             consider(lastWriter[std::countr_zero(bits)]);
-        for (uint64_t bits = writeMask_[j]; bits != 0; bits &= bits - 1) {
+        for (uint64_t bits = pair_.writeMask(j); bits != 0; bits &= bits - 1) {
             const int uid = std::countr_zero(bits);
             consider(lastWriter[uid]);
             for (int32_t r : readersSince[uid])
                 consider(r);
         }
-        if (memPair_[j] == 2) {
+        if (pair_.memClass(j) == 2) {
             for (int32_t m : memSoFar)
                 if (alias.mayAlias(blockBegin_ + m, blockBegin_ + j))
                     consider(m);
-        } else if (memPair_[j] == 1) {
+        } else if (pair_.memClass(j) == 1) {
             for (int32_t s : storesSoFar)
                 if (alias.mayAlias(blockBegin_ + s, blockBegin_ + j))
                     consider(s);
@@ -97,14 +78,14 @@ FastIdg::FastIdg(const dsp::Program &prog, const BasicBlock &block,
             const auto ui = static_cast<size_t>(i);
             uint8_t hard = 0;
             int8_t pen = 0;
-            if ((writeMask_[ui] & writeMask_[j]) != 0 ||
-                (writeMask_[ui] & readMask_[j] & kVectorUidMask) != 0 ||
-                (memPair_[ui] != 0 && memPair_[j] != 0 &&
-                 (memPair_[ui] | memPair_[j]) > 1 &&
+            if ((pair_.writeMask(ui) & pair_.writeMask(j)) != 0 ||
+                (pair_.writeMask(ui) & pair_.readMask(j) & kVectorUidMask) != 0 ||
+                (pair_.memClass(ui) != 0 && pair_.memClass(j) != 0 &&
+                 (pair_.memClass(ui) | pair_.memClass(j)) > 1 &&
                  alias.mayAlias(blockBegin_ + ui, blockBegin_ + j))) {
                 hard = 1;
-            } else if ((writeMask_[ui] & readMask_[j]) != 0) {
-                pen = fwdPenalty_[ui];
+            } else if ((pair_.writeMask(ui) & pair_.readMask(j)) != 0) {
+                pen = pair_.forwardPenalty(ui);
                 if (policy == SoftDepPolicy::AsHard && pen > 0) {
                     hard = 1;
                     pen = 0;
@@ -115,17 +96,17 @@ FastIdg::FastIdg(const dsp::Program &prog, const BasicBlock &block,
                 TempEdge{i, static_cast<int32_t>(j), hard, pen});
         }
 
-        for (uint64_t bits = writeMask_[j]; bits != 0; bits &= bits - 1) {
+        for (uint64_t bits = pair_.writeMask(j); bits != 0; bits &= bits - 1) {
             const int uid = std::countr_zero(bits);
             readersSince[uid].clear();
             lastWriter[uid] = static_cast<int32_t>(j);
         }
-        for (uint64_t bits = readMask_[j]; bits != 0; bits &= bits - 1)
+        for (uint64_t bits = pair_.readMask(j); bits != 0; bits &= bits - 1)
             readersSince[std::countr_zero(bits)].push_back(
                 static_cast<int32_t>(j));
-        if (memPair_[j] != 0) {
+        if (pair_.memClass(j) != 0) {
             memSoFar.push_back(static_cast<int32_t>(j));
-            if (memPair_[j] == 2)
+            if (pair_.memClass(j) == 2)
                 storesSoFar.push_back(static_cast<int32_t>(j));
         }
     }
@@ -154,11 +135,11 @@ FastIdg::FastIdg(const dsp::Program &prog, const BasicBlock &block,
             const auto ui = static_cast<size_t>(i);
             uint8_t hard = 0;
             int8_t pen = 0;
-            if ((writeMask_[ui] & writeMask_[ub]) != 0 ||
-                (writeMask_[ui] & readMask_[ub] & kVectorUidMask) != 0) {
+            if ((pair_.writeMask(ui) & pair_.writeMask(ub)) != 0 ||
+                (pair_.writeMask(ui) & pair_.readMask(ub) & kVectorUidMask) != 0) {
                 hard = 1; // WAW / vector RAW (branches are not memory)
-            } else if ((writeMask_[ui] & readMask_[ub]) != 0) {
-                pen = fwdPenalty_[ui]; // scalar RAW into the condition
+            } else if ((pair_.writeMask(ui) & pair_.readMask(ub)) != 0) {
+                pen = pair_.forwardPenalty(ui); // scalar RAW into the condition
                 if (policy == SoftDepPolicy::AsHard && pen > 0) {
                     hard = 1;
                     pen = 0;
@@ -349,14 +330,14 @@ FastIdg::collectFree(std::vector<size_t> &out) const
 void
 FastIdg::recomputeNode(size_t p)
 {
-    int64_t dist = latency_[p];
+    int64_t dist = pair_.latency(p);
     int32_t next = -1;
     for (int32_t s = succOff_[p]; s < succOff_[p + 1]; ++s) {
         const auto j = static_cast<size_t>(succDst_[s]);
         if (removed_[j])
             continue;
-        if (latency_[p] + dist_[j] > dist) {
-            dist = latency_[p] + dist_[j];
+        if (pair_.latency(p) + dist_[j] > dist) {
+            dist = pair_.latency(p) + dist_[j];
             next = succDst_[s];
         }
     }
@@ -377,14 +358,14 @@ FastIdg::rebuildDistances()
     for (size_t ri = n_; ri-- > 0;) {
         if (removed_[ri])
             continue;
-        int64_t dist = latency_[ri];
+        int64_t dist = pair_.latency(ri);
         int32_t next = -1;
         for (int32_t s = succOff_[ri]; s < succOff_[ri + 1]; ++s) {
             const auto j = static_cast<size_t>(succDst_[s]);
             if (removed_[j])
                 continue;
-            if (latency_[ri] + dist_[j] > dist) {
-                dist = latency_[ri] + dist_[j];
+            if (pair_.latency(ri) + dist_[j] > dist) {
+                dist = pair_.latency(ri) + dist_[j];
                 next = succDst_[s];
             }
         }

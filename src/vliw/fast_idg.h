@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "dsp/alias.h"
+#include "dsp/copack.h"
 #include "dsp/decoded.h"
 #include "dsp/deps.h"
 #include "vliw/cfg.h"
@@ -73,7 +74,7 @@ class FastIdg
     size_t instIndex(size_t i) const { return blockBegin_ + i; }
     int order(size_t i) const { return order_[i]; }
     int predCount(size_t i) const { return predCount_[i]; }
-    int latency(size_t i) const { return latency_[i]; }
+    int latency(size_t i) const { return pair_.latency(i); }
 
     bool removed(size_t i) const { return removed_[i] != 0; }
     size_t remainingCount() const { return remaining_; }
@@ -132,32 +133,24 @@ class FastIdg
 
     /**
      * Stall cycles instruction @p b pays when co-packed after @p a
-     * (a < b, node ids): the classifyDependency soft penalty, or 0 for
-     * hard / free / independent pairs -- exactly the pairs packetCost and
-     * pipelinedBlockCost charge, with no heap traffic.
+     * (a < b, node ids). Forwards to the embedded dsp::CopackModel, so
+     * the delay the hazard lint re-derives from that model is the very
+     * value the packer's cost functions charge.
      */
     int copackDelay(size_t a, size_t b) const
     {
-        if ((writeMask_[a] & writeMask_[b]) != 0)
-            return 0; // WAW: hard
-        if ((writeMask_[a] & readMask_[b] & kVectorUidMask) != 0)
-            return 0; // vector RAW: hard
-        if (memPair_[a] != 0 && memPair_[b] != 0 &&
-            (memPair_[a] | memPair_[b]) > 1 &&
-            alias_->mayAlias(blockBegin_ + a, blockBegin_ + b))
-            return 0; // store-involving may-alias pair: hard
-        if ((writeMask_[a] & readMask_[b]) != 0)
-            return fwdPenalty_[a]; // scalar RAW: soft, penalized
-        return 0;                  // WAR or independent: free
+        return pair_.copackDelay(a, b);
     }
 
-    uint64_t readMask(size_t i) const { return readMask_[i]; }
-    uint64_t writeMask(size_t i) const { return writeMask_[i]; }
+    /** The embedded pair-classification tables. */
+    const dsp::CopackModel &pairModel() const { return pair_; }
+
+    uint64_t readMask(size_t i) const { return pair_.readMask(i); }
+    uint64_t writeMask(size_t i) const { return pair_.writeMask(i); }
 
     /** Register-uid mask of the scalar (forwardable) register file. */
-    static constexpr uint64_t kScalarUidMask =
-        (uint64_t{1} << dsp::kNumScalarRegs) - 1;
-    static constexpr uint64_t kVectorUidMask = ~kScalarUidMask;
+    static constexpr uint64_t kScalarUidMask = dsp::kScalarUidMask;
+    static constexpr uint64_t kVectorUidMask = dsp::kVectorUidMask;
 
   private:
     void rebuildDistances();
@@ -168,7 +161,10 @@ class FastIdg
 
     size_t n_ = 0;
     size_t blockBegin_ = 0;
-    const dsp::AliasAnalysis *alias_ = nullptr;
+
+    /** Pair-classification tables (masks, memory class, penalties,
+     *  latencies), shared with every pair-only consumer. */
+    dsp::CopackModel pair_;
 
     // Flat CSR adjacency (edges point forward in program order; succs of
     // each node ascend by target id, matching the reference edge order).
@@ -177,14 +173,7 @@ class FastIdg
     std::vector<uint8_t> succHard_, predHard_;
     std::vector<int8_t> succPen_, predPen_;
 
-    std::vector<int32_t> order_, predCount_, latency_;
-
-    // Pair-classification tables.
-    std::vector<uint64_t> readMask_, writeMask_;
-    /** 0 = not memory, 1 = load, 2 = store (so `(a|b) > 1` means "a
-     *  store is involved"). */
-    std::vector<uint8_t> memPair_;
-    std::vector<int8_t> fwdPenalty_;
+    std::vector<int32_t> order_, predCount_;
 
     // Incremental scheduling state.
     std::vector<uint8_t> removed_;

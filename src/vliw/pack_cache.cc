@@ -1,7 +1,6 @@
 #include "vliw/pack_cache.h"
 
 #include <bit>
-#include <mutex>
 #include <type_traits>
 
 #include "common/timer.h"
@@ -89,56 +88,35 @@ std::shared_ptr<const dsp::PackedProgram>
 PackCache::lookupOrPack(const dsp::Program &prog, const PackOptions &opts)
 {
     const PackKey key = fingerprintForPacking(prog, opts);
-    {
-        std::shared_lock lock(mu_);
-        const auto it = map_.find(key);
-        if (it != map_.end()) {
-            ++hits_;
-            return it->second;
-        }
-    }
+    if (auto hit = lru_.lookup(key))
+        return *std::move(hit);
 
     // Pack outside the lock: two threads may race on the same program,
-    // but packing is a pure function so either result is usable.
+    // but packing is a pure function so either result is usable; the
+    // first insert wins.
     Timer timer;
     auto packed =
         std::make_shared<const dsp::PackedProgram>(pack(prog, opts));
-    const double seconds = timer.seconds();
-
-    std::unique_lock lock(mu_);
-    ++misses_;
-    packSeconds_ += seconds;
-    if (map_.size() >= maxEntries_) {
-        map_.clear();
-        ++evictions_;
-    }
-    const auto [it, inserted] = map_.emplace(key, packed);
-    return inserted ? packed : it->second;
+    packNanos_.fetch_add(static_cast<uint64_t>(timer.seconds() * 1e9),
+                         std::memory_order_relaxed);
+    return lru_.insert(key, std::move(packed));
 }
 
 PackCache::Stats
 PackCache::stats() const
 {
-    std::shared_lock lock(mu_);
-    return Stats{hits_, misses_, evictions_, packSeconds_};
-}
-
-size_t
-PackCache::size() const
-{
-    std::shared_lock lock(mu_);
-    return map_.size();
+    const common::CacheStats s = lru_.stats();
+    return Stats{s.hits, s.misses, s.evictions,
+                 static_cast<double>(
+                     packNanos_.load(std::memory_order_relaxed)) *
+                     1e-9};
 }
 
 void
 PackCache::clear()
 {
-    std::unique_lock lock(mu_);
-    map_.clear();
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
-    packSeconds_ = 0.0;
+    lru_.clear();
+    packNanos_.store(0, std::memory_order_relaxed);
 }
 
 PackCache &

@@ -15,17 +15,20 @@
  * Keying mirrors DecodeCache: two independent FNV-1a lanes over the
  * instruction stream, labels and noalias ABI declaration, plus the
  * packing-relevant PackOptions fields (policy and the exact bit patterns
- * of the Eq. 4 tunables). Eviction is the same wholesale epoch clear at
- * the entry budget -- no per-entry bookkeeping on the hot path.
+ * of the Eq. 4 tunables). Storage is the managed cache tier's bounded
+ * sharded LRU (common::ShardedLru, DESIGN.md section 14): per-entry
+ * least-recently-used eviction at the capacity bound, so the hot
+ * canonical kernels survive indefinitely instead of being dropped by
+ * the old wholesale epoch clear.
  */
 #ifndef GCD2_VLIW_PACK_CACHE_H
 #define GCD2_VLIW_PACK_CACHE_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
-#include <unordered_map>
 
+#include "common/lru_cache.h"
 #include "vliw/packer.h"
 
 namespace gcd2::vliw {
@@ -53,9 +56,7 @@ PackKey fingerprintForPacking(const dsp::Program &prog,
 class PackCache
 {
   public:
-    explicit PackCache(size_t maxEntries = 4096) : maxEntries_(maxEntries)
-    {
-    }
+    explicit PackCache(size_t maxEntries = 4096) : lru_(maxEntries) {}
 
     /** Packed form of @p prog under @p opts, cached by content. */
     std::shared_ptr<const dsp::PackedProgram>
@@ -65,13 +66,15 @@ class PackCache
     {
         uint64_t hits = 0;
         uint64_t misses = 0;
-        uint64_t evictions = 0; ///< whole-cache epoch clears
+        uint64_t evictions = 0; ///< per-entry LRU evictions
         /** Wall-clock seconds spent inside pack() on misses. */
         double packSeconds = 0.0;
     };
 
     Stats stats() const;
-    size_t size() const;
+    size_t size() const { return lru_.size(); }
+    /** Enforced entry bound (size() never exceeds it). */
+    size_t capacity() const { return lru_.capacity(); }
     void clear();
 
     /** Process-wide cache used by kernels::runKernel and the pipeline. */
@@ -86,15 +89,11 @@ class PackCache
         }
     };
 
-    mutable std::shared_mutex mu_;
-    std::unordered_map<PackKey, std::shared_ptr<const dsp::PackedProgram>,
-                       KeyHash>
-        map_;
-    size_t maxEntries_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t evictions_ = 0;
-    double packSeconds_ = 0.0;
+    common::ShardedLru<PackKey,
+                       std::shared_ptr<const dsp::PackedProgram>, KeyHash>
+        lru_;
+    /** Nanoseconds spent packing on misses (atomic: misses race). */
+    std::atomic<uint64_t> packNanos_{0};
 };
 
 } // namespace gcd2::vliw

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Compile-service CLI: exercises the whole managed cache tier from the
+ * command line (DESIGN.md section 14) and prints the service report.
+ *
+ * Each requested model is submitted `--repeat` times (default 3). The
+ * first submission of a model compiles it (or warm-starts from the
+ * artifact store when `--dir` points at a populated directory); repeats
+ * are served from the in-memory model LRU. Run the tool twice with the
+ * same `--dir` to see every compile turn into an artifact warm start.
+ *
+ * Usage:
+ *   gcd2_serve [--dir DIR] [--workers N] [--repeat N] [--target-ms MS]
+ *              [model-name ...]          (default: the whole zoo)
+ *
+ *   --dir DIR       artifact directory (enables the on-disk store)
+ *   --workers N     service worker threads (default: hardware)
+ *   --repeat N      submissions per model (default 3)
+ *   --target-ms MS  wall-clock target driving the adaptive selector
+ *                   budget (default 0 = fixed budget)
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "models/zoo.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace gcd2;
+
+const char *
+pathName(service::Ticket::Path path)
+{
+    switch (path) {
+      case service::Ticket::Path::Rejected:
+        return "rejected";
+      case service::Ticket::Path::ModelCacheHit:
+        return "model-cache";
+      case service::Ticket::Path::Coalesced:
+        return "coalesced";
+      case service::Ticket::Path::Scheduled:
+        return "scheduled";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServiceOptions options;
+    int repeat = 3;
+    std::vector<std::string> wanted;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--dir")
+            options.artifactDir = value();
+        else if (arg == "--workers")
+            options.numWorkers = std::atoi(value());
+        else if (arg == "--repeat")
+            repeat = std::atoi(value());
+        else if (arg == "--target-ms")
+            options.targetCompileMs = std::atof(value());
+        else
+            wanted.push_back(arg);
+    }
+
+    for (const std::string &name : wanted) {
+        bool known = false;
+        for (const models::ModelInfo &info : models::allModels())
+            known = known || name == info.name;
+        if (!known) {
+            std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+            return 2;
+        }
+    }
+
+    service::CompileService service{std::move(options)};
+
+    std::vector<service::Ticket> tickets;
+    std::vector<const char *> names;
+    for (const models::ModelInfo &info : models::allModels()) {
+        if (!wanted.empty() &&
+            std::find(wanted.begin(), wanted.end(), info.name) ==
+                wanted.end())
+            continue;
+        const graph::Graph g = models::buildModel(info.id);
+        for (int r = 0; r < repeat; ++r) {
+            tickets.push_back(service.submit(g, "cli"));
+            names.push_back(info.name);
+        }
+    }
+    service.drain();
+
+    for (size_t t = 0; t < tickets.size(); ++t) {
+        const service::Ticket &ticket = tickets[t];
+        if (!ticket.accepted) {
+            std::printf("serve model=%s path=%s (%s)\n", names[t],
+                        pathName(ticket.path),
+                        ticket.rejection.message.c_str());
+            continue;
+        }
+        const auto model = ticket.result.get();
+        std::printf("serve model=%s path=%s cycles=%llu programs=%zu\n",
+                    names[t], pathName(ticket.path),
+                    static_cast<unsigned long long>(model->totals.cycles),
+                    model->schedules.size());
+    }
+
+    std::fputs(service.report().toString().c_str(), stdout);
+    return 0;
+}
