@@ -4,13 +4,15 @@
 Usage: check_audit.py [path/to/audit_smoke]
 
 Drives the audit_smoke tool (default ./build/tools/audit_smoke) through
-its three modes and fails CI when:
+its four modes and fails CI when:
   - any seeded corruption audits clean (findings=0) -- the auditor has a
     blind spot;
   - any control (uncorrupted) artifact is flagged -- the auditor has a
     false-positive;
   - any of the ten zoo models compiles with Error diagnostics or off the
-    requested selection rung -- the production pipeline is degraded.
+    requested selection rung -- the production pipeline is degraded --
+    under either the default gcd2 rung (clean-zoo) or the PBQP rung with
+    the Deep audit (pbqp-zoo).
 """
 import re
 import subprocess
@@ -58,13 +60,13 @@ def check_corruptions(lines: list[str], mode: str) -> int:
     return failures
 
 
-def check_zoo(lines: list[str]) -> int:
+def check_zoo(lines: list[str], mode: str = "clean-zoo") -> int:
     failures = 0
     models = 0
     for line in lines:
         match = re.fullmatch(
-            r"clean-zoo model=(?P<name>\S+) errors=(?P<e>\d+) "
-            r"warnings=(?P<w>\d+) rung=(?P<r>\d+)", line
+            rf"{mode} model=(?P<name>\S+) errors=(?P<e>\d+) "
+            r"warnings=(?P<w>\d+) rung=(?P<r>\d+).*", line
         )
         if not match:
             continue
@@ -92,6 +94,7 @@ def main() -> int:
     failures += check_corruptions(
         run_mode(binary, "corrupt-schedule"), "corrupt-schedule")
     failures += check_zoo(run_mode(binary, "clean-zoo"))
+    failures += check_zoo(run_mode(binary, "pbqp-zoo"), "pbqp-zoo")
     if failures:
         print(f"check_audit: {failures} failure(s)", file=sys.stderr)
         return 1

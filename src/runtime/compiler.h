@@ -93,6 +93,9 @@ enum class SelectionMode : uint8_t
     Local,         ///< per-operator local optimum (Fig. 10 baseline)
     GlobalOptimal, ///< exhaustive (small graphs only)
     Uniform,       ///< one fixed scheme everywhere (TFLite/SNPE-style)
+    // Appended last so the values above (baked into service compile
+    // fingerprints) stay stable.
+    Pbqp, ///< polynomial PBQP reduction (R0/R1/R2 + heuristic RN)
 };
 
 /** Ladder-rung name of a selection mode ("gcd2", "local", ...). */
@@ -174,10 +177,13 @@ struct CompileOptions
      */
     std::shared_ptr<select::CostCache> costCache;
     /**
-     * Branch-and-bound evaluation budget per selector subproblem (0 =
-     * unlimited). A budgeted search never refuses an oversized graph:
-     * it serves the best complete assignment found when the budget
-     * expires, records a Warning diagnostic, and marks the selector
+     * Branch-and-bound evaluation budget per free-operator component (0
+     * = unlimited): all of a component's chunks and polish windows draw
+     * from one shared pool, so the per-component evaluation total never
+     * exceeds the budget. A budgeted search never refuses an oversized
+     * graph: it serves the best complete assignment found when the
+     * budget expires (never worse than the local baseline it is seeded
+     * with), records a Warning diagnostic, and marks the selector
      * result truncated.
      */
     uint64_t maxSelectorEvaluations = 0;

@@ -91,6 +91,8 @@ selectionModeName(SelectionMode mode)
         return "global-optimal";
       case SelectionMode::Uniform:
         return "uniform";
+      case SelectionMode::Pbqp:
+        return "pbqp";
     }
     return "?";
 }
@@ -267,6 +269,8 @@ CompilationSession::passSelection(PassReport &pass, CompiledModel &result)
             return select::selectLocal(*table_);
           case SelectionMode::GlobalOptimal:
             return select::selectGlobalOptimal(*table_, 22, budget);
+          case SelectionMode::Pbqp:
+            return select::selectPbqp(*table_, &pbqpStats_);
           case SelectionMode::Uniform: {
             // One scheme for every matmul-family operator, row-major for
             // the rest: the uniform per-op-type implementations of
@@ -319,6 +323,11 @@ CompilationSession::passSelection(PassReport &pass, CompiledModel &result)
         return select::selectGcd2Partitioned(
             *table_, options_.maxPartition, &pool_, budget);
     });
+    // PBQP sits between the budgeted partitioned solver and the tree
+    // DP: polynomial like chain-dp, but with the full pairwise cost
+    // structure (R0/R1/R2 exact, RN heuristic on dense remainders).
+    addFallback("pbqp",
+                [&] { return select::selectPbqp(*table_, &pbqpStats_); });
     addFallback("chain-dp", [&] { return select::selectChainDp(*table_); });
     addFallback("local", [&] { return select::selectLocal(*table_); });
 
@@ -349,6 +358,12 @@ CompilationSession::passSelection(PassReport &pass, CompiledModel &result)
                       " per subproblem) exhausted; serving best-so-far");
 
     result.selection = result.selector.selection;
+    if (report_.servedSelection == "pbqp") {
+        pass.counters.emplace_back("pbqp-r0", pbqpStats_.r0);
+        pass.counters.emplace_back("pbqp-r1", pbqpStats_.r1);
+        pass.counters.emplace_back("pbqp-r2", pbqpStats_.r2);
+        pass.counters.emplace_back("pbqp-rn", pbqpStats_.rn);
+    }
     pass.counters.emplace_back("evaluations",
                                result.selector.evaluations);
     pass.counters.emplace_back("total-cost",
@@ -558,14 +573,15 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     select::SelectionAuditOptions auditOpts;
     auditOpts.checkNotWorseThanLocal =
         served == "gcd2" || served == "global-optimal" ||
-        served == "local";
+        served == "local" || served == "pbqp";
     auditOpts.deepMaxFreeNodes = 12;
     auditOpts.deep =
         deep && !result.selector.truncated &&
         (served == "global-optimal" ||
          (served == "gcd2" &&
           table_->freeNodes().size() <=
-              static_cast<size_t>(options_.maxPartition)));
+              static_cast<size_t>(options_.maxPartition)) ||
+         (served == "pbqp" && pbqpStats_.provablyOptimal()));
     std::vector<Diag> selectionFindings =
         select::auditSelection(*table_, result.selection, auditOpts);
     const size_t selectionFailures = selectionFindings.size();

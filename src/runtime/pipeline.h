@@ -9,9 +9,10 @@
  *                     the canonical kernels happen here, memoized)
  *   selection         global layout/instruction selection (IV-A/B),
  *                     served through a fallback ladder (requested
- *                     strategy -> gcd2 -> chain-dp -> local): a rung
- *                     that throws FatalError is recorded as a Warning
- *                     diagnostic and the next rung serves instead
+ *                     strategy -> gcd2 -> pbqp -> chain-dp -> local): a
+ *                     rung that throws FatalError is recorded as a
+ *                     Warning diagnostic and the next rung serves
+ *                     instead
  *   kernel-generation per-node statistics of the *chosen* kernels
  *   cycle-accounting  totals, layout-transformation edges, overheads
  *   audit             selection + schedule invariant checks (AuditMode)
@@ -37,6 +38,7 @@
 #include "common/diag.h"
 #include "common/thread_pool.h"
 #include "runtime/compiler.h"
+#include "select/pbqp.h"
 
 namespace gcd2::runtime {
 
@@ -73,6 +75,10 @@ class CompilationSession
 
     std::optional<select::CostModel> model_;
     std::optional<select::PlanTable> table_;
+    /** Reduction-rule telemetry of the last PBQP solve (valid when the
+     *  pbqp rung served; feeds the pbqp-r* counters and gates the deep
+     *  audit's exact re-solve on provablyOptimal()). */
+    select::PbqpStats pbqpStats_;
     /** Stats of each node's selected plan (kernel-generation output). */
     std::vector<select::NodeExecStats> nodeStats_;
     /** Standalone transform cycles the graph-optimize pass eliminated

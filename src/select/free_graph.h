@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reduced pairwise view of a PlanTable: the selection problem restricted
+ * to the free operators (two or more candidate plans). Pinned neighbors
+ * (exactly one plan) contribute constants folded into per-node cost
+ * vectors, and all parallel tensor edges between two free operators
+ * merge into one undirected cost matrix. The result is exactly the
+ * Partitioned Boolean Quadratic Problem instance (Anderson & Gregg) that
+ * both the PBQP rung and the block-cut tree-DP middle rung solve:
+ *
+ *   min over assignments x of
+ *     sum_i vectors[i][x_i] + sum_{(a,b)} edge.cost[x_a][x_b]
+ *
+ * which equals Agg_Cost (Eq. 1) minus the constant contributed by pinned
+ * nodes and pinned-pinned edges -- so an argmin here, with every pinned
+ * node at its single plan, is an Agg_Cost argmin.
+ */
+#ifndef GCD2_SELECT_FREE_GRAPH_H
+#define GCD2_SELECT_FREE_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "select/selector.h"
+
+namespace gcd2::select {
+
+struct FreeGraph
+{
+    struct Edge
+    {
+        int a = 0, b = 0; ///< node indices into nodes, a < b
+        /** cost[pa][pb]: summed TC of every parallel tensor edge between
+         *  the pair, whichever direction each runs. */
+        std::vector<std::vector<uint64_t>> cost;
+    };
+
+    std::vector<graph::NodeId> nodes; ///< free nodes, PlanTable order
+    std::vector<int> posOf;           ///< graph-sized map, -1 = not free
+    /** vectors[i][p]: plan cycles plus TC on edges to pinned neighbors
+     *  (and any self-loop diagonal). */
+    std::vector<std::vector<uint64_t>> vectors;
+    std::vector<Edge> edges;
+    /** Incident edge indices per node; one entry per distinct neighbor. */
+    std::vector<std::vector<int>> adj;
+
+    static FreeGraph build(const PlanTable &table);
+
+    size_t size() const { return nodes.size(); }
+
+    size_t planCount(int i) const
+    {
+        return vectors[static_cast<size_t>(i)].size();
+    }
+
+    int otherEnd(int e, int i) const
+    {
+        const Edge &edge = edges[static_cast<size_t>(e)];
+        return edge.a == i ? edge.b : edge.a;
+    }
+
+    /** Edge cost oriented from node i's plan p to the other end's q. */
+    uint64_t
+    edgeCost(int e, int i, int p, int q) const
+    {
+        const Edge &edge = edges[static_cast<size_t>(e)];
+        return edge.a == i
+                   ? edge.cost[static_cast<size_t>(p)]
+                              [static_cast<size_t>(q)]
+                   : edge.cost[static_cast<size_t>(q)]
+                              [static_cast<size_t>(p)];
+    }
+};
+
+} // namespace gcd2::select
+
+#endif // GCD2_SELECT_FREE_GRAPH_H

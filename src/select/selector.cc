@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "select/free_graph.h"
 
 namespace gcd2::select {
 
@@ -107,27 +108,54 @@ emptySelection(const PlanTable &table)
     return sel;
 }
 
+/** Pre-assign every free node its cheapest plan (selectLocal's argmin
+ *  and tie-breaking), so chunked or budget-truncated searches start
+ *  from -- and, solving one subset at a time with the rest fixed, can
+ *  only improve on -- the local baseline. */
+void
+seedCheapestPlans(const PlanTable &table, Selection &sel)
+{
+    for (NodeId id : table.freeNodes()) {
+        const auto &plans = table.plans(id);
+        int bestPlan = 0;
+        for (size_t p = 1; p < plans.size(); ++p)
+            if (plans[p].cycles <
+                plans[static_cast<size_t>(bestPlan)].cycles)
+                bestPlan = static_cast<int>(p);
+        sel.planIndex[static_cast<size_t>(id)] = bestPlan;
+    }
+}
+
 /**
  * Branch-and-bound optimal assignment of @p subset (free nodes), given
  * that every node with planIndex >= 0 outside the subset is already
  * decided. Edges to undecided nodes outside the subset are ignored
  * (their chunks pay the cost when they are solved).
  *
- * With @p maxEvaluations > 0 the search stops once the budget is spent
- * and serves the best complete assignment seen, setting @p truncated.
- * The search is seeded with complete incumbents (the caller's current
- * assignment if any, the per-node-cheapest plans, and the greedy argmin
- * of the folded base costs) before descending, so even a fully
- * exhausted budget yields an assignment no worse than any of those.
+ * @p evalLimit is an *absolute* cap on the shared @p evaluations
+ * counter (0 = unlimited), so several calls drawing from one pool --
+ * the chunks and polish windows of an oversized component -- cannot
+ * each re-grant themselves a fresh budget. Once the counter reaches the
+ * cap the search stops and serves the best complete assignment seen,
+ * setting @p truncated; a call entered with the pool already exhausted
+ * keeps the caller's standing assignment untouched. Budgeted searches
+ * are seeded with complete incumbents (the caller's current assignment,
+ * adopted without charge, plus the per-node-cheapest plans and the
+ * greedy argmin of the folded base costs), so even a spent budget
+ * yields an assignment no worse than any of those.
  */
 void
 solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
                    Selection &sel, uint64_t &evaluations,
-                   uint64_t maxEvaluations, bool &truncated)
+                   uint64_t evalLimit, bool &truncated)
 {
     const size_t n = subset.size();
     if (n == 0)
         return;
+    if (evalLimit != 0 && evaluations >= evalLimit) {
+        truncated = true;
+        return; // pool exhausted by earlier subproblems: keep the prior
+    }
 
     std::vector<int> posOf(table.graph().size(), -1);
     for (size_t i = 0; i < n; ++i)
@@ -235,9 +263,14 @@ solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
 
     std::vector<int> best(n, 0);
     uint64_t bestCost = UINT64_MAX;
-    const auto seedIncumbent = [&](const std::vector<int> &assign) {
+    const auto seedIncumbent = [&](const std::vector<int> &assign,
+                                   bool charged) {
+        if (charged) {
+            if (evaluations >= evalLimit)
+                return; // the pool is spent; prior was adopted free
+            ++evaluations;
+        }
         const uint64_t cost = assignmentCost(assign);
-        ++evaluations;
         if (cost < bestCost) {
             bestCost = cost;
             best = assign;
@@ -248,9 +281,12 @@ solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
     // seeded when a budget is active: an unbudgeted search always runs
     // to proven optimality anyway, and seeding would change its pruning
     // and hence its evaluation telemetry (which benches compare).
-    if (maxEvaluations != 0) {
+    // Adopting the caller's standing assignment is free (it is not a
+    // newly examined combination), so the strict budget bound holds
+    // while every call still returns a complete assignment.
+    if (evalLimit != 0) {
         if (priorComplete)
-            seedIncumbent(prior);
+            seedIncumbent(prior, /*charged=*/false);
         std::vector<int> seed(n, 0);
         for (size_t i = 0; i < n; ++i) {
             const auto &plans = table.plans(subset[i]);
@@ -261,17 +297,14 @@ solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
                     arg = static_cast<int>(p);
             seed[i] = arg;
         }
-        seedIncumbent(seed); // per-node cheapest (local-restricted)
+        seedIncumbent(seed, /*charged=*/true); // per-node cheapest
         for (size_t i = 0; i < n; ++i) {
             seed[i] = static_cast<int>(
                 std::min_element(base[i].begin(), base[i].end()) -
                 base[i].begin());
         }
-        seedIncumbent(seed); // greedy argmin of folded base costs
+        seedIncumbent(seed, /*charged=*/true); // greedy folded argmin
     }
-
-    const uint64_t evalLimit =
-        maxEvaluations == 0 ? 0 : evaluations + maxEvaluations;
 
     // Iterative depth-first branch and bound.
     std::vector<int> current(n, -1);
@@ -287,12 +320,12 @@ solveSubsetOptimal(const PlanTable &table, const std::vector<NodeId> &subset,
             --depth;
             continue;
         }
-        ++current[depth];
-        ++evaluations;
         if (evalLimit != 0 && evaluations >= evalLimit) {
             truncated = true;
             break; // serve the best incumbent found so far
         }
+        ++current[depth];
+        ++evaluations;
 
         uint64_t cost = partial[depth] +
                         base[depth][static_cast<size_t>(current[depth])];
@@ -359,37 +392,16 @@ freeComponents(const PlanTable &table)
     return components;
 }
 
-} // namespace
-
-SelectorResult
-selectLocal(const PlanTable &table)
+/**
+ * Eq. 2 chain/in-tree DP with first-visitor reconstruction and
+ * coordinate-descent conflict repair -- the historical middle rung,
+ * kept as the fallback for components whose biconnected blocks are too
+ * large to enumerate exactly. Expects @p result pre-initialized with a
+ * complete selection (every live node assigned); overwrites it.
+ */
+void
+chainDpClassic(const PlanTable &table, SelectorResult &result)
 {
-    const Timer timer;
-    SelectorResult result;
-    result.selection = emptySelection(table);
-    for (const graph::Node &node : table.graph().nodes()) {
-        if (node.dead)
-            continue;
-        const auto &plans = table.plans(node.id);
-        int bestPlan = 0;
-        for (size_t p = 1; p < plans.size(); ++p) {
-            if (plans[p].cycles < plans[static_cast<size_t>(bestPlan)]
-                                      .cycles)
-                bestPlan = static_cast<int>(p);
-        }
-        result.selection.planIndex[static_cast<size_t>(node.id)] =
-            bestPlan;
-        result.evaluations += plans.size();
-    }
-    result.selection.totalCost = aggCost(table, result.selection);
-    result.seconds = timer.seconds();
-    return result;
-}
-
-SelectorResult
-selectChainDp(const PlanTable &table)
-{
-    const Timer timer;
     const graph::Graph &graph = table.graph();
 
     // Eq. 2, generalized from chains to in-trees: process in topological
@@ -397,8 +409,6 @@ selectChainDp(const PlanTable &table)
     // min_q (dp[in][q] + TC(ep_q(in), ep_p(v))).
     std::vector<std::vector<uint64_t>> dp(graph.size());
     std::vector<std::vector<std::vector<int>>> choice(graph.size());
-    SelectorResult result;
-    result.selection = emptySelection(table);
 
     for (const graph::Node &node : graph.nodes()) {
         if (node.dead)
@@ -527,6 +537,364 @@ selectChainDp(const PlanTable &table)
             }
         }
     }
+}
+
+/** Enumeration guard for one biconnected block: past this many plan
+ *  combinations the block is not exhaustively solvable and the
+ *  component falls back to chainDpClassic. */
+constexpr uint64_t kMaxBlockCombos = 200000;
+
+/** One biconnected block of the free graph: node positions plus the fg
+ *  edge indices inside it. Cut vertices appear in several blocks. */
+struct BcBlock
+{
+    std::vector<int> nodes;
+    std::vector<int> edges;
+};
+
+/** Biconnected components of @p fg restricted to @p component
+ *  (iterative Tarjan over the merged free-free edges; fg has no
+ *  parallel edges or self loops, so the parent edge is unique). */
+std::vector<BcBlock>
+biconnectedBlocks(const FreeGraph &fg, const std::vector<int> &component)
+{
+    std::vector<BcBlock> blocks;
+    std::vector<int> disc(fg.size(), -1);
+    std::vector<int> low(fg.size(), 0);
+    std::vector<int> stamp(fg.size(), -1);
+    std::vector<int> edgeStack;
+    int clock = 0;
+
+    const auto popBlock = [&](int untilEdge) {
+        BcBlock block;
+        while (true) {
+            const int e = edgeStack.back();
+            edgeStack.pop_back();
+            block.edges.push_back(e);
+            const FreeGraph::Edge &edge =
+                fg.edges[static_cast<size_t>(e)];
+            for (const int endpoint : {edge.a, edge.b}) {
+                if (stamp[static_cast<size_t>(endpoint)] !=
+                    static_cast<int>(blocks.size())) {
+                    stamp[static_cast<size_t>(endpoint)] =
+                        static_cast<int>(blocks.size());
+                    block.nodes.push_back(endpoint);
+                }
+            }
+            if (e == untilEdge)
+                break;
+        }
+        blocks.push_back(std::move(block));
+    };
+
+    struct Frame
+    {
+        int node;
+        int parentEdge;
+        size_t next;
+    };
+    std::vector<Frame> frames;
+    for (const int start : component) {
+        if (disc[static_cast<size_t>(start)] >= 0)
+            continue;
+        disc[static_cast<size_t>(start)] =
+            low[static_cast<size_t>(start)] = clock++;
+        frames.push_back({start, -1, 0});
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const int u = f.node;
+            if (f.next < fg.adj[static_cast<size_t>(u)].size()) {
+                const int e =
+                    fg.adj[static_cast<size_t>(u)][f.next++];
+                if (e == f.parentEdge)
+                    continue;
+                const int w = fg.otherEnd(e, u);
+                if (disc[static_cast<size_t>(w)] < 0) {
+                    edgeStack.push_back(e);
+                    disc[static_cast<size_t>(w)] =
+                        low[static_cast<size_t>(w)] = clock++;
+                    // Invalidates f: fall to the loop top immediately.
+                    frames.push_back({w, e, 0});
+                } else if (disc[static_cast<size_t>(w)] <
+                           disc[static_cast<size_t>(u)]) {
+                    // Back edge to an ancestor (forward-seen edges were
+                    // already stacked from the other side).
+                    edgeStack.push_back(e);
+                    low[static_cast<size_t>(u)] =
+                        std::min(low[static_cast<size_t>(u)],
+                                 disc[static_cast<size_t>(w)]);
+                }
+                continue;
+            }
+            const int pe = f.parentEdge;
+            frames.pop_back();
+            if (frames.empty())
+                continue;
+            Frame &pf = frames.back();
+            low[static_cast<size_t>(pf.node)] =
+                std::min(low[static_cast<size_t>(pf.node)],
+                         low[static_cast<size_t>(u)]);
+            if (low[static_cast<size_t>(u)] >=
+                disc[static_cast<size_t>(pf.node)])
+                popBlock(pe); // pf.node is a cut vertex (or the root)
+        }
+    }
+    return blocks;
+}
+
+/**
+ * Exact solve of one free-graph component via its block-cut tree: each
+ * biconnected block is enumerated exhaustively, and blocks compose
+ * through their cut vertices with per-plan messages -- chain DP across
+ * the tree, so the result is an Agg_Cost optimum of the component.
+ * Returns false, leaving @p assign untouched, when any block's
+ * combination count exceeds kMaxBlockCombos.
+ */
+bool
+treeDpComponent(const FreeGraph &fg, const std::vector<int> &component,
+                std::vector<int> &assign, uint64_t &evaluations)
+{
+    if (component.size() == 1) {
+        const int i = component[0];
+        const auto &vec = fg.vectors[static_cast<size_t>(i)];
+        assign[static_cast<size_t>(i)] = static_cast<int>(
+            std::min_element(vec.begin(), vec.end()) - vec.begin());
+        evaluations += vec.size();
+        return true;
+    }
+
+    const std::vector<BcBlock> blocks =
+        biconnectedBlocks(fg, component);
+    GCD2_ASSERT(!blocks.empty(), "connected component without blocks");
+    for (const BcBlock &block : blocks) {
+        uint64_t combos = 1;
+        for (const int i : block.nodes) {
+            combos *= fg.planCount(i);
+            if (combos > kMaxBlockCombos)
+                return false; // oversized block: nothing mutated yet
+        }
+    }
+
+    // Root the block-cut tree at block 0: BFS order plus, per block,
+    // the cut vertex shared with its parent (-1 at the root).
+    std::map<int, std::vector<int>> blocksOfCut;
+    {
+        std::map<int, int> blockCount;
+        for (const BcBlock &block : blocks)
+            for (const int i : block.nodes)
+                ++blockCount[i];
+        for (size_t b = 0; b < blocks.size(); ++b)
+            for (const int i : blocks[b].nodes)
+                if (blockCount[i] > 1)
+                    blocksOfCut[i].push_back(static_cast<int>(b));
+    }
+    std::vector<int> order{0};
+    std::vector<int> parentCut(blocks.size(), -1);
+    std::vector<uint8_t> visited(blocks.size(), 0);
+    visited[0] = 1;
+    for (size_t head = 0; head < order.size(); ++head) {
+        const int b = order[head];
+        for (const int cut : blocks[static_cast<size_t>(b)].nodes) {
+            if (cut == parentCut[static_cast<size_t>(b)])
+                continue;
+            const auto it = blocksOfCut.find(cut);
+            if (it == blocksOfCut.end())
+                continue;
+            for (const int nb : it->second) {
+                if (visited[static_cast<size_t>(nb)])
+                    continue;
+                visited[static_cast<size_t>(nb)] = 1;
+                parentCut[static_cast<size_t>(nb)] = cut;
+                order.push_back(nb);
+            }
+        }
+    }
+    GCD2_ASSERT(order.size() == blocks.size(),
+                "block-cut tree of a connected component is connected");
+
+    // Upward pass (reverse BFS): solve each block for every plan q of
+    // its parent cut vertex, excluding the cut's own vector cost, and
+    // fold the resulting message into the cut's working vector. The
+    // root block is solved once outright; its cost then covers the
+    // whole component.
+    std::vector<std::vector<uint64_t>> workVec(fg.size());
+    for (const int i : component)
+        workVec[static_cast<size_t>(i)] =
+            fg.vectors[static_cast<size_t>(i)];
+    // blockChoice[b][q]: argmin plans of the block's non-cut nodes
+    // (block node order, cut skipped) given the parent cut at plan q.
+    std::vector<std::vector<std::vector<int>>> blockChoice(
+        blocks.size());
+    std::vector<int> planAt(fg.size(), 0);
+
+    for (size_t bi = order.size(); bi-- > 0;) {
+        const int b = order[bi];
+        const BcBlock &block = blocks[static_cast<size_t>(b)];
+        const int c = parentCut[static_cast<size_t>(b)];
+        std::vector<int> others;
+        for (const int i : block.nodes)
+            if (i != c)
+                others.push_back(i);
+        const size_t qn = c >= 0 ? fg.planCount(c) : 1;
+        blockChoice[static_cast<size_t>(b)].assign(qn, {});
+        for (size_t q = 0; q < qn; ++q) {
+            if (c >= 0)
+                planAt[static_cast<size_t>(c)] = static_cast<int>(q);
+            std::vector<int> cur(others.size(), 0);
+            for (const int i : others)
+                planAt[static_cast<size_t>(i)] = 0;
+            uint64_t bestCost = UINT64_MAX;
+            std::vector<int> bestAssign;
+            while (true) {
+                ++evaluations;
+                uint64_t cost = 0;
+                for (size_t t = 0; t < others.size(); ++t)
+                    cost += workVec[static_cast<size_t>(others[t])]
+                                   [static_cast<size_t>(cur[t])];
+                for (const int e : block.edges) {
+                    const FreeGraph::Edge &edge =
+                        fg.edges[static_cast<size_t>(e)];
+                    cost += edge.cost[static_cast<size_t>(
+                        planAt[static_cast<size_t>(edge.a)])]
+                                     [static_cast<size_t>(
+                                         planAt[static_cast<size_t>(
+                                             edge.b)])];
+                }
+                if (cost < bestCost) {
+                    bestCost = cost;
+                    bestAssign = cur;
+                }
+                size_t t = 0;
+                while (t < others.size()) {
+                    ++cur[t];
+                    if (cur[t] < static_cast<int>(
+                                     fg.planCount(others[t]))) {
+                        planAt[static_cast<size_t>(others[t])] =
+                            cur[t];
+                        break;
+                    }
+                    cur[t] = 0;
+                    planAt[static_cast<size_t>(others[t])] = 0;
+                    ++t;
+                }
+                if (t == others.size())
+                    break;
+            }
+            blockChoice[static_cast<size_t>(b)][q] =
+                std::move(bestAssign);
+            if (c >= 0)
+                workVec[static_cast<size_t>(c)][q] += bestCost;
+        }
+        if (c < 0)
+            for (size_t t = 0; t < others.size(); ++t)
+                assign[static_cast<size_t>(others[t])] =
+                    blockChoice[static_cast<size_t>(b)][0][t];
+    }
+
+    // Downward pass (BFS order): every non-root block's parent cut is
+    // assigned by an earlier block; apply its stored argmin.
+    for (size_t bi = 1; bi < order.size(); ++bi) {
+        const int b = order[bi];
+        const int c = parentCut[static_cast<size_t>(b)];
+        const int q = assign[static_cast<size_t>(c)];
+        GCD2_ASSERT(q >= 0, "cut vertex unassigned before child block");
+        const std::vector<int> &pick =
+            blockChoice[static_cast<size_t>(b)][static_cast<size_t>(q)];
+        size_t t = 0;
+        for (const int i : blocks[static_cast<size_t>(b)].nodes)
+            if (i != c)
+                assign[static_cast<size_t>(i)] = pick[t++];
+    }
+    return true;
+}
+
+} // namespace
+
+SelectorResult
+selectLocal(const PlanTable &table)
+{
+    const Timer timer;
+    SelectorResult result;
+    result.selection = emptySelection(table);
+    for (const graph::Node &node : table.graph().nodes()) {
+        if (node.dead)
+            continue;
+        const auto &plans = table.plans(node.id);
+        int bestPlan = 0;
+        for (size_t p = 1; p < plans.size(); ++p) {
+            if (plans[p].cycles < plans[static_cast<size_t>(bestPlan)]
+                                      .cycles)
+                bestPlan = static_cast<int>(p);
+        }
+        result.selection.planIndex[static_cast<size_t>(node.id)] =
+            bestPlan;
+        result.evaluations += plans.size();
+    }
+    result.selection.totalCost = aggCost(table, result.selection);
+    result.seconds = timer.seconds();
+    return result;
+}
+
+SelectorResult
+selectChainDp(const PlanTable &table)
+{
+    const Timer timer;
+    SelectorResult result;
+    result.selection = emptySelection(table);
+
+    // Decompose the free graph into connected components and each
+    // component into its block-cut tree. A component whose biconnected
+    // blocks are all enumerable is solved *exactly* -- tree DP across
+    // blocks, chain-DP composition at cut vertices -- retiring the
+    // first-visitor conflict repair there. Only components with an
+    // oversized block still use the classic Eq. 2 pass (run once over
+    // the whole graph, then overwritten per decomposable component;
+    // sound because free components are independent given the pinned
+    // operators, so a per-component optimum can only improve the sum).
+    const FreeGraph fg = FreeGraph::build(table);
+    std::vector<std::vector<int>> comps;
+    {
+        std::vector<uint8_t> seen(fg.size(), 0);
+        for (size_t i = 0; i < fg.size(); ++i) {
+            if (seen[i])
+                continue;
+            seen[i] = 1;
+            comps.push_back({static_cast<int>(i)});
+            std::vector<int> &comp = comps.back();
+            for (size_t head = 0; head < comp.size(); ++head) {
+                const int u = comp[head];
+                for (const int e : fg.adj[static_cast<size_t>(u)]) {
+                    const int w = fg.otherEnd(e, u);
+                    if (!seen[static_cast<size_t>(w)]) {
+                        seen[static_cast<size_t>(w)] = 1;
+                        comp.push_back(w);
+                    }
+                }
+            }
+        }
+    }
+
+    std::vector<int> assign(fg.size(), -1);
+    std::vector<uint8_t> exact(comps.size(), 0);
+    bool allExact = true;
+    for (size_t i = 0; i < comps.size(); ++i) {
+        exact[i] = treeDpComponent(fg, comps[i], assign,
+                                   result.evaluations)
+                       ? 1
+                       : 0;
+        allExact = allExact && exact[i] != 0;
+    }
+
+    if (!allExact)
+        chainDpClassic(table, result);
+    for (size_t i = 0; i < comps.size(); ++i) {
+        if (exact[i] == 0)
+            continue;
+        for (const int pos : comps[i])
+            result.selection.planIndex[static_cast<size_t>(
+                fg.nodes[static_cast<size_t>(pos)])] =
+                assign[static_cast<size_t>(pos)];
+    }
 
     result.selection.totalCost = aggCost(table, result.selection);
     result.seconds = timer.seconds();
@@ -549,6 +917,12 @@ selectGlobalOptimal(const PlanTable &table, size_t maxFreeNodes,
     const Timer timer;
     SelectorResult result;
     result.selection = emptySelection(table);
+    // Budgeted searches start from the local baseline so even a
+    // first-combination truncation serves an assignment no worse than
+    // selectLocal's; unbudgeted searches keep their historical seeding
+    // (none) so their evaluation telemetry is untouched.
+    if (maxEvaluations != 0)
+        seedCheapestPlans(table, result.selection);
     solveSubsetOptimal(table, table.freeNodes(), result.selection,
                        result.evaluations, maxEvaluations,
                        result.truncated);
@@ -572,9 +946,19 @@ solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
                int maxPartition, Selection &sel, uint64_t &evaluations,
                uint64_t maxEvaluations, bool &truncated)
 {
+    // One shared pool for the whole component: the topological chunks
+    // and the overlapping polish windows below all draw from a single
+    // absolute cap on the component's evaluation counter. (Granting
+    // each subproblem a fresh maxEvaluations -- the pre-fix behavior --
+    // overshot the budget by roughly 2 * n / maxPartition times, so the
+    // budget a service derives from its wall-clock target did not
+    // actually bound work.)
+    const uint64_t evalLimit =
+        maxEvaluations == 0 ? 0 : evaluations + maxEvaluations;
+
     if (static_cast<int>(component.size()) <= maxPartition) {
         solveSubsetOptimal(table, component, sel, evaluations,
-                           maxEvaluations, truncated);
+                           evalLimit, truncated);
         return;
     }
     // Oversized component: cut into topological chunks and solve them
@@ -583,7 +967,7 @@ solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
     auto flush = [&]() {
         if (!chunk.empty()) {
             solveSubsetOptimal(table, chunk, sel, evaluations,
-                               maxEvaluations, truncated);
+                               evalLimit, truncated);
             chunk.clear();
         }
     };
@@ -605,7 +989,7 @@ solveComponent(const PlanTable &table, const std::vector<NodeId> &component,
             component.begin() + static_cast<long>(start),
             component.begin() + static_cast<long>(end));
         solveSubsetOptimal(table, slice, sel, evaluations,
-                           maxEvaluations, truncated);
+                           evalLimit, truncated);
     }
 }
 
@@ -620,6 +1004,13 @@ selectGcd2Partitioned(const PlanTable &table, int maxPartition,
 
     SelectorResult result;
     result.selection = emptySelection(table);
+    // Start every free node at its cheapest plan: chunked solves then
+    // condition on (and polish from) the local baseline, which makes
+    // the audit's not-worse-than-local floor hold by construction --
+    // chunks and polish windows are exact block-coordinate descents in
+    // Agg_Cost from that start, and budgeted solves adopt it as a free
+    // incumbent.
+    seedCheapestPlans(table, result.selection);
 
     // Layout-pinned operators are forced; components of free operators
     // between them can be optimized independently (the cost-optimal

@@ -8,12 +8,15 @@
  *
  *  - Local: per-operator argmin, ignoring transformation costs (the
  *    "local optimal" baseline of Fig. 10).
- *  - ChainDp: the O(V * k^2) dynamic program of Eq. 2. Exact ONLY for
- *    linear chains and in-trees (every vertex feeds at most one
- *    consumer); on DAGs with fan-out the per-consumer subproblems
- *    overlap, so shared producers are double-counted during the forward
- *    pass and multi-consumer reconstruction conflicts are repaired by a
- *    monotone coordinate-descent pass afterwards (heuristic, not exact).
+ *  - ChainDp: block-cut tree DP over the free-operator graph. Each
+ *    connected component is decomposed into its biconnected blocks;
+ *    blocks are solved exhaustively and composed through cut vertices
+ *    with per-plan messages, so the result is *exact* on every
+ *    component whose blocks stay enumerable (chains, in-trees, and any
+ *    DAG whose fan-out reconverges within a small block -- diamonds
+ *    included). Components with an oversized block fall back to the
+ *    historical Eq. 2 in-tree DP with monotone coordinate-descent
+ *    conflict repair (heuristic there, and only there).
  *  - GlobalOptimal: branch-and-bound exhaustive search over all
  *    free-choice operators (exponential; the Fig. 10 "global optimal").
  *  - Gcd2Partitioned: the paper's solution -- split the graph at
@@ -135,10 +138,14 @@ SelectorResult selectGlobalOptimal(const PlanTable &table,
  * components are solved concurrently; the resulting Selection, cost,
  * and evaluation count are bit-identical to the serial solve.
  *
- * @param maxEvaluations per-subproblem branch-and-bound budget (0 =
- *        unlimited). Deterministic at any thread count because every
- *        subproblem carries its own budget; an exhausted budget marks
- *        the result truncated and serves the best assignment found.
+ * @param maxEvaluations per-*component* branch-and-bound budget (0 =
+ *        unlimited): an oversized component's chunks and polish windows
+ *        all draw from one shared pool, so the component's total
+ *        evaluation count never exceeds the budget. Deterministic at
+ *        any thread count because every component carries its own pool;
+ *        an exhausted pool marks the result truncated and serves the
+ *        best assignment found, never worse than the local baseline the
+ *        solve is seeded with.
  */
 SelectorResult selectGcd2Partitioned(const PlanTable &table,
                                      int maxPartition = 13,

@@ -143,6 +143,45 @@ TEST(CompilerTest, SelectionModesRankAsExpected)
     EXPECT_LE(gcd2Cost, localCost);
 }
 
+TEST(CompilerTest, PbqpModeServesEndToEnd)
+{
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+
+    CompileOptions opts;
+    opts.selection = SelectionMode::Pbqp;
+    opts.audit = AuditMode::Deep;
+    const CompiledModel compiled = compile(g, opts);
+    const PipelineReport &report = compiled.report;
+
+    // Served on the requested rung, no fallback, no audit errors.
+    EXPECT_EQ(report.servedSelection, "pbqp");
+    EXPECT_EQ(report.selectionRung, 0);
+    EXPECT_EQ(report.diagnosticCount(common::DiagSeverity::Error), 0u);
+
+    // The reduction-rule telemetry reaches the pass report, and the
+    // counters partition the free nodes (each reduced exactly once).
+    const PassReport *selection = report.pass("selection");
+    ASSERT_NE(selection, nullptr);
+    const uint64_t freeOps =
+        report.pass("plan-table")->counter("free-operators");
+    EXPECT_EQ(selection->counter("pbqp-r0") +
+                  selection->counter("pbqp-r1") +
+                  selection->counter("pbqp-r2") +
+                  selection->counter("pbqp-rn"),
+              freeOps);
+
+    // PBQP never loses to local, and on WDSR (where gcd2 solves each
+    // component exactly) it must tie the paper's solver.
+    CompileOptions local;
+    local.selection = SelectionMode::Local;
+    CompileOptions gcd2;
+    gcd2.selection = SelectionMode::Gcd2;
+    const uint64_t pbqpCost = compiled.selection.totalCost;
+    EXPECT_LE(pbqpCost, compile(g, local).selection.totalCost);
+    if (selection->counter("pbqp-rn") == 0)
+        EXPECT_EQ(pbqpCost, compile(g, gcd2).selection.totalCost);
+}
+
 TEST(CompilerTest, OptimizationTogglesReduceLatency)
 {
     // Fig. 9's incremental story, checked where each optimization has

@@ -40,8 +40,8 @@ TEST(FaultInjectionTest, InjectedSelectorFaultFallsDownTheLadder)
     const CompiledModel compiled = compile(g, opts);
 
     // Requested rung 'gcd2' failed; 'gcd2' dedups out of the fallback
-    // list, so the next distinct rung serves.
-    EXPECT_EQ(compiled.report.servedSelection, "chain-dp");
+    // list, so the next distinct rung (pbqp) serves.
+    EXPECT_EQ(compiled.report.servedSelection, "pbqp");
     EXPECT_EQ(compiled.report.selectionRung, 1);
     EXPECT_GE(compiled.report.diagnosticCount(DiagSeverity::Warning), 1u);
     EXPECT_TRUE(anyDiagContains(compiled.report, "injected selector fault"));

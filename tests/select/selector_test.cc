@@ -205,13 +205,15 @@ TEST_F(SelectorTest, SearchTimeGrowsWithPartitionBound)
     EXPECT_GT(slow.evaluations, fast.evaluations);
 }
 
-TEST_F(SelectorTest, ChainDpOnDiamondsNotWorseThanLocal)
+TEST_F(SelectorTest, ChainDpExactOnDiamonds)
 {
-    // Fan-out regression: the DP's reconstruction visits a shared
-    // producer once per consumer; before conflict repair, the first
-    // visitor's (possibly contradicted) choice could leave a selection
-    // strictly worse than the local baseline. Asymmetric branches make
-    // the two consumers prefer different producer layouts.
+    // Fan-out exactness: the historical Eq. 2 DP visited a shared
+    // producer once per consumer, so diamonds could come out strictly
+    // worse than even the local baseline before conflict repair. The
+    // block-cut tree DP solves the reconvergent block exhaustively, so
+    // diamond fan-out must now match the global optimum exactly (not
+    // just beat local). Asymmetric branches make the two consumers
+    // prefer different producer layouts, which is what used to conflict.
     const auto diamondVariant = [](int64_t branchC) {
         Graph g;
         NodeId x = input(g, {32, 16, 16});
@@ -230,14 +232,17 @@ TEST_F(SelectorTest, ChainDpOnDiamondsNotWorseThanLocal)
         PlanTable table(g, model);
         const SelectorResult dp = selectChainDp(table);
         const SelectorResult local = selectLocal(table);
+        const SelectorResult opt = selectGlobalOptimal(table);
         EXPECT_LE(dp.selection.totalCost, local.selection.totalCost)
+            << "branch channels " << branchC;
+        EXPECT_EQ(dp.selection.totalCost, opt.selection.totalCost)
             << "branch channels " << branchC;
     }
     // And the plain diamond stays covered.
     Graph g = diamond();
     PlanTable table(g, model);
-    EXPECT_LE(selectChainDp(table).selection.totalCost,
-              selectLocal(table).selection.totalCost);
+    EXPECT_EQ(selectChainDp(table).selection.totalCost,
+              selectGlobalOptimal(table).selection.totalCost);
 }
 
 TEST_F(SelectorTest, BudgetedExhaustiveServesBestSoFarInsteadOfRefusing)
@@ -296,6 +301,60 @@ TEST_F(SelectorTest, BudgetedPartitionedMonotoneAtEveryBudget)
         selectGcd2Partitioned(table, 13, nullptr, 100000000ull);
     EXPECT_FALSE(generous.truncated);
     EXPECT_EQ(generous.selection.totalCost, exact.selection.totalCost);
+}
+
+TEST_F(SelectorTest, BudgetIsSharedAcrossChunksOfOneComponent)
+{
+    // Budget-accounting regression: a component larger than
+    // maxPartition is solved as several topological chunks plus
+    // overlapping polish windows. Each of those calls used to re-grant
+    // itself a fresh maxEvaluations, so the component's total work
+    // overshot the configured budget by roughly 2 * n / maxPartition
+    // times. All subproblems must draw from ONE shared pool: the total
+    // evaluation count may never exceed the budget.
+    Graph g = convChain(20, 32, 8);
+    PlanTable table(g, model);
+    ASSERT_EQ(table.freeNodes().size(), 20u); // a single free component
+
+    // Even with perfect pruning each 4-node chunk costs ~12 search
+    // steps, so 5 chunks cannot finish inside 50 evaluations: both
+    // budgets are guaranteed to expire mid-component.
+    for (const uint64_t budget : {3ull, 50ull}) {
+        const SelectorResult r =
+            selectGcd2Partitioned(table, 4, nullptr, budget);
+        EXPECT_LE(r.evaluations, budget) << "budget " << budget;
+        EXPECT_TRUE(r.truncated) << "budget " << budget;
+        // Still complete, honest, and no worse than the local baseline
+        // the pool-exhausted chunks fall back to.
+        for (const auto &node : g.nodes())
+            if (!node.dead)
+                EXPECT_GE(r.selection
+                              .planIndex[static_cast<size_t>(node.id)],
+                          0);
+        EXPECT_EQ(r.selection.totalCost, aggCost(table, r.selection));
+        EXPECT_LE(r.selection.totalCost,
+                  selectLocal(table).selection.totalCost);
+    }
+
+    // Independent components each get their own pool: with two
+    // components the total may reach 2x the budget but no more.
+    Graph two;
+    NodeId x = input(two, {32, 8, 8});
+    x = conv(two, x, 32, 1, 1, 0, false);
+    for (int i = 0; i < 5; ++i)
+        x = conv(two, x, 32, 1, 1, 0, false);
+    graph::NodeAttrs pool;
+    pool.poolK = 2;
+    pool.poolStride = 2;
+    x = two.add(OpType::MaxPool, {x}, pool);
+    for (int i = 0; i < 6; ++i)
+        x = conv(two, x, 32, 1, 1, 0, false);
+    two.add(OpType::Output, {x});
+    graph::optimize(two);
+    PlanTable twoTable(two, model);
+    const SelectorResult split =
+        selectGcd2Partitioned(twoTable, 2, nullptr, 20);
+    EXPECT_LE(split.evaluations, 2u * 20u);
 }
 
 } // namespace

@@ -14,7 +14,11 @@
  *                      broken label map) against vliw::auditSchedule;
  *   clean-zoo          compile all ten evaluation models with the audit
  *                      pass enabled and report per-model Error/Warning
- *                      diagnostic counts (all must be zero).
+ *                      diagnostic counts (all must be zero);
+ *   pbqp-zoo           compile all ten evaluation models with the PBQP
+ *                      selection rung and the Deep audit, reporting
+ *                      per-model findings plus the reduction-rule
+ *                      counters (r0/r1/r2/rn).
  *
  * An auditor that misses a seeded corruption (findings=0) or flags a
  * clean compile is a regression the driver script turns into a CI
@@ -191,6 +195,47 @@ runCleanZoo()
     return failed == 0 ? 0 : 1;
 }
 
+int
+runPbqpZoo()
+{
+    size_t compiled = 0;
+    size_t failed = 0;
+    for (const models::ModelInfo &info : models::allModels()) {
+        const graph::Graph g = models::buildModel(info.id);
+        runtime::CompileOptions opts;
+        opts.selection = runtime::SelectionMode::Pbqp;
+        opts.audit = runtime::AuditMode::Deep;
+        const runtime::CompiledModel model = runtime::compile(g, opts);
+        const size_t errors = model.report.diagnosticCount(
+            common::DiagSeverity::Error);
+        const size_t warnings = model.report.diagnosticCount(
+            common::DiagSeverity::Warning);
+        const runtime::PassReport *selection =
+            model.report.pass("selection");
+        std::printf("pbqp-zoo model=%s errors=%zu warnings=%zu rung=%d "
+                    "r0=%llu r1=%llu r2=%llu rn=%llu cost=%llu\n",
+                    info.name, errors, warnings,
+                    model.report.selectionRung,
+                    static_cast<unsigned long long>(
+                        selection->counter("pbqp-r0")),
+                    static_cast<unsigned long long>(
+                        selection->counter("pbqp-r1")),
+                    static_cast<unsigned long long>(
+                        selection->counter("pbqp-r2")),
+                    static_cast<unsigned long long>(
+                        selection->counter("pbqp-rn")),
+                    static_cast<unsigned long long>(
+                        selection->counter("total-cost")));
+        ++compiled;
+        if (errors > 0 || model.report.selectionRung != 0 ||
+            model.report.servedSelection != "pbqp")
+            ++failed;
+    }
+    std::printf("pbqp-zoo summary models=%zu flagged=%zu\n", compiled,
+                failed);
+    return failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -203,8 +248,11 @@ main(int argc, char **argv)
         return runCorruptSchedule();
     if (mode == "clean-zoo")
         return runCleanZoo();
-    std::fprintf(stderr,
-                 "usage: %s corrupt-selection|corrupt-schedule|clean-zoo\n",
-                 argv[0]);
+    if (mode == "pbqp-zoo")
+        return runPbqpZoo();
+    std::fprintf(
+        stderr,
+        "usage: %s corrupt-selection|corrupt-schedule|clean-zoo|pbqp-zoo\n",
+        argv[0]);
     return 2;
 }

@@ -32,6 +32,25 @@ namespace {
 
 using namespace gcd2;
 
+void
+printUsage(std::FILE *out, const char *prog)
+{
+    std::fprintf(
+        out,
+        "usage: %s [--dir DIR] [--workers N] [--repeat N]\n"
+        "       %*s [--target-ms MS] [model-name ...]\n"
+        "\n"
+        "  --dir DIR       artifact directory (enables the on-disk "
+        "store)\n"
+        "  --workers N     service worker threads (default: hardware)\n"
+        "  --repeat N      submissions per model (default 3)\n"
+        "  --target-ms MS  wall-clock target driving the adaptive "
+        "selector budget\n"
+        "  model-name ...  zoo models to serve (default: the whole "
+        "zoo)\n",
+        prog, static_cast<int>(std::string(prog).size()), "");
+}
+
 const char *
 pathName(service::Ticket::Path path)
 {
@@ -59,13 +78,21 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        // A value-taking flag in final position must not read past argv:
+        // report the missing value, print usage, and exit 2 so scripted
+        // callers (and the CLI regression test) see a hard failure.
         auto value = [&]() -> const char * {
             if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::fprintf(stderr, "%s needs a value\n\n", arg.c_str());
+                printUsage(stderr, argv[0]);
                 std::exit(2);
             }
             return argv[++i];
         };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout, argv[0]);
+            return 0;
+        }
         if (arg == "--dir")
             options.artifactDir = value();
         else if (arg == "--workers")
@@ -74,7 +101,14 @@ main(int argc, char **argv)
             repeat = std::atoi(value());
         else if (arg == "--target-ms")
             options.targetCompileMs = std::atof(value());
-        else
+        else if (!arg.empty() && arg[0] == '-') {
+            // Unknown flags must not be silently swallowed as model
+            // names (the "unknown model" error they used to produce
+            // pointed users at the zoo list, not at their typo).
+            std::fprintf(stderr, "unknown flag '%s'\n\n", arg.c_str());
+            printUsage(stderr, argv[0]);
+            return 2;
+        } else
             wanted.push_back(arg);
     }
 
