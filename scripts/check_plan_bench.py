@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate tiered plan-costing results against the checked-in baseline.
+
+Usage: check_plan_bench.py BENCH_plan.json bench/plan_baseline.json
+
+Three properties are enforced:
+
+ - Speedup floor: the geomean cold-compile speedup of tiered costing
+   over exhaustive candidate simulation must stay at or above 2x on the
+   default (adaptive-unroll) path -- the headline acceptance bar of the
+   tiered coster. Speedups are same-machine ratios, comparable across
+   CI runners in a way absolute milliseconds are not.
+
+ - Regression bound: neither the default-path nor the search-mode
+   geomean speedup may fall more than 20% below the baseline's measured
+   value.
+
+ - Tier liveness: search mode (exhaustive unroll) must actually derive
+   and prune plans zoo-wide -- a refactor that silently uncertifies
+   every shape class would otherwise keep totals correct while quietly
+   reverting the compile-latency win (the bench binary itself FATALs on
+   any cycle-total mismatch, so correctness is already pinned).
+"""
+import json
+import sys
+
+ALLOWED_REGRESSION = 0.20
+HARD_FLOOR = 2.0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failed = False
+    for key, label in (("geomean_speedup", "default path"),
+                       ("search_geomean_speedup", "search mode")):
+        measured = current[key]
+        expected = baseline[key]
+        threshold = max(expected * (1.0 - ALLOWED_REGRESSION), HARD_FLOOR)
+        print(f"{label}: measured {measured:.1f}x, baseline "
+              f"{expected:.1f}x, threshold {threshold:.1f}x")
+        if measured < threshold:
+            print(f"FAIL: {label} geomean speedup {measured:.1f}x below "
+                  f"{threshold:.1f}x", file=sys.stderr)
+            failed = True
+
+    derived = sum(m["search"]["plans_derived"] for m in current["models"])
+    pruned = sum(m["search"]["plans_pruned"] for m in current["models"])
+    print(f"search-mode tiers: {derived} plans derived, {pruned} pruned "
+          f"across {len(current['models'])} models")
+    if derived == 0:
+        print("FAIL: search mode derived no plan costs (no shape class "
+              "certified)", file=sys.stderr)
+        failed = True
+    if pruned == 0:
+        print("FAIL: search mode pruned no plans (dominance filter "
+              "dead)", file=sys.stderr)
+        failed = True
+
+    slowest = max(current["models"],
+                  key=lambda m: m["exhaustive_ms"] / max(m["cold_ms"],
+                                                         1e-9))
+    ratio = slowest["exhaustive_ms"] / max(slowest["cold_ms"], 1e-9)
+    print(f"best default-path speedup: {slowest['name']} {ratio:.1f}x")
+
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,22 @@ schemeName(MatMulScheme scheme)
     return "?";
 }
 
+int64_t
+kQuantum(MatMulScheme scheme, int unrollK)
+{
+    // Mirrors the padding in generateVmpy / generateVmpa / generateVrmpy:
+    // kp_ = roundUp(k, quantum) and the inner loop runs kp_ / quantum
+    // times (vmpy steps one K column, vmpa/vrmpy step four).
+    switch (scheme) {
+      case MatMulScheme::Vmpy:
+        return unrollK;
+      case MatMulScheme::Vmpa:
+      case MatMulScheme::Vrmpy:
+        return 4 * static_cast<int64_t>(unrollK);
+    }
+    return unrollK;
+}
+
 tensor::Layout
 schemeLayout(MatMulScheme scheme)
 {

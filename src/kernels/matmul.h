@@ -47,6 +47,16 @@ const char *schemeName(MatMulScheme scheme);
 /** Activation layout required / produced by a scheme. */
 tensor::Layout schemeLayout(MatMulScheme scheme);
 
+/**
+ * K elements consumed per inner-loop iteration of a scheme at a given
+ * reduction unroll factor: the generator pads K up to a multiple of this
+ * quantum and the inner loop runs paddedK() / quantum times. Vmpy walks
+ * one K column per step; vmpa and vrmpy consume four interleaved columns
+ * per step. The tiered cost model (select/tiered_cost.h) keys its
+ * per-iteration affine fits on this quantum.
+ */
+int64_t kQuantum(MatMulScheme scheme, int unrollK);
+
 /** Problem shape: C(M x N) = A(M x K) x W(K x N). */
 struct MatMulShape
 {
@@ -107,6 +117,12 @@ class MatMulKernel
     int64_t paddedK() const { return kp_; }
     int64_t paddedN() const { return np_; }
     int64_t paddedM() const { return mp_; }
+
+    /** Inner-loop trip count: paddedK() / kQuantum(scheme, unrollK). */
+    int64_t kIters() const
+    {
+        return kp_ / kQuantum(config_.scheme, config_.unrollK);
+    }
 
     /** Pack a row-major uint8 activation matrix into the input buffer. */
     std::vector<uint8_t> packInput(const uint8_t *rowMajor) const;

@@ -22,6 +22,21 @@ runKernel(const dsp::Program &prog, const KernelBuffers &buffers,
           const std::vector<uint8_t> &weights,
           const vliw::PackOptions &packOpts, bool validate)
 {
+    if (validate) {
+        dsp::requireVerified(prog, {kRegInput, kRegWeights, kRegOutput,
+                                    kRegScratch});
+    }
+    return runPackedKernel(
+        vliw::PackCache::global().lookupOrPack(prog, packOpts), buffers,
+        input, weights, validate);
+}
+
+KernelRunResult
+runPackedKernel(std::shared_ptr<const dsp::PackedProgram> packed,
+                const KernelBuffers &buffers,
+                const std::vector<uint8_t> &input,
+                const std::vector<uint8_t> &weights, bool validate)
+{
     // Segment layout: | guard | input | weights | output | scratch |.
     const int64_t base = dsp::kVectorBytes;
     const int64_t inputBase = base;
@@ -48,13 +63,6 @@ runKernel(const dsp::Program &prog, const KernelBuffers &buffers,
         mem.writeBytes(static_cast<uint64_t>(weightBase), weights.data(),
                        weights.size());
 
-    if (validate) {
-        dsp::requireVerified(prog, {kRegInput, kRegWeights, kRegOutput,
-                                    kRegScratch});
-    }
-    const std::shared_ptr<const dsp::PackedProgram> packed =
-        vliw::PackCache::global().lookupOrPack(prog, packOpts);
-
     dsp::TimingSimulator sim(mem);
     sim.regs().scalar[kRegInput] = static_cast<uint32_t>(inputBase);
     sim.regs().scalar[kRegWeights] = static_cast<uint32_t>(weightBase);
@@ -64,8 +72,8 @@ runKernel(const dsp::Program &prog, const KernelBuffers &buffers,
     KernelRunResult result;
     result.stats = sim.run(*packed, validate);
     result.staticPackets = packed->packets.size();
-    result.packed = packed;
-    result.staticInstructions = prog.code.size();
+    result.staticInstructions = packed->program.code.size();
+    result.packed = std::move(packed);
     result.output.resize(static_cast<size_t>(buffers.outputBytes));
     if (buffers.outputBytes > 0)
         mem.readBytes(static_cast<uint64_t>(outputBase),

@@ -60,6 +60,19 @@ KernelRunResult runKernel(const dsp::Program &prog,
                           bool validate = false);
 
 /**
+ * Execute an already-packed kernel program. Identical buffer layout and
+ * ABI binding as runKernel, but the caller supplies the schedule instead
+ * of going through the PackCache -- used by the tiered cost model, which
+ * reuses one packet structure across structurally identical programs
+ * (packet transplantation) and must time exactly the schedule it will
+ * serve.
+ */
+KernelRunResult runPackedKernel(
+    std::shared_ptr<const dsp::PackedProgram> packed,
+    const KernelBuffers &buffers, const std::vector<uint8_t> &input,
+    const std::vector<uint8_t> &weights, bool validate = false);
+
+/**
  * Convenience wrapper: pack a row-major matmul, run it, unpack the
  * row-major result.
  */

@@ -252,6 +252,41 @@ CompilationSession::passPlanTable(PassReport &pass)
                                model_->cache().hits() - hits0);
     pass.counters.emplace_back("cache-evictions",
                                model_->cache().evictions() - evictions0);
+
+    // Tier telemetry (DESIGN.md section 16): how much candidate costing
+    // the tiered coster answered without a full pack + simulation, plus
+    // the shape-class sharing the table layered on top.
+    const select::PlanTable::Stats &shared = table_->stats();
+    pass.counters.emplace_back("shape-classes", shared.shapeClasses);
+    pass.counters.emplace_back("shared-nodes", shared.sharedNodes);
+    pass.counters.emplace_back("plans-shared", shared.sharedPlans);
+    if (const select::TieredCoster *tiered = model_->tieredCoster()) {
+        const select::TieredCounters tc = tiered->counters();
+        pass.counters.emplace_back("plans-simulated", tc.plansSimulated);
+        pass.counters.emplace_back("plans-derived", tc.plansDerived);
+        pass.counters.emplace_back("plans-pruned", tc.plansPruned);
+        pass.counters.emplace_back("anchor-sims", tc.anchorSims);
+        pass.counters.emplace_back("transplanted-packs",
+                                   tc.transplantedPacks);
+        pass.counters.emplace_back("tier-classes-certified",
+                                   tc.certifiedClasses);
+        pass.counters.emplace_back("tier-classes-uncertified",
+                                   tc.uncertifiedClasses);
+        pass.counters.emplace_back("tier-structural-fallbacks",
+                                   tc.structuralFallbacks);
+        pass.counters.emplace_back(
+            "tier-certify-us",
+            static_cast<uint64_t>(tiered->certifySeconds() * 1e6));
+        pass.counters.emplace_back(
+            "tier-analytic-us",
+            static_cast<uint64_t>(tiered->analyticSeconds() * 1e6));
+    } else {
+        // Exhaustive path: every cache miss was a real simulation.
+        pass.counters.emplace_back("plans-simulated",
+                                   model_->cache().misses() - misses0);
+        pass.counters.emplace_back("plans-derived", uint64_t{0});
+        pass.counters.emplace_back("plans-pruned", uint64_t{0});
+    }
     packDelta.report(pass);
 }
 
@@ -588,6 +623,33 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     for (Diag &diag : selectionFindings)
         diag_.add(std::move(diag));
 
+    // Tiered-costing audit. Always-on cheap tier: the coster re-derives
+    // its certified affine fits from the stored anchor simulations and
+    // re-checks the analytic bounds bracket them. Deep tier: re-cost the
+    // whole plan table through a scratch exhaustive model and prove the
+    // served selection's Eq.-1 total is bit-identical to unpruned
+    // costing (select::auditTieredCosts).
+    size_t tieredFailures = 0;
+    uint64_t tieredClassesChecked = 0;
+    bool tieredDeep = false;
+    if (model_->tieredCoster() != nullptr) {
+        size_t classesChecked = 0;
+        for (const std::string &violation :
+             model_->tieredCoster()->audit(&classesChecked)) {
+            diag_.add(DiagSeverity::Error, "tiered-audit", -1, violation);
+            ++tieredFailures;
+        }
+        tieredClassesChecked = classesChecked;
+        if (deep) {
+            tieredDeep = true;
+            std::vector<Diag> tieredFindings = select::auditTieredCosts(
+                *table_, result.selection, options_.cost);
+            tieredFailures += tieredFindings.size();
+            for (Diag &diag : tieredFindings)
+                diag_.add(std::move(diag));
+        }
+    }
+
     // Schedule audit: check packet legality of the schedules the compile
     // actually serves -- the packed programs kernel generation retained
     // from the cost model's canonical kernels (see CompiledModel::
@@ -632,7 +694,9 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
         ++schedulesAudited;
     }
 
-    if (selectionFailures + scheduleFailures + lintErrors == 0)
+    if (selectionFailures + scheduleFailures + lintErrors +
+            tieredFailures ==
+        0)
         diag_.add(DiagSeverity::Info, "audit", -1,
                   std::string(deep ? "deep" : "cheap") +
                       " audit passed (" +
@@ -640,6 +704,9 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
                       " schedules checked)");
     pass.counters.emplace_back("selection-findings", selectionFailures);
     pass.counters.emplace_back("schedule-findings", scheduleFailures);
+    pass.counters.emplace_back("tiered-findings", tieredFailures);
+    pass.counters.emplace_back("tier-audit-classes", tieredClassesChecked);
+    pass.counters.emplace_back("tier-deep-audited", tieredDeep ? 1 : 0);
     pass.counters.emplace_back("schedules-audited", schedulesAudited);
     pass.counters.emplace_back("lint-use-def-findings", lint.useBeforeDef);
     pass.counters.emplace_back("lint-dead-store-findings", lint.deadStore);

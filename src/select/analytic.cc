@@ -1,0 +1,184 @@
+#include "select/analytic.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gcd2::select {
+
+namespace {
+
+using dsp::Instruction;
+using dsp::MemKind;
+using dsp::Opcode;
+using dsp::Program;
+using dsp::RegClass;
+using dsp::UnitKind;
+
+/** A resolved counted loop: body [start, branch] inclusive. */
+struct Loop
+{
+    size_t start = 0;  ///< first body instruction (the label target)
+    size_t branch = 0; ///< the backward JUMPNZ
+    int cond = -1;     ///< scalar counter register
+    uint64_t trips = 0;
+};
+
+bool
+writesScalar(const Instruction &inst, int reg)
+{
+    return inst.dst[0].cls == RegClass::Scalar && inst.dst[0].idx == reg;
+}
+
+/** Dynamic counts above this are treated as unanalyzable (overflow guard). */
+constexpr uint64_t kMaxDynamic = uint64_t(1) << 50;
+
+} // namespace
+
+AnalyticBounds
+analyzeProgram(const Program &prog)
+{
+    AnalyticBounds bounds;
+    const size_t n = prog.code.size();
+    if (n == 0) {
+        bounds.certified = true;
+        return bounds;
+    }
+
+    // 1. Resolve control flow: only well-nested backward JUMPNZ loops.
+    std::vector<Loop> loops;
+    for (size_t i = 0; i < n; ++i) {
+        const Instruction &inst = prog.code[i];
+        if (!inst.isBranch())
+            continue;
+        if (inst.op != Opcode::JUMPNZ)
+            return bounds; // JUMP: trip counts unresolvable
+        if (inst.imm < 0 ||
+            static_cast<size_t>(inst.imm) >= prog.labels.size())
+            return bounds;
+        const size_t target = prog.labels[static_cast<size_t>(inst.imm)];
+        if (target > i)
+            return bounds; // forward branch: skipped-path ambiguity
+        Loop loop;
+        loop.start = target;
+        loop.branch = i;
+        loop.cond = inst.src[0].idx;
+        loops.push_back(loop);
+    }
+    for (const Loop &a : loops) {
+        for (const Loop &b : loops) {
+            if (&a == &b)
+                continue;
+            const bool disjoint = a.branch < b.start || b.branch < a.start;
+            const bool aInB = b.start <= a.start && a.branch <= b.branch;
+            const bool bInA = a.start <= b.start && b.branch <= a.branch;
+            if (!disjoint && !aInB && !bInA)
+                return bounds; // improperly nested
+        }
+    }
+
+    // The innermost loop containing instruction j (or -1). Loops are
+    // well-nested, so "smallest containing interval" is well defined.
+    auto innermost = [&](size_t j) -> int {
+        int best = -1;
+        for (size_t l = 0; l < loops.size(); ++l) {
+            if (loops[l].start <= j && j <= loops[l].branch &&
+                (best < 0 || loops[l].branch - loops[l].start <
+                                 loops[static_cast<size_t>(best)].branch -
+                                     loops[static_cast<size_t>(best)].start))
+                best = static_cast<int>(l);
+        }
+        return best;
+    };
+
+    // 2. Resolve each loop's trip count: the counter must be set by a
+    // MOVI that is the last write before the loop and decremented by
+    // exactly one ADDI(cond, cond, -1) inside it, in the loop's own body
+    // (not a nested loop). Do-while shape => the body runs `imm` times.
+    for (size_t l = 0; l < loops.size(); ++l) {
+        Loop &loop = loops[l];
+        const Instruction *init = nullptr;
+        for (size_t j = loop.start; j-- > 0;) {
+            if (writesScalar(prog.code[j], loop.cond)) {
+                init = &prog.code[j];
+                break;
+            }
+        }
+        if (init == nullptr || init->op != Opcode::MOVI || init->imm < 1)
+            return bounds;
+        size_t decrements = 0;
+        for (size_t j = loop.start; j <= loop.branch; ++j) {
+            if (!writesScalar(prog.code[j], loop.cond))
+                continue;
+            const Instruction &inst = prog.code[j];
+            if (inst.op != Opcode::ADDI || inst.imm != -1 ||
+                inst.src[0].cls != RegClass::Scalar ||
+                inst.src[0].idx != loop.cond)
+                return bounds;
+            if (innermost(j) != static_cast<int>(l))
+                return bounds; // decrement hidden inside a nested loop
+            ++decrements;
+        }
+        if (decrements != 1)
+            return bounds;
+        loop.trips = static_cast<uint64_t>(init->imm);
+    }
+
+    // 3. Dynamic execution count of each instruction = product of the
+    // trip counts of its enclosing loops.
+    uint64_t total = 0;    // all instructions
+    uint64_t mem = 0;      // loads + stores (2 memory slots)
+    uint64_t stores = 0;   // 1 store port
+    uint64_t shifts = 0;   // 1 shift unit
+    uint64_t permutes = 0; // 1 permute unit
+    uint64_t mults = 0;    // multiply-pipeline demand (2 pipelines)
+    uint64_t branches = 0; // at most 1 branch per packet
+    uint64_t upper = 0;
+    int maxLatency = 0;
+    for (size_t j = 0; j < n; ++j) {
+        uint64_t count = 1;
+        for (const Loop &loop : loops) {
+            if (loop.start <= j && j <= loop.branch) {
+                count *= loop.trips;
+                if (count > kMaxDynamic)
+                    return bounds;
+            }
+        }
+        const dsp::OpcodeInfo &info = prog.code[j].info();
+        total += count;
+        if (total > kMaxDynamic)
+            return bounds;
+        if (info.mem != MemKind::None)
+            mem += count;
+        if (info.mem == MemKind::Store)
+            stores += count;
+        if (info.unit == UnitKind::Shift)
+            shifts += count;
+        if (info.unit == UnitKind::Permute)
+            permutes += count;
+        if (info.unit == UnitKind::Branch)
+            branches += count;
+        mults += count * static_cast<uint64_t>(info.multUnits);
+        // Worst case the instruction issues alone and its consumer pays
+        // full latency plus the maximum forwarding penalty (2 cycles,
+        // scalar multiply producers; see dsp/deps.cc).
+        upper += count * static_cast<uint64_t>(info.latency + 2);
+        maxLatency = std::max(maxLatency, info.latency);
+    }
+
+    // 4. Lower bound: one packet per cycle, packets obey slot widths.
+    uint64_t lower = (total + dsp::kPacketSlots - 1) / dsp::kPacketSlots;
+    lower = std::max(lower, (mem + 1) / 2);
+    lower = std::max(lower, stores);
+    lower = std::max(lower, shifts);
+    lower = std::max(lower, permutes);
+    lower = std::max(lower, (mults + 1) / 2);
+    lower = std::max(lower, branches);
+
+    bounds.lower = lower;
+    bounds.upper = upper + static_cast<uint64_t>(maxLatency);
+    bounds.dynamicInstructions = total;
+    bounds.certified = true;
+    return bounds;
+}
+
+} // namespace gcd2::select

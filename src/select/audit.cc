@@ -74,4 +74,88 @@ auditSelection(const PlanTable &table, const Selection &selection,
     return findings;
 }
 
+std::vector<Diag>
+auditTieredCosts(const PlanTable &table, const Selection &selection,
+                 const CostModelOptions &options)
+{
+    std::vector<Diag> findings;
+    const auto fail = [&](int64_t node, std::string message) {
+        findings.push_back(Diag{DiagSeverity::Error, "tiered-audit", node,
+                                std::move(message)});
+    };
+
+    // A scratch exhaustive model: tiered costing off and a private
+    // cache, so every cost below comes from a genuine generate + pack +
+    // simulate, independent of anything the tiered path produced. (The
+    // process-wide PackCache only holds packs that are bit-identical to
+    // a direct pack by construction, so sharing it does not weaken the
+    // re-cost.)
+    CostModelOptions exhaustiveOptions = options;
+    exhaustiveOptions.tieredCosting = false;
+    const CostModel exhaustive(exhaustiveOptions);
+
+    const graph::Graph &graph = table.graph();
+    for (const graph::Node &node : graph.nodes()) {
+        if (node.dead)
+            continue;
+        const std::vector<ExecutionPlan> &tiered = table.plans(node.id);
+        const std::vector<ExecutionPlan> exact =
+            exhaustive.costedPlans(graph, node.id);
+        if (tiered.size() != exact.size()) {
+            fail(node.id, "tiered table has " +
+                              std::to_string(tiered.size()) +
+                              " plans, exhaustive costing has " +
+                              std::to_string(exact.size()));
+            continue;
+        }
+        const int selected =
+            selection.planIndex[static_cast<size_t>(node.id)];
+        for (size_t i = 0; i < tiered.size(); ++i) {
+            if (tiered[i].scheme != exact[i].scheme ||
+                tiered[i].inLayout != exact[i].inLayout ||
+                tiered[i].outLayout != exact[i].outLayout) {
+                fail(node.id, "plan " + std::to_string(i) +
+                                  " differs structurally from the "
+                                  "exhaustive enumeration");
+                continue;
+            }
+            if (tiered[i].cycles == exact[i].cycles)
+                continue;
+            // Not exact: only acceptable as a pruned plan with a valid
+            // dominance certificate.
+            if (static_cast<int>(i) == selected) {
+                fail(node.id,
+                     "selected plan " + std::to_string(i) + " costs " +
+                         std::to_string(tiered[i].cycles) +
+                         " tiered but " + std::to_string(exact[i].cycles) +
+                         " exhaustively");
+                continue;
+            }
+            if (tiered[i].cycles > exact[i].cycles) {
+                fail(node.id,
+                     "pruned plan " + std::to_string(i) + " stores " +
+                         std::to_string(tiered[i].cycles) +
+                         ", above its exhaustive cost " +
+                         std::to_string(exact[i].cycles) +
+                         " (not a lower bound)");
+                continue;
+            }
+            bool dominated = false;
+            for (size_t j = 0; j < i && !dominated; ++j) {
+                dominated = tiered[j].inLayout == tiered[i].inLayout &&
+                            tiered[j].outLayout == tiered[i].outLayout &&
+                            tiered[j].cycles == exact[j].cycles &&
+                            tiered[j].cycles < tiered[i].cycles;
+            }
+            if (!dominated) {
+                fail(node.id,
+                     "plan " + std::to_string(i) +
+                         " is inexact without an earlier identical-"
+                         "layout dominator costed exactly below it");
+            }
+        }
+    }
+    return findings;
+}
+
 } // namespace gcd2::select

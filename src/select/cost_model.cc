@@ -105,7 +105,48 @@ CostModel::CostModel(CostModelOptions options,
 {
     if (!cache_)
         cache_ = std::make_shared<CostCache>();
+    if (options_.tieredCosting)
+        tiered_ = std::make_unique<TieredCoster>(options_.packOptions);
 }
+
+CostModel::~CostModel() = default;
+
+namespace {
+
+/** The periodic 16-bit accumulator-drain charge of matmulTileStats,
+ *  exposed so dominance pruning can bound exact costs analytically. */
+uint64_t
+drainCycles(MatMulScheme scheme, const UnrollChoice &choice, int64_t k)
+{
+    if (scheme == MatMulScheme::Vrmpy)
+        return 0;
+    const int accPairs =
+        choice.cols * (scheme == MatMulScheme::Vmpa ? 2 : 1);
+    const int64_t drains = std::max<int64_t>(0, (k + 31) / 32 - 1);
+    return static_cast<uint64_t>(drains) *
+           static_cast<uint64_t>(accPairs) * 14;
+}
+
+/** The canonical tile kernel matmulTileStats simulates. */
+MatMulShape
+tileShapeOf(MatMulScheme scheme, const UnrollChoice &choice, int64_t k)
+{
+    MatMulShape tile;
+    tile.m = static_cast<int64_t>(panelRowsOf(scheme)) * choice.outer;
+    tile.k = k;
+    tile.n = static_cast<int64_t>(colsPerUnitOf(scheme)) * choice.cols;
+    return tile;
+}
+
+kernels::MatMulConfig
+tileConfigOf(MatMulScheme scheme, const UnrollChoice &choice)
+{
+    kernels::MatMulConfig config;
+    config.scheme = scheme;
+    return kernels::withUnroll(config, choice);
+}
+
+} // namespace
 
 CostKey
 CostModel::baseKey(CostKind kind) const
@@ -132,19 +173,21 @@ CostModel::matmulTileStats(MatMulScheme scheme, const UnrollChoice &choice,
         // One row panel x one column tile, full reduction depth: every
         // other tile of the kernel does identical work, so scaling is
         // exact.
-        MatMulShape tile;
-        tile.m = static_cast<int64_t>(panelRowsOf(scheme)) * choice.outer;
-        tile.k = k;
-        tile.n = static_cast<int64_t>(colsPerUnitOf(scheme)) * choice.cols;
-        kernels::MatMulConfig config;
-        config.scheme = scheme;
-        config = kernels::withUnroll(config, choice);
+        const MatMulShape tile = tileShapeOf(scheme, choice, k);
+        const kernels::MatMulConfig config = tileConfigOf(scheme, choice);
 
-        const kernels::MatMulKernel kernel(tile, config);
-        const kernels::KernelRunResult run =
-            kernels::runKernel(kernel.program(), kernel.buffers(), {}, {},
-                               options_.packOptions);
-        NodeExecStats entry = fromTiming(run);
+        NodeExecStats entry;
+        if (tiered_) {
+            // Shared-structure path: a certified affine derivation or a
+            // transplant-scheduled simulation, exact either way.
+            entry = tiered_->tileStats(tile, config);
+        } else {
+            const kernels::MatMulKernel kernel(tile, config);
+            const kernels::KernelRunResult run =
+                kernels::runKernel(kernel.program(), kernel.buffers(), {},
+                                   {}, options_.packOptions);
+            entry = fromTiming(run);
+        }
 
         // 16-bit accumulator drain: vmpy/vmpa accumulate 8-bit products
         // into halfword lanes, which is only overflow-safe for a bounded
@@ -205,6 +248,27 @@ CostModel::unrollFor(const MatMulShape &shape, MatMulScheme scheme) const
                 roundUp(shape.m, panelSpan) / panelSpan);
             const double tiles = static_cast<double>(
                 roundUp(shape.n, tileSpan) / tileSpan);
+            if (tiered_ && best != UINT64_MAX) {
+                // Tier-1 prefilter: a candidate whose certified analytic
+                // floor (raw bound + the same drain charge and trip-count
+                // scaling the exact path applies) already exceeds the
+                // best exact cost can never win the `cycles < best`
+                // argmin, so skip its pack + simulation entirely.
+                const uint64_t rawLb = tiered_->tileLowerBound(
+                    tileShapeOf(scheme, candidate, shape.k),
+                    tileConfigOf(scheme, candidate));
+                if (rawLb > 0) {
+                    const uint64_t scaledLb = static_cast<uint64_t>(
+                        static_cast<double>(
+                            rawLb +
+                            drainCycles(scheme, candidate, shape.k)) *
+                        (panels * tiles));
+                    if (scaledLb > best) {
+                        tiered_->notePruned(1);
+                        continue;
+                    }
+                }
+            }
             const uint64_t cycles =
                 matmulTileStats(scheme, candidate, shape.k)
                     .scaled(panels * tiles)
@@ -523,9 +587,95 @@ std::vector<ExecutionPlan>
 CostModel::costedPlans(const graph::Graph &graph, NodeId id) const
 {
     std::vector<ExecutionPlan> plans = enumeratePlans(graph, id);
+    if (tiered_) {
+        // Tier 2: same-layout dominance. The current plan enumeration
+        // gives matmul-family plans pairwise distinct layout pairs, so
+        // this filter is usually a no-op on zoo graphs -- it earns its
+        // keep under exhaustive unroll scans and future enumerations
+        // that propose several kernels per layout.
+        tiered_->notePruned(applySameLayoutDominance(
+            plans,
+            [&](const ExecutionPlan &plan) {
+                return computeStats(graph, id, plan).cycles;
+            },
+            [&](const ExecutionPlan &plan) {
+                return planLowerBound(graph, id, plan);
+            }));
+        return plans;
+    }
     for (ExecutionPlan &plan : plans)
         plan.cycles = computeStats(graph, id, plan).cycles;
     return plans;
+}
+
+uint64_t
+CostModel::planLowerBound(const graph::Graph &graph, NodeId id,
+                          const ExecutionPlan &plan) const
+{
+    if (!tiered_)
+        return 0;
+    const graph::Node &node = graph.node(id);
+    // Only matmul-family plans have a certified analytic floor; every
+    // other operator reports "no bound" (0), which never prunes.
+    MatMulShape shape;
+    int64_t batch = 1;
+    switch (node.op) {
+      case OpType::Conv2D: {
+        const tensor::Shape &in = graph.node(node.inputs[0]).shape;
+        kernels::ConvShape conv;
+        conv.inC = in.dim(0);
+        conv.inH = in.dim(1);
+        conv.inW = in.dim(2);
+        conv.outC = node.attrs.outC;
+        conv.kH = node.attrs.kH;
+        conv.kW = node.attrs.kW;
+        conv.strideH = node.attrs.strideH;
+        conv.strideW = node.attrs.strideW;
+        conv.padH = node.attrs.padH;
+        conv.padW = node.attrs.padW;
+        shape = conv.matmulShape();
+        break;
+      }
+      case OpType::MatMul: {
+        const tensor::Shape &a = graph.node(node.inputs[0]).shape;
+        const tensor::Shape natural = graph::naturalNodeShape(graph, node);
+        shape.m = a.dim(a.rank() - 2);
+        shape.k = a.dim(a.rank() - 1);
+        shape.n = natural.dim(natural.rank() - 1);
+        batch = std::max<int64_t>(1, a.elements() / (shape.m * shape.k));
+        break;
+      }
+      default:
+        return 0;
+    }
+
+    const UnrollChoice choice = unrollFor(shape, plan.scheme);
+    const uint64_t rawLb = tiered_->tileLowerBound(
+        tileShapeOf(plan.scheme, choice, shape.k),
+        tileConfigOf(plan.scheme, choice));
+    if (rawLb == 0)
+        return 0;
+
+    // Mirror computeStats' scaling exactly (same double multiplications
+    // and truncations), dropping every non-negative extra term (im2col,
+    // fused epilogues) so the result stays a true floor.
+    const int64_t panelSpan =
+        static_cast<int64_t>(panelRowsOf(plan.scheme)) * choice.outer;
+    const int64_t tileSpan =
+        static_cast<int64_t>(colsPerUnitOf(plan.scheme)) * choice.cols;
+    const double panels =
+        static_cast<double>(roundUp(shape.m, panelSpan) / panelSpan);
+    const double tiles =
+        static_cast<double>(roundUp(shape.n, tileSpan) / tileSpan);
+    uint64_t bound = static_cast<uint64_t>(
+        static_cast<double>(rawLb +
+                            drainCycles(plan.scheme, choice, shape.k)) *
+        (panels * tiles));
+    if (batch != 1) {
+        bound = static_cast<uint64_t>(static_cast<double>(bound) *
+                                      static_cast<double>(batch));
+    }
+    return bound;
 }
 
 NodeExecStats
@@ -554,13 +704,15 @@ CostModel::canonicalSchedule(const graph::Graph &graph, NodeId id,
         // Rebuild the exact canonical tile kernel matmulTileStats
         // simulates for this shape's unroll choice.
         const UnrollChoice choice = unrollFor(shape, scheme);
-        MatMulShape tile;
-        tile.m = static_cast<int64_t>(panelRowsOf(scheme)) * choice.outer;
-        tile.k = shape.k;
-        tile.n = static_cast<int64_t>(colsPerUnitOf(scheme)) * choice.cols;
-        kernels::MatMulConfig config;
-        config.scheme = scheme;
-        config = kernels::withUnroll(config, choice);
+        const MatMulShape tile = tileShapeOf(scheme, choice, shape.k);
+        const kernels::MatMulConfig config = tileConfigOf(scheme, choice);
+        // The tiered coster serves the class anchor's packet structure
+        // transplanted onto this kernel -- bit-identical to packing it
+        // (transplantCompatible programs share one dependence graph),
+        // and one shared PackedProgram object per (class, depth) so
+        // downstream passes that dedupe by pointer still coalesce.
+        if (tiered_)
+            return tiered_->tileSchedule(tile, config);
         return packOf(kernels::MatMulKernel(tile, config).program());
     };
     auto elementwiseSchedule = [&](EwOp op, int64_t length) {

@@ -39,6 +39,7 @@
 #include "select/cost_cache.h"
 #include "select/exec_stats.h"
 #include "select/plan.h"
+#include "select/tiered_cost.h"
 #include "vliw/packer.h"
 
 namespace gcd2::select {
@@ -50,6 +51,16 @@ struct CostModelOptions
     kernels::UnrollStrategy unroll = kernels::UnrollStrategy::Adaptive;
     /** "Other optimizations": replace divisions with table lookups. */
     bool lutOptimization = true;
+    /**
+     * Tiered plan costing (DESIGN.md section 16): analytic bound
+     * prefilter, same-layout dominance pruning, and shared-structure
+     * affine costing with packet transplantation. Produces bit-identical
+     * costs, selections, and served schedules to the exhaustive path
+     * (enforced by the always-on audit and the deep exhaustive re-cost),
+     * so it only trades compile time -- deliberately *not* part of the
+     * service request fingerprint (service/fingerprint.cc).
+     */
+    bool tieredCosting = true;
 };
 
 /** Memoizing cost model. */
@@ -64,11 +75,16 @@ class CostModel
      */
     explicit CostModel(CostModelOptions options = {},
                        std::shared_ptr<CostCache> cache = nullptr);
+    ~CostModel();
 
     const CostModelOptions &options() const { return options_; }
 
     /** The memo table (for telemetry and cross-compile sharing). */
     const CostCache &cache() const { return *cache_; }
+
+    /** The tiered coster (nullptr when tieredCosting is off); exposes
+     *  tier counters, tier timings, and the cheap self-audit. */
+    const TieredCoster *tieredCoster() const { return tiered_.get(); }
 
     /** Candidate plans of a node with cycles filled in. */
     std::vector<ExecutionPlan> costedPlans(const graph::Graph &graph,
@@ -126,8 +142,14 @@ class CostModel
     NodeExecStats computeStats(const graph::Graph &graph, graph::NodeId id,
                                const ExecutionPlan &plan) const;
 
+    /** Certified analytic lower bound on a plan's cycles (0 = no bound);
+     *  used by the same-layout dominance filter in costedPlans. */
+    uint64_t planLowerBound(const graph::Graph &graph, graph::NodeId id,
+                            const ExecutionPlan &plan) const;
+
     CostModelOptions options_;
     std::shared_ptr<CostCache> cache_;
+    std::unique_ptr<TieredCoster> tiered_;
 };
 
 } // namespace gcd2::select

@@ -1,6 +1,7 @@
 #include "select/selector.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "common/logging.h"
@@ -13,6 +14,60 @@ namespace gcd2::select {
 using graph::NodeId;
 using graph::OpType;
 
+namespace {
+
+/**
+ * Structural node signature (tier 3 of tiered costing, DESIGN.md
+ * section 16): two live nodes with equal signatures produce identical
+ * costedPlans vectors, because plan enumeration and the cost model read
+ * nothing else about a node -- its op, its full attribute set, its
+ * output shape, and its inputs' ops and shapes. Compared exactly (no
+ * hashing), so equal signatures really do mean identical costing
+ * inputs.
+ */
+std::vector<int64_t>
+nodeSignature(const graph::Graph &graph, const graph::Node &node)
+{
+    std::vector<int64_t> sig;
+    auto pushShape = [&sig](const tensor::Shape &shape) {
+        sig.push_back(shape.rank());
+        for (int64_t d : shape.dims())
+            sig.push_back(d);
+    };
+    auto pushVec = [&sig](const auto &values) {
+        sig.push_back(static_cast<int64_t>(values.size()));
+        for (const auto v : values)
+            sig.push_back(static_cast<int64_t>(v));
+    };
+    sig.push_back(static_cast<int64_t>(node.op));
+    pushShape(node.shape);
+
+    const graph::NodeAttrs &a = node.attrs;
+    sig.insert(sig.end(),
+               {a.outC, a.kH, a.kW, a.strideH, a.strideW, a.padH, a.padW,
+                a.transposeB ? 1 : 0, a.poolK, a.poolStride, a.clampLo,
+                a.clampHi, a.axis, a.fusedClamp ? 1 : 0, a.fusedLo,
+                a.fusedHi, a.fusedLut ? 1 : 0, a.fusedAdd ? 1 : 0,
+                a.fusedTransform ? 1 : 0,
+                a.fusedTransformPermutes ? 1 : 0});
+    int64_t exponentBits = 0;
+    static_assert(sizeof(exponentBits) == sizeof(a.exponent));
+    std::memcpy(&exponentBits, &a.exponent, sizeof(exponentBits));
+    sig.push_back(exponentBits);
+    pushVec(a.targetShape);
+    pushVec(a.perm);
+    pushVec(a.fusedOutShape);
+
+    sig.push_back(static_cast<int64_t>(node.inputs.size()));
+    for (NodeId in : node.inputs) {
+        const graph::Node &producer = graph.node(in);
+        sig.push_back(static_cast<int64_t>(producer.op));
+        pushShape(producer.shape);
+    }
+    return sig;
+}
+
+} // namespace
 
 PlanTable::PlanTable(const graph::Graph &graph, const CostModel &model,
                      ThreadPool *pool)
@@ -27,7 +82,49 @@ PlanTable::PlanTable(const graph::Graph &graph, const CostModel &model,
         GCD2_ASSERT(static_cast<size_t>(nodes[i].id) == i,
                     "graph node ids must be dense and positional (node "
                         << nodes[i].id << " at index " << i << ")");
-    if (pool != nullptr && pool->size() > 1) {
+    if (model.options().tieredCosting) {
+        // Shape-class canonicalization: group live nodes by structural
+        // signature, cost one representative per class (batched through
+        // the pool -- classes, not nodes, are the unit of work), and
+        // copy its plan vector to every member. Identical signatures
+        // feed the cost model identical inputs, so the copies are what
+        // per-node costing would have produced bit for bit.
+        std::map<std::vector<int64_t>, std::vector<NodeId>> classes;
+        for (const graph::Node &node : nodes)
+            if (!node.dead)
+                classes[nodeSignature(graph, node)].push_back(node.id);
+        std::vector<const std::vector<NodeId> *> groups;
+        groups.reserve(classes.size());
+        for (const auto &entry : classes)
+            groups.push_back(&entry.second);
+        auto costClass = [&](const std::vector<NodeId> &members) {
+            // Members are disjoint across groups, so parallel writes
+            // never touch the same plan slot.
+            const NodeId rep = members.front();
+            plans_[static_cast<size_t>(rep)] =
+                model.costedPlans(graph, rep);
+            for (size_t m = 1; m < members.size(); ++m)
+                plans_[static_cast<size_t>(members[m])] =
+                    plans_[static_cast<size_t>(rep)];
+        };
+        if (pool != nullptr && pool->size() > 1) {
+            pool->parallelFor(
+                static_cast<int64_t>(groups.size()), [&](int64_t i) {
+                    costClass(*groups[static_cast<size_t>(i)]);
+                });
+        } else {
+            for (const std::vector<NodeId> *members : groups)
+                costClass(*members);
+        }
+        stats_.shapeClasses = classes.size();
+        for (const auto &entry : classes) {
+            const size_t copies = entry.second.size() - 1;
+            stats_.sharedNodes += copies;
+            stats_.sharedPlans +=
+                copies *
+                plans_[static_cast<size_t>(entry.second.front())].size();
+        }
+    } else if (pool != nullptr && pool->size() > 1) {
         // Each node's plan set is an independent pure computation (the
         // cost model's memo cache is thread-safe), so any iteration
         // order yields the same table.

@@ -60,6 +60,16 @@ class PlanTable
     PlanTable(const graph::Graph &graph, const CostModel &model,
               ThreadPool *pool = nullptr);
 
+    /** Shape-class sharing telemetry (tier 3 of tiered costing). */
+    struct Stats
+    {
+        uint64_t shapeClasses = 0; ///< distinct structural signatures
+        uint64_t sharedNodes = 0;  ///< live nodes served by a class rep
+        uint64_t sharedPlans = 0;  ///< plan entries copied, not costed
+    };
+
+    const Stats &stats() const { return stats_; }
+
     const graph::Graph &graph() const { return *graph_; }
 
     const std::vector<ExecutionPlan> &
@@ -91,6 +101,7 @@ class PlanTable
     std::vector<std::vector<ExecutionPlan>> plans_;
     std::vector<std::pair<graph::NodeId, graph::NodeId>> edges_;
     std::vector<graph::NodeId> freeNodes_;
+    Stats stats_;
 };
 
 /** Evaluate Agg_Cost (Eq. 1) of a complete selection. */

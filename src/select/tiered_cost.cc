@@ -1,0 +1,468 @@
+#include "select/tiered_cost.h"
+
+#include <sstream>
+
+#include "common/timer.h"
+#include "kernels/runner.h"
+#include "dsp/alias.h"
+#include "vliw/pack_cache.h"
+
+namespace gcd2::select {
+
+namespace {
+
+using kernels::MatMulConfig;
+using kernels::MatMulShape;
+
+/** Anchor inner-loop trip counts for the affine certification. */
+constexpr int64_t kAnchors[3] = {8, 12, 16};
+
+NodeExecStats
+fromRun(const kernels::KernelRunResult &run)
+{
+    NodeExecStats stats;
+    stats.cycles = run.stats.cycles;
+    stats.instructions = run.stats.instructionsExecuted;
+    stats.packets = run.stats.packetsExecuted;
+    stats.bytesLoaded = run.stats.bytesLoaded;
+    stats.bytesStored = run.stats.bytesStored;
+    return stats;
+}
+
+/** field-wise base + iters * slope. */
+NodeExecStats
+affineAt(const NodeExecStats &base, const NodeExecStats &slope,
+         int64_t iters)
+{
+    const uint64_t n = static_cast<uint64_t>(iters);
+    NodeExecStats out;
+    out.cycles = base.cycles + n * slope.cycles;
+    out.instructions = base.instructions + n * slope.instructions;
+    out.packets = base.packets + n * slope.packets;
+    out.bytesLoaded = base.bytesLoaded + n * slope.bytesLoaded;
+    out.bytesStored = base.bytesStored + n * slope.bytesStored;
+    return out;
+}
+
+/**
+ * Exact integer affine fit of one stat field from the three anchors:
+ * f(a) = base + a * slope with equal deltas across both anchor gaps and
+ * an exactly divisible slope. Returns false when the field is not affine
+ * in the trip count (the class then stays uncertified).
+ */
+bool
+fitField(uint64_t f8, uint64_t f12, uint64_t f16, uint64_t *base,
+         uint64_t *slope)
+{
+    if (f12 < f8 || f16 < f12)
+        return false;
+    const uint64_t d1 = f12 - f8;
+    const uint64_t d2 = f16 - f12;
+    if (d1 != d2 || d1 % (kAnchors[1] - kAnchors[0]) != 0)
+        return false;
+    *slope = d1 / (kAnchors[1] - kAnchors[0]);
+    if (f8 < static_cast<uint64_t>(kAnchors[0]) * *slope)
+        return false;
+    *base = f8 - static_cast<uint64_t>(kAnchors[0]) * *slope;
+    return true;
+}
+
+int64_t
+itersFor(const MatMulShape &tile, const MatMulConfig &config)
+{
+    const int64_t quantum = kernels::kQuantum(config.scheme,
+                                              config.unrollK);
+    return (tile.k + quantum - 1) / quantum;
+}
+
+std::vector<int64_t>
+classKeyOf(const MatMulShape &tile, const MatMulConfig &config)
+{
+    return {static_cast<int64_t>(config.scheme),
+            config.unrollOut,
+            config.unrollCols,
+            config.unrollK,
+            config.shift16,
+            config.shiftWordHalf,
+            config.shiftHalfByte,
+            tile.m,
+            tile.n};
+}
+
+} // namespace
+
+bool
+transplantCompatible(const dsp::Program &a, const dsp::Program &b)
+{
+    if (a.code.size() != b.code.size() || a.labels != b.labels ||
+        a.noaliasRegs != b.noaliasRegs)
+        return false;
+    bool memImmDiffers = false;
+    for (size_t i = 0; i < a.code.size(); ++i) {
+        const dsp::Instruction &x = a.code[i];
+        const dsp::Instruction &y = b.code[i];
+        if (x.op != y.op || x.dst != y.dst || x.src != y.src)
+            return false;
+        if (x.imm == y.imm)
+            continue;
+        if (x.isBranch())
+            return false; // label resolution reads branch immediates
+        if (x.info().mem != dsp::MemKind::None)
+            memImmDiffers = true; // defer to the alias-relation check
+    }
+    if (!memImmDiffers)
+        return true;
+
+    // Memory offsets differ (loop strides scale with the reduction
+    // depth). The packer reads memory immediates through exactly one
+    // lens: AliasAnalysis::mayAlias, and classifyDependency consults
+    // that bit only for mem/mem pairs where at least one side is a
+    // store. If that relation is identical across the two programs,
+    // they build identical dependency graphs, and the deterministic
+    // packer emits bit-identical packets.
+    std::vector<size_t> mems;
+    std::vector<size_t> stores;
+    for (size_t i = 0; i < a.code.size(); ++i) {
+        const dsp::MemKind kind = a.code[i].info().mem;
+        if (kind == dsp::MemKind::None)
+            continue;
+        mems.push_back(i);
+        if (kind == dsp::MemKind::Store)
+            stores.push_back(i);
+    }
+    const dsp::AliasAnalysis aliasA(a);
+    const dsp::AliasAnalysis aliasB(b);
+    for (const size_t s : stores)
+        for (const size_t m : mems)
+            if (m != s && aliasA.mayAlias(s, m) != aliasB.mayAlias(s, m))
+                return false;
+    return true;
+}
+
+struct TieredCoster::TileClass
+{
+    std::mutex mu;
+    bool tried = false;
+    bool certified = false;
+    /** Program at the low anchor; the structural template of the class. */
+    dsp::Program canonical;
+    /** The one real pack of the class (low anchor, via the PackCache). */
+    std::shared_ptr<const dsp::PackedProgram> anchorPack;
+    NodeExecStats base;            ///< affine fit: f(iters) = base +
+    NodeExecStats slope;           ///<   iters * slope, per field
+    NodeExecStats anchorStats[3];  ///< raw anchor sims (audit evidence)
+    AnalyticBounds canonicalBounds;///< tier-1 bounds of the low anchor
+    /** Transplanted schedules by trip count (shared across nodes). */
+    std::map<int64_t, std::shared_ptr<const dsp::PackedProgram>> packs;
+    /** Tier-1 analytic bounds by trip count. */
+    std::map<int64_t, AnalyticBounds> bounds;
+};
+
+TieredCoster::TieredCoster(const vliw::PackOptions &packOptions)
+    : packOptions_(packOptions)
+{
+}
+
+TieredCoster::~TieredCoster() = default;
+
+TieredCoster::TileClass &
+TieredCoster::classFor(const MatMulShape &tile, const MatMulConfig &config)
+{
+    const std::vector<int64_t> key = classKeyOf(tile, config);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<TileClass> &slot = classes_[key];
+    if (!slot)
+        slot = std::make_unique<TileClass>();
+    return *slot;
+}
+
+void
+TieredCoster::certify(TileClass &cls, const MatMulShape &tile,
+                      const MatMulConfig &config)
+{
+    cls.tried = true;
+    const Timer timer;
+    const int64_t quantum =
+        kernels::kQuantum(config.scheme, config.unrollK);
+
+    NodeExecStats stats[3];
+    for (int a = 0; a < 3; ++a) {
+        MatMulShape anchorTile = tile;
+        anchorTile.k = quantum * kAnchors[a];
+        const kernels::MatMulKernel kernel(anchorTile, config);
+        if (a == 0) {
+            cls.canonical = kernel.program();
+            cls.anchorPack = vliw::PackCache::global().lookupOrPack(
+                cls.canonical, packOptions_);
+            cls.packs[kAnchors[0]] = cls.anchorPack;
+        } else if (!transplantCompatible(cls.canonical,
+                                         kernel.program())) {
+            uncertifiedClasses_.fetch_add(1, std::memory_order_relaxed);
+            certifyMicros_.fetch_add(
+                static_cast<uint64_t>(timer.seconds() * 1e6),
+                std::memory_order_relaxed);
+            return;
+        }
+        std::shared_ptr<const dsp::PackedProgram> packed =
+            cls.anchorPack;
+        if (a != 0) {
+            packed = std::make_shared<const dsp::PackedProgram>(
+                dsp::PackedProgram{kernel.program(),
+                                   cls.anchorPack->packets,
+                                   cls.anchorPack->labelPacket});
+            cls.packs[kAnchors[a]] = packed;
+        }
+        const kernels::KernelRunResult run = kernels::runPackedKernel(
+            packed, kernel.buffers(), {}, {});
+        anchorSims_.fetch_add(1, std::memory_order_relaxed);
+        stats[a] = fromRun(run);
+        cls.anchorStats[a] = stats[a];
+    }
+
+    NodeExecStats base;
+    NodeExecStats slope;
+    const bool affine =
+        fitField(stats[0].cycles, stats[1].cycles, stats[2].cycles,
+                 &base.cycles, &slope.cycles) &&
+        fitField(stats[0].instructions, stats[1].instructions,
+                 stats[2].instructions, &base.instructions,
+                 &slope.instructions) &&
+        fitField(stats[0].packets, stats[1].packets, stats[2].packets,
+                 &base.packets, &slope.packets) &&
+        fitField(stats[0].bytesLoaded, stats[1].bytesLoaded,
+                 stats[2].bytesLoaded, &base.bytesLoaded,
+                 &slope.bytesLoaded) &&
+        fitField(stats[0].bytesStored, stats[1].bytesStored,
+                 stats[2].bytesStored, &base.bytesStored,
+                 &slope.bytesStored);
+
+    cls.canonicalBounds = analyzeProgram(cls.canonical);
+    const bool bracketed =
+        !cls.canonicalBounds.certified ||
+        (cls.canonicalBounds.lower <= stats[0].cycles &&
+         stats[0].cycles <= cls.canonicalBounds.upper);
+
+    if (affine && bracketed) {
+        cls.base = base;
+        cls.slope = slope;
+        cls.certified = true;
+        certifiedClasses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        uncertifiedClasses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    certifyMicros_.fetch_add(
+        static_cast<uint64_t>(timer.seconds() * 1e6),
+        std::memory_order_relaxed);
+}
+
+NodeExecStats
+TieredCoster::tileStats(const MatMulShape &tile, const MatMulConfig &config)
+{
+    const int64_t iters = itersFor(tile, config);
+    TileClass &cls = classFor(tile, config);
+    std::lock_guard<std::mutex> lock(cls.mu);
+    if (!cls.tried)
+        certify(cls, tile, config);
+
+    const kernels::MatMulKernel kernel(tile, config);
+    if (cls.certified &&
+        transplantCompatible(cls.canonical, kernel.program())) {
+        if (iters >= kAnchors[0]) {
+            plansDerived_.fetch_add(1, std::memory_order_relaxed);
+            return affineAt(cls.base, cls.slope, iters);
+        }
+        // Shallow reductions sit below the certified anchor range;
+        // simulate them on the transplanted schedule (still one pack
+        // for the whole class).
+        std::shared_ptr<const dsp::PackedProgram> &packed =
+            cls.packs[iters];
+        if (!packed) {
+            packed = std::make_shared<const dsp::PackedProgram>(
+                dsp::PackedProgram{kernel.program(),
+                                   cls.anchorPack->packets,
+                                   cls.anchorPack->labelPacket});
+            transplantedPacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        plansSimulated_.fetch_add(1, std::memory_order_relaxed);
+        return fromRun(
+            kernels::runPackedKernel(packed, kernel.buffers(), {}, {}));
+    }
+
+    if (cls.certified)
+        structuralFallbacks_.fetch_add(1, std::memory_order_relaxed);
+    plansSimulated_.fetch_add(1, std::memory_order_relaxed);
+    return fromRun(kernels::runKernel(kernel.program(), kernel.buffers(),
+                                      {}, {}, packOptions_));
+}
+
+std::shared_ptr<const dsp::PackedProgram>
+TieredCoster::tileSchedule(const MatMulShape &tile,
+                           const MatMulConfig &config)
+{
+    const int64_t iters = itersFor(tile, config);
+    TileClass &cls = classFor(tile, config);
+    std::lock_guard<std::mutex> lock(cls.mu);
+    if (!cls.tried)
+        certify(cls, tile, config);
+
+    const kernels::MatMulKernel kernel(tile, config);
+    if (cls.certified &&
+        transplantCompatible(cls.canonical, kernel.program())) {
+        std::shared_ptr<const dsp::PackedProgram> &packed =
+            cls.packs[iters];
+        if (!packed) {
+            packed = std::make_shared<const dsp::PackedProgram>(
+                dsp::PackedProgram{kernel.program(),
+                                   cls.anchorPack->packets,
+                                   cls.anchorPack->labelPacket});
+            transplantedPacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return packed;
+    }
+    if (cls.certified)
+        structuralFallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return vliw::PackCache::global().lookupOrPack(kernel.program(),
+                                                  packOptions_);
+}
+
+uint64_t
+TieredCoster::tileLowerBound(const MatMulShape &tile,
+                             const MatMulConfig &config)
+{
+    const int64_t iters = itersFor(tile, config);
+    TileClass &cls = classFor(tile, config);
+    std::lock_guard<std::mutex> lock(cls.mu);
+    auto it = cls.bounds.find(iters);
+    if (it == cls.bounds.end()) {
+        const Timer timer;
+        const kernels::MatMulKernel kernel(tile, config);
+        it = cls.bounds.emplace(iters, analyzeProgram(kernel.program()))
+                 .first;
+        analyticMicros_.fetch_add(
+            static_cast<uint64_t>(timer.seconds() * 1e6),
+            std::memory_order_relaxed);
+    }
+    return it->second.certified ? it->second.lower : 0;
+}
+
+void
+TieredCoster::notePruned(uint64_t count)
+{
+    plansPruned_.fetch_add(count, std::memory_order_relaxed);
+}
+
+TieredCounters
+TieredCoster::counters() const
+{
+    TieredCounters c;
+    c.plansDerived = plansDerived_.load(std::memory_order_relaxed);
+    c.plansSimulated = plansSimulated_.load(std::memory_order_relaxed);
+    c.plansPruned = plansPruned_.load(std::memory_order_relaxed);
+    c.anchorSims = anchorSims_.load(std::memory_order_relaxed);
+    c.transplantedPacks =
+        transplantedPacks_.load(std::memory_order_relaxed);
+    c.certifiedClasses = certifiedClasses_.load(std::memory_order_relaxed);
+    c.uncertifiedClasses =
+        uncertifiedClasses_.load(std::memory_order_relaxed);
+    c.structuralFallbacks =
+        structuralFallbacks_.load(std::memory_order_relaxed);
+    return c;
+}
+
+double
+TieredCoster::certifySeconds() const
+{
+    return static_cast<double>(
+               certifyMicros_.load(std::memory_order_relaxed)) *
+           1e-6;
+}
+
+double
+TieredCoster::analyticSeconds() const
+{
+    return static_cast<double>(
+               analyticMicros_.load(std::memory_order_relaxed)) *
+           1e-6;
+}
+
+std::vector<std::string>
+TieredCoster::audit(size_t *classesChecked) const
+{
+    std::vector<std::string> errors;
+    size_t checked = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &entry : classes_) {
+        TileClass &cls = *entry.second;
+        std::lock_guard<std::mutex> classLock(cls.mu);
+        if (!cls.certified)
+            continue;
+        ++checked;
+        for (int a = 0; a < 3; ++a) {
+            const NodeExecStats derived =
+                affineAt(cls.base, cls.slope, kAnchors[a]);
+            const NodeExecStats &simmed = cls.anchorStats[a];
+            if (derived.cycles != simmed.cycles ||
+                derived.instructions != simmed.instructions ||
+                derived.packets != simmed.packets ||
+                derived.bytesLoaded != simmed.bytesLoaded ||
+                derived.bytesStored != simmed.bytesStored) {
+                std::ostringstream msg;
+                msg << "tiered class fit does not reproduce anchor "
+                    << kAnchors[a] << " (derived " << derived.cycles
+                    << " cycles, simulated " << simmed.cycles << ")";
+                errors.push_back(msg.str());
+            }
+        }
+        if (cls.canonicalBounds.certified &&
+            (cls.canonicalBounds.lower > cls.anchorStats[0].cycles ||
+             cls.anchorStats[0].cycles > cls.canonicalBounds.upper)) {
+            std::ostringstream msg;
+            msg << "analytic bounds [" << cls.canonicalBounds.lower
+                << ", " << cls.canonicalBounds.upper
+                << "] do not bracket anchor simulation "
+                << cls.anchorStats[0].cycles;
+            errors.push_back(msg.str());
+        }
+    }
+    if (classesChecked != nullptr)
+        *classesChecked = checked;
+    return errors;
+}
+
+size_t
+applySameLayoutDominance(
+    std::vector<ExecutionPlan> &plans,
+    const std::function<uint64_t(const ExecutionPlan &)> &exactCycles,
+    const std::function<uint64_t(const ExecutionPlan &)> &lowerBound)
+{
+    size_t pruned = 0;
+    // Best exact cost seen so far per (input layout, output layout).
+    std::map<std::pair<int, int>, uint64_t> bestByLayout;
+    for (ExecutionPlan &plan : plans) {
+        const std::pair<int, int> layouts{
+            static_cast<int>(plan.inLayout),
+            static_cast<int>(plan.outLayout)};
+        const auto it = bestByLayout.find(layouts);
+        if (it != bestByLayout.end()) {
+            const uint64_t lb = lowerBound(plan);
+            if (lb > it->second) {
+                // Strictly dominated: an earlier identical-layout plan is
+                // exactly costed below this plan's certified floor, and
+                // identical layouts mean identical TC terms in every
+                // selection context. Store the bound (strictly worse than
+                // the dominator) so min-folds can never pick this plan.
+                plan.cycles = lb;
+                ++pruned;
+                continue;
+            }
+        }
+        plan.cycles = exactCycles(plan);
+        if (it == bestByLayout.end())
+            bestByLayout.emplace(layouts, plan.cycles);
+        else
+            it->second = std::min(it->second, plan.cycles);
+    }
+    return pruned;
+}
+
+} // namespace gcd2::select

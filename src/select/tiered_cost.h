@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tier-2 of the tiered plan coster: shared-structure affine costing of
+ * matmul tile kernels with packet transplantation, plus the same-layout
+ * dominance filter (DESIGN.md section 16).
+ *
+ * Cold compiles are dominated by costing candidate plans: every matmul
+ * tile is generated, VLIW-packed, and simulated at its full reduction
+ * depth. But tiles of one (scheme, unroll choice, tile geometry) *class*
+ * differ only in reduction depth K, and the generated loop nests encode K
+ * purely in immediates of non-memory instructions (trip-count MOVIs and
+ * pointer-step ADDIs -- pointer increments create fresh register
+ * versions, so the alias analysis never compares offsets across them).
+ * The packer reads immediates only through the alias analysis of memory
+ * instructions, so two class members have bit-identical dependence
+ * graphs and therefore bit-identical packet structure:
+ *
+ *  - *packet transplantation*: pack one class member, reuse its packet
+ *    index lists (and label->packet map) verbatim on every other member.
+ *    This is not an approximation -- it is the same schedule the packer
+ *    would produce, checked structurally before every reuse and
+ *    re-verified against direct packs in tests;
+ *  - *affine derivation*: the timing simulator charges cycles as a pure
+ *    function of packet structure, static alias relations, and trip
+ *    counts, so each stat field is affine in the inner-loop trip count.
+ *    Three anchor simulations (8/12/16 iterations) certify the fit with
+ *    exact integer collinearity -- f(12)-f(8) == f(16)-f(12), divisible
+ *    slope, non-negative base -- and every deeper member's stats are
+ *    derived in O(1). Shallower members (< 8 iterations) and anything
+ *    failing the structural check fall back to a real simulation.
+ *
+ * One pack + three short simulations per class replace one pack + one
+ * full-depth simulation per *candidate*, which is where the >=2x
+ * cold-compile win comes from; the deep audit (select/audit.h) re-costs
+ * served selections through the exhaustive path to prove bit-equality.
+ */
+#ifndef GCD2_SELECT_TIERED_COST_H
+#define GCD2_SELECT_TIERED_COST_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kernels/matmul.h"
+#include "select/analytic.h"
+#include "select/exec_stats.h"
+#include "select/plan.h"
+#include "vliw/packer.h"
+
+namespace gcd2::select {
+
+/** Monotone counters of the tiered coster (for PipelineReport). */
+struct TieredCounters
+{
+    uint64_t plansDerived = 0;      ///< stats from a certified affine fit
+    uint64_t plansSimulated = 0;    ///< stats from a real simulation
+    uint64_t plansPruned = 0;       ///< candidates pruned by dominance
+    uint64_t anchorSims = 0;        ///< certification anchor simulations
+    uint64_t transplantedPacks = 0; ///< schedules served by transplant
+    uint64_t certifiedClasses = 0;
+    uint64_t uncertifiedClasses = 0;
+    uint64_t structuralFallbacks = 0; ///< certified class, program mismatch
+};
+
+/**
+ * Shared-structure coster for matmul tile kernels. One instance per
+ * CostModel; thread-safe (concurrent costing of different classes
+ * proceeds in parallel, same-class requests serialize on the class).
+ */
+class TieredCoster
+{
+  public:
+    explicit TieredCoster(const vliw::PackOptions &packOptions);
+    ~TieredCoster();
+
+    TieredCoster(const TieredCoster &) = delete;
+    TieredCoster &operator=(const TieredCoster &) = delete;
+
+    /**
+     * Raw simulated-equivalent stats of the tile kernel for @p tile under
+     * @p config (no drain adjustment -- the cost model layers that on
+     * top, since it is piecewise in K rather than affine in iterations).
+     * Exact: either a real simulation or a certified affine derivation.
+     */
+    NodeExecStats tileStats(const kernels::MatMulShape &tile,
+                            const kernels::MatMulConfig &config);
+
+    /**
+     * The schedule to serve for the tile kernel: the transplanted packet
+     * structure of the class anchor when certified (memoized, so every
+     * node of the class shares one PackedProgram object), or a direct
+     * PackCache pack otherwise. Bit-identical to packing the program
+     * directly either way.
+     */
+    std::shared_ptr<const dsp::PackedProgram>
+    tileSchedule(const kernels::MatMulShape &tile,
+                 const kernels::MatMulConfig &config);
+
+    /**
+     * Certified analytic lower bound on the tile's raw simulated cycles
+     * (tier 1; memoized per class and depth). Returns 0 when the program
+     * cannot be certified -- callers must treat 0 as "no bound".
+     */
+    uint64_t tileLowerBound(const kernels::MatMulShape &tile,
+                            const kernels::MatMulConfig &config);
+
+    /** Record dominance prunes decided by the caller (cost model). */
+    void notePruned(uint64_t count);
+
+    TieredCounters counters() const;
+
+    /** Wall time spent certifying classes (packs + anchor sims). */
+    double certifySeconds() const;
+    /** Wall time spent in tier-1 analytic bound computations. */
+    double analyticSeconds() const;
+
+    /**
+     * Cheap always-on self-audit: re-derives every certified class's
+     * anchor stats from the stored affine fit and re-checks the analytic
+     * bounds bracket the anchor simulation. Returns human-readable
+     * violations (empty = pass) and the number of classes checked.
+     */
+    std::vector<std::string> audit(size_t *classesChecked = nullptr) const;
+
+  private:
+    struct TileClass;
+
+    TileClass &classFor(const kernels::MatMulShape &tile,
+                        const kernels::MatMulConfig &config);
+    void certify(TileClass &cls, const kernels::MatMulShape &tile,
+                 const kernels::MatMulConfig &config);
+
+    vliw::PackOptions packOptions_;
+
+    mutable std::mutex mu_; ///< guards classes_ (map nodes are stable)
+    std::map<std::vector<int64_t>, std::unique_ptr<TileClass>> classes_;
+
+    mutable std::atomic<uint64_t> plansDerived_{0};
+    mutable std::atomic<uint64_t> plansSimulated_{0};
+    mutable std::atomic<uint64_t> plansPruned_{0};
+    mutable std::atomic<uint64_t> anchorSims_{0};
+    mutable std::atomic<uint64_t> transplantedPacks_{0};
+    mutable std::atomic<uint64_t> certifiedClasses_{0};
+    mutable std::atomic<uint64_t> uncertifiedClasses_{0};
+    mutable std::atomic<uint64_t> structuralFallbacks_{0};
+    mutable std::atomic<uint64_t> certifyMicros_{0};
+    mutable std::atomic<uint64_t> analyticMicros_{0};
+};
+
+/**
+ * Two programs are transplant-compatible when the deterministic packer
+ * provably emits bit-identical packet structures for both: same opcodes,
+ * operands, labels, and noalias declarations, equal branch immediates,
+ * and -- where memory-access immediates differ (strides scale with the
+ * reduction depth) -- an identical AliasAnalysis::mayAlias relation on
+ * every store/mem pair. Those are the only lenses through which the
+ * packer's dependence analysis reads immediates (dsp/alias.cc,
+ * dsp/deps.cc), so equal relations force identical dependency graphs
+ * and therefore identical packs.
+ */
+bool transplantCompatible(const dsp::Program &a, const dsp::Program &b);
+
+/**
+ * Same-layout dominance filter (tier 2 of the plan coster). Walks
+ * @p plans in order; a plan whose certified analytic lower bound
+ * *strictly* exceeds the exact cost of an earlier plan with identical
+ * input and output layouts is pruned -- its cycles are set to that lower
+ * bound and @p exactCycles is never called for it. Everything else gets
+ * exact cycles.
+ *
+ * Soundness: layout-transform costs (TC) depend only on layouts, so the
+ * dominating plan is at least as good in every selection context; the
+ * strict inequality keeps the pruned plan's stored cycles strictly worse
+ * than the dominating plan's, so no min-fold or first-index tie-break in
+ * any solver can ever pick it. A lower bound of 0 (uncertified) never
+ * prunes. Returns the number of plans pruned.
+ */
+size_t applySameLayoutDominance(
+    std::vector<ExecutionPlan> &plans,
+    const std::function<uint64_t(const ExecutionPlan &)> &exactCycles,
+    const std::function<uint64_t(const ExecutionPlan &)> &lowerBound);
+
+} // namespace gcd2::select
+
+#endif // GCD2_SELECT_TIERED_COST_H

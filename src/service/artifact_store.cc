@@ -1,5 +1,6 @@
 #include "service/artifact_store.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstring>
@@ -467,7 +468,8 @@ writeArtifactFile(const std::string &path, const ModelKey &key,
     return static_cast<bool>(out);
 }
 
-ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir))
+ArtifactStore::ArtifactStore(std::string dir, uint64_t maxBytes)
+    : dir_(std::move(dir)), maxBytes_(maxBytes)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -509,10 +511,75 @@ ArtifactStore::save(const ModelKey &key, const CompiledModel &model,
         return false;
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.saves;
-    stats_.saveBytes += payload.size();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.saves;
+        stats_.saveBytes += payload.size();
+    }
+    if (maxBytes_ > 0)
+        gc(diags);
     return true;
+}
+
+size_t
+ArtifactStore::gc(std::vector<Diag> *diags)
+{
+    if (maxBytes_ == 0)
+        return 0;
+
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::file_time_type mtime;
+        uint64_t bytes = 0;
+        fs::path path;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (it->path().extension() != ".gcd2art")
+            continue;
+        Entry entry;
+        entry.path = it->path();
+        entry.bytes = it->file_size(ec);
+        if (ec) // disappeared mid-scan (concurrent gc or operator)
+            continue;
+        entry.mtime = it->last_write_time(ec);
+        if (ec)
+            continue;
+        total += entry.bytes;
+        entries.push_back(std::move(entry));
+    }
+    if (total <= maxBytes_)
+        return 0;
+
+    // Oldest mtime first. load() touches the file on every verified
+    // hit, so mtime orders artifacts by last use, not creation.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    size_t evicted = 0;
+    uint64_t evictedBytes = 0;
+    for (const Entry &entry : entries) {
+        if (total <= maxBytes_)
+            break;
+        if (!fs::remove(entry.path, ec) || ec) {
+            reject(diags, "artifact gc: failed to remove " +
+                              entry.path.string());
+            continue;
+        }
+        total -= entry.bytes;
+        evictedBytes += entry.bytes;
+        ++evicted;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += evicted;
+    stats_.evictedBytes += evictedBytes;
+    return evicted;
 }
 
 std::shared_ptr<CompiledModel>
@@ -659,6 +726,12 @@ ArtifactStore::load(const ModelKey &key, const graph::Graph &graph,
     pass.counters.emplace_back("payload-bytes", payload.size());
     pass.counters.emplace_back("programs-audited", audited);
     model->report.passes.push_back(std::move(pass));
+
+    // Touch the file so gc()'s oldest-mtime-first eviction treats this
+    // artifact as recently used (best-effort; a failure just ages it).
+    std::error_code touchEc;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), touchEc);
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.loadHits;

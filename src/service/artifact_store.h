@@ -77,10 +77,30 @@ bool writeArtifactFile(const std::string &path, const ModelKey &key,
 class ArtifactStore
 {
   public:
-    /** @param dir artifact directory (created if absent). */
-    explicit ArtifactStore(std::string dir);
+    /**
+     * @param dir artifact directory (created if absent).
+     * @param maxBytes size bound on the directory's artifact bytes;
+     *        0 = unbounded. When bounded, every save triggers gc(),
+     *        which evicts least-recently-used artifacts (by file mtime;
+     *        load hits touch the file, so mtime is a recency clock)
+     *        until the store fits. Eviction only ever deletes whole
+     *        verified-format files; an evicted key simply falls back to
+     *        a clean compile next time.
+     */
+    explicit ArtifactStore(std::string dir, uint64_t maxBytes = 0);
 
     const std::string &dir() const { return dir_; }
+    uint64_t maxBytes() const { return maxBytes_; }
+
+    /**
+     * Enforce the size bound now: scan the directory's `*.gcd2art`
+     * files and delete oldest-mtime-first until their total size is
+     * within maxBytes. Returns the number of artifacts evicted (0 when
+     * unbounded or already within bound). Safe to run concurrently with
+     * save/load: a file that disappears mid-scan is skipped, a reader
+     * of an evicted key sees an ordinary miss.
+     */
+    size_t gc(std::vector<common::Diag> *diags = nullptr);
 
     /** File path an artifact for @p key lives at. */
     std::string pathFor(const ModelKey &key) const;
@@ -118,12 +138,15 @@ class ArtifactStore
         uint64_t loadHits = 0;    ///< artifacts served after verification
         uint64_t loadMisses = 0;  ///< no artifact on disk for the key
         uint64_t loadRejects = 0; ///< artifacts rejected by the gate
+        uint64_t evictions = 0;   ///< artifacts deleted by gc()
+        uint64_t evictedBytes = 0;
     };
 
     Stats stats() const;
 
   private:
     std::string dir_;
+    uint64_t maxBytes_ = 0;    ///< 0 = unbounded (gc() never evicts)
     mutable std::mutex mutex_; ///< guards stats_ only (I/O is lock-free)
     Stats stats_;
 };

@@ -39,8 +39,8 @@ CompileService::CompileService(ServiceOptions options)
       pool_(options_.numWorkers)
 {
     if (!options_.artifactDir.empty()) {
-        artifacts_ =
-            std::make_unique<ArtifactStore>(options_.artifactDir);
+        artifacts_ = std::make_unique<ArtifactStore>(
+            options_.artifactDir, options_.artifactMaxBytes);
         verifyPool_ = std::make_unique<ThreadPool>(
             std::min(8, ThreadPool::hardwareThreads()));
     }
@@ -301,7 +301,11 @@ ServiceReport::toString() const
         << " evictions\n";
     out << "  artifacts: " << artifacts.saves << " saved, "
         << artifacts.loadHits << " served, " << artifacts.loadRejects
-        << " rejected, " << artifacts.loadMisses << " misses\n";
+        << " rejected, " << artifacts.loadMisses << " misses, "
+        << artifacts.evictions << " evicted";
+    if (artifacts.evictedBytes > 0)
+        out << " (" << artifacts.evictedBytes << " bytes)";
+    out << "\n";
     if (currentDerivedBudget > 0)
         out << "  derived selector budget: " << currentDerivedBudget
             << " evaluations\n";

@@ -73,6 +73,10 @@ struct ServiceOptions
     size_t modelCacheEntries = 32;
     /** Artifact directory; empty disables the on-disk store. */
     std::string artifactDir;
+    /** Artifact-store size bound in bytes; 0 = unbounded. When set, the
+     *  store garbage-collects after every save, evicting least-recently
+     *  -used artifacts (see ArtifactStore::gc). */
+    uint64_t artifactMaxBytes = 0;
     /** Wall-clock compile target driving the adaptive selector budget;
      *  0 disables derivation (unbudgeted unless the caller set one). */
     double targetCompileMs = 0.0;

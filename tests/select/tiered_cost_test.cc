@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tiered plan costing tests: the analytic model's bounds really bracket
+ * simulation, transplanted schedules are bit-identical to direct packs,
+ * affine-derived stats equal direct simulation, and the dominance filter
+ * prunes only what its soundness argument covers (identical layouts,
+ * strictly dominated). The zoo-wide differential and deep-audit tests
+ * live in tests/runtime/tiered_differential_test.cc.
+ */
+#include <gtest/gtest.h>
+
+#include "kernels/matmul.h"
+#include "kernels/runner.h"
+#include "select/analytic.h"
+#include "select/tiered_cost.h"
+#include "vliw/packer.h"
+
+namespace gcd2::select {
+namespace {
+
+using kernels::MatMulConfig;
+using kernels::MatMulKernel;
+using kernels::MatMulScheme;
+using kernels::MatMulShape;
+
+MatMulConfig
+configFor(MatMulScheme scheme, int uo, int un, int uk)
+{
+    MatMulConfig config;
+    config.scheme = scheme;
+    config.unrollOut = uo;
+    config.unrollCols = un;
+    config.unrollK = uk;
+    return config;
+}
+
+// -- Tier 1: analytic bounds -------------------------------------------
+
+TEST(AnalyticModelTest, BoundsBracketSimulatedCyclesAcrossSchemes)
+{
+    for (const MatMulScheme scheme :
+         {MatMulScheme::Vmpy, MatMulScheme::Vmpa, MatMulScheme::Vrmpy}) {
+        for (const int unroll : {1, 2}) {
+            const MatMulConfig config =
+                configFor(scheme, unroll, unroll, unroll);
+            const MatMulKernel kernel(MatMulShape{32, 96, 16}, config);
+            const AnalyticBounds bounds =
+                analyzeProgram(kernel.program());
+            SCOPED_TRACE(testing::Message()
+                         << "scheme " << static_cast<int>(scheme)
+                         << " unroll " << unroll);
+            ASSERT_TRUE(bounds.certified);
+            ASSERT_GT(bounds.lower, 0u);
+            const kernels::KernelRunResult run = kernels::runKernel(
+                kernel.program(), kernel.buffers(), {}, {});
+            EXPECT_LE(bounds.lower, run.stats.cycles);
+            EXPECT_GE(bounds.upper, run.stats.cycles);
+            EXPECT_EQ(bounds.dynamicInstructions,
+                      run.stats.instructionsExecuted);
+        }
+    }
+}
+
+TEST(AnalyticModelTest, EmptyProgramIsCertifiedZero)
+{
+    const AnalyticBounds bounds = analyzeProgram(dsp::Program{});
+    EXPECT_TRUE(bounds.certified);
+    EXPECT_EQ(bounds.lower, 0u);
+    EXPECT_EQ(bounds.upper, 0u);
+}
+
+TEST(AnalyticModelTest, RefusesForwardBranch)
+{
+    // JUMPNZ to a label *ahead* of the branch: the skipped-path count is
+    // data-dependent, so the program must stay uncertified.
+    dsp::Program prog;
+    prog.labels.push_back(3); // label 0 -> instruction 3 (forward)
+    prog.push(dsp::makeMovi(dsp::sreg(0), 1));
+    prog.push(dsp::makeJumpNz(dsp::sreg(0), 0));
+    prog.push(dsp::makeMovi(dsp::sreg(1), 7));
+    prog.push(dsp::makeMovi(dsp::sreg(2), 9));
+    EXPECT_FALSE(analyzeProgram(prog).certified);
+}
+
+TEST(AnalyticModelTest, RefusesUnconditionalJump)
+{
+    dsp::Program prog;
+    prog.labels.push_back(0);
+    prog.push(dsp::makeMovi(dsp::sreg(0), 1));
+    prog.push(dsp::makeJump(0));
+    EXPECT_FALSE(analyzeProgram(prog).certified);
+}
+
+TEST(AnalyticModelTest, RefusesUnresolvableTripCount)
+{
+    // Counter initialized by a register move, not a MOVI immediate.
+    dsp::Program prog;
+    prog.labels.push_back(2);
+    prog.push(dsp::makeMovi(dsp::sreg(1), 4));
+    prog.push(dsp::makeMov(dsp::sreg(0), dsp::sreg(1)));
+    prog.push(dsp::makeAddi(dsp::sreg(0), dsp::sreg(0), -1));
+    prog.push(dsp::makeJumpNz(dsp::sreg(0), 0));
+    EXPECT_FALSE(analyzeProgram(prog).certified);
+}
+
+// -- Tier 3: transplants and affine derivation -------------------------
+
+TEST(TieredCosterTest, TransplantedScheduleBitIdenticalToDirectPack)
+{
+    // k chosen away from every anchor (and odd) so tileSchedule must
+    // rewrite the anchor pack onto a program it has never simulated.
+    const vliw::PackOptions packOptions;
+    for (const MatMulScheme scheme :
+         {MatMulScheme::Vmpy, MatMulScheme::Vmpa, MatMulScheme::Vrmpy}) {
+        TieredCoster coster(packOptions);
+        const MatMulConfig config = configFor(scheme, 2, 2, 2);
+        const MatMulShape tile{16, 357, 8};
+        const std::shared_ptr<const dsp::PackedProgram> served =
+            coster.tileSchedule(tile, config);
+        ASSERT_NE(served, nullptr);
+        SCOPED_TRACE(testing::Message()
+                     << "scheme " << static_cast<int>(scheme));
+        ASSERT_EQ(coster.counters().certifiedClasses, 1u);
+        ASSERT_GE(coster.counters().transplantedPacks, 1u);
+
+        const MatMulKernel kernel(tile, config);
+        const dsp::PackedProgram direct =
+            vliw::pack(kernel.program(), packOptions);
+        ASSERT_EQ(served->program.code.size(),
+                  kernel.program().code.size());
+        for (size_t j = 0; j < direct.program.code.size(); ++j)
+            EXPECT_EQ(served->program.code[j].toString(),
+                      kernel.program().code[j].toString());
+        EXPECT_EQ(served->packets.size(), direct.packets.size());
+        for (size_t p = 0; p < direct.packets.size(); ++p)
+            EXPECT_EQ(served->packets[p].insts, direct.packets[p].insts);
+        EXPECT_EQ(served->labelPacket, direct.labelPacket);
+    }
+}
+
+TEST(TieredCosterTest, DerivedStatsEqualDirectSimulation)
+{
+    // iters >= 8: stats come from the affine fit, no simulation at k.
+    const vliw::PackOptions packOptions;
+    for (const MatMulScheme scheme :
+         {MatMulScheme::Vmpy, MatMulScheme::Vmpa, MatMulScheme::Vrmpy}) {
+        TieredCoster coster(packOptions);
+        const MatMulConfig config = configFor(scheme, 1, 2, 1);
+        for (const int64_t k : {147, 200, 513}) {
+            const MatMulShape tile{8, k, 8};
+            const NodeExecStats derived = coster.tileStats(tile, config);
+            const MatMulKernel kernel(tile, config);
+            const kernels::KernelRunResult run = kernels::runKernel(
+                kernel.program(), kernel.buffers(), {}, {},
+                packOptions);
+            SCOPED_TRACE(testing::Message()
+                         << "scheme " << static_cast<int>(scheme)
+                         << " k=" << k);
+            EXPECT_EQ(derived.cycles, run.stats.cycles);
+            EXPECT_EQ(derived.instructions,
+                      run.stats.instructionsExecuted);
+            EXPECT_EQ(derived.packets, run.stats.packetsExecuted);
+            EXPECT_EQ(derived.bytesLoaded, run.stats.bytesLoaded);
+            EXPECT_EQ(derived.bytesStored, run.stats.bytesStored);
+        }
+        EXPECT_GE(coster.counters().plansDerived, 3u);
+        EXPECT_EQ(coster.counters().plansSimulated, 0u);
+        EXPECT_TRUE(coster.audit().empty());
+    }
+}
+
+TEST(TieredCosterTest, ShallowReductionSimulatesOnTransplant)
+{
+    // iters < 8 sits below the certified anchor range: the coster must
+    // simulate, but on the transplanted (single-pack) schedule, and the
+    // numbers must equal a from-scratch pack + sim.
+    const vliw::PackOptions packOptions;
+    TieredCoster coster(packOptions);
+    const MatMulConfig config =
+        configFor(MatMulScheme::Vrmpy, 1, 1, 1);
+    const MatMulShape tile{8, 8, 8}; // quantum 4 -> 2 iters
+    const NodeExecStats stats = coster.tileStats(tile, config);
+    EXPECT_EQ(coster.counters().plansSimulated, 1u);
+    EXPECT_EQ(coster.counters().plansDerived, 0u);
+
+    const MatMulKernel kernel(tile, config);
+    const kernels::KernelRunResult run = kernels::runKernel(
+        kernel.program(), kernel.buffers(), {}, {}, packOptions);
+    EXPECT_EQ(stats.cycles, run.stats.cycles);
+    EXPECT_EQ(stats.instructions, run.stats.instructionsExecuted);
+}
+
+// -- Tier 2: same-layout dominance -------------------------------------
+
+ExecutionPlan
+planWith(tensor::Layout in, tensor::Layout out)
+{
+    ExecutionPlan plan;
+    plan.inLayout = in;
+    plan.outLayout = out;
+    return plan;
+}
+
+TEST(DominanceFilterTest, PrunesStrictlyDominatedSameLayoutPlan)
+{
+    using tensor::Layout;
+    std::vector<ExecutionPlan> plans = {
+        planWith(Layout::OneColumn, Layout::OneColumn),  // exact 100
+        planWith(Layout::OneColumn, Layout::OneColumn),  // lb 150: prune
+        planWith(Layout::OneColumn, Layout::OneColumn),  // lb 100: keep
+    };
+    size_t exactCalls = 0;
+    const auto exact = [&](const ExecutionPlan &) -> uint64_t {
+        ++exactCalls;
+        return 100;
+    };
+    size_t lbCalls = 0;
+    const auto lb = [&](const ExecutionPlan &) -> uint64_t {
+        return ++lbCalls == 1 ? 150 : 100;
+    };
+    const size_t pruned = applySameLayoutDominance(plans, exact, lb);
+    EXPECT_EQ(pruned, 1u);
+    // Plan 1 pruned without an exact cost; plan 2's bound ties the best
+    // exact cost, so the strict rule keeps it and costs it exactly.
+    EXPECT_EQ(exactCalls, 2u);
+    EXPECT_EQ(plans[0].cycles, 100u);
+    EXPECT_EQ(plans[1].cycles, 150u); // stores its lower bound
+    EXPECT_EQ(plans[2].cycles, 100u);
+}
+
+TEST(DominanceFilterTest, NeverPrunesAcrossDifferentLayouts)
+{
+    using tensor::Layout;
+    // Identical schemes, huge lower bounds -- but no two plans share
+    // both layouts, so every plan must be costed exactly (their TC terms
+    // differ by selection context).
+    std::vector<ExecutionPlan> plans = {
+        planWith(Layout::OneColumn, Layout::OneColumn),
+        planWith(Layout::OneColumn, Layout::TwoColumn),
+        planWith(Layout::TwoColumn, Layout::OneColumn),
+        planWith(Layout::FourColumn, Layout::FourColumn),
+    };
+    size_t exactCalls = 0;
+    const auto exact = [&](const ExecutionPlan &) -> uint64_t {
+        ++exactCalls;
+        return 10;
+    };
+    const auto lb = [](const ExecutionPlan &) -> uint64_t {
+        return 1000000;
+    };
+    EXPECT_EQ(applySameLayoutDominance(plans, exact, lb), 0u);
+    EXPECT_EQ(exactCalls, plans.size());
+    for (const ExecutionPlan &plan : plans)
+        EXPECT_EQ(plan.cycles, 10u);
+}
+
+TEST(DominanceFilterTest, UncertifiedBoundZeroNeverPrunes)
+{
+    using tensor::Layout;
+    std::vector<ExecutionPlan> plans = {
+        planWith(Layout::OneColumn, Layout::OneColumn),
+        planWith(Layout::OneColumn, Layout::OneColumn),
+    };
+    size_t exactCalls = 0;
+    const auto exact = [&](const ExecutionPlan &) -> uint64_t {
+        ++exactCalls;
+        return 5;
+    };
+    // tileLowerBound returns 0 for uncertified classes; 0 is never
+    // strictly above an exact cost, so nothing may be pruned.
+    const auto lb = [](const ExecutionPlan &) -> uint64_t { return 0; };
+    EXPECT_EQ(applySameLayoutDominance(plans, exact, lb), 0u);
+    EXPECT_EQ(exactCalls, 2u);
+}
+
+// -- transplantCompatible ----------------------------------------------
+
+TEST(TransplantCompatibleTest, AcceptsScaledStridesRejectsStructure)
+{
+    const MatMulConfig config = configFor(MatMulScheme::Vrmpy, 2, 2, 2);
+    const dsp::Program a =
+        MatMulKernel(MatMulShape{16, 64, 8}, config).program();
+    const dsp::Program bigger =
+        MatMulKernel(MatMulShape{16, 192, 8}, config).program();
+    // Same structure, strides scaled by the deeper reduction: compatible.
+    EXPECT_TRUE(transplantCompatible(a, bigger));
+
+    // A different unroll changes the instruction sequence: incompatible.
+    const dsp::Program other =
+        MatMulKernel(MatMulShape{16, 64, 8},
+                     configFor(MatMulScheme::Vrmpy, 2, 4, 2))
+            .program();
+    EXPECT_FALSE(transplantCompatible(a, other));
+
+    // Branch immediates may never drift.
+    dsp::Program branchTweak = a;
+    for (dsp::Instruction &inst : branchTweak.code)
+        if (inst.isBranch())
+            inst.imm += 1;
+    EXPECT_FALSE(transplantCompatible(a, branchTweak));
+}
+
+} // namespace
+} // namespace gcd2::select

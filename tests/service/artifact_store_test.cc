@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -221,6 +222,99 @@ TEST(ArtifactStoreTest, ReauditRejectsCorruptedScheduleDespiteValidChecksum)
     EXPECT_TRUE(sawError);
     EXPECT_EQ(store.stats().loadRejects, 1u);
     EXPECT_EQ(store.stats().loadHits, 0u);
+}
+
+TEST(ArtifactStoreGcTest, UnboundedStoreNeverEvicts)
+{
+    ArtifactStore store(freshDir("artifact_gc_unbounded"));
+    ASSERT_TRUE(store.save(wdsrKey(), wdsrCompile()));
+    EXPECT_EQ(store.gc(), 0u);
+    EXPECT_EQ(store.stats().evictions, 0u);
+    EXPECT_TRUE(std::filesystem::exists(store.pathFor(wdsrKey())));
+}
+
+TEST(ArtifactStoreGcTest, BoundLargeEnoughKeepsEverything)
+{
+    ArtifactStore store(freshDir("artifact_gc_roomy"),
+                        /*maxBytes=*/uint64_t{1} << 30);
+    ASSERT_TRUE(store.save(wdsrKey(), wdsrCompile()));
+    EXPECT_EQ(store.stats().evictions, 0u);
+    std::vector<Diag> diags;
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    EXPECT_NE(store.load(wdsrKey(), g, &diags), nullptr);
+}
+
+TEST(ArtifactStoreGcTest, SaveEvictsLeastRecentlyUsedUnderBound)
+{
+    namespace fs = std::filesystem;
+    const graph::Graph fst = models::buildModel(ModelId::FST);
+    const ModelKey fstKey = fingerprintRequest(fst, {});
+    const CompiledModel fstModel = runtime::compile(fst);
+
+    // A bound that fits either artifact alone but not both.
+    const std::vector<uint8_t> wdsrBytes = serializeModel(wdsrCompile());
+    const std::vector<uint8_t> fstBytes = serializeModel(fstModel);
+    const uint64_t bound =
+        std::max(wdsrBytes.size(), fstBytes.size()) + 512;
+
+    ArtifactStore store(freshDir("artifact_gc_lru"), bound);
+    ASSERT_TRUE(store.save(wdsrKey(), wdsrCompile()));
+    // Age the first artifact well into the past so the recency order is
+    // unambiguous regardless of filesystem timestamp granularity.
+    fs::last_write_time(store.pathFor(wdsrKey()),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(1));
+
+    ASSERT_TRUE(store.save(fstKey, fstModel)); // triggers gc past bound
+    EXPECT_FALSE(fs::exists(store.pathFor(wdsrKey())));
+    EXPECT_TRUE(fs::exists(store.pathFor(fstKey)));
+
+    const ArtifactStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_GT(stats.evictedBytes, 0u);
+
+    // The evicted key is now a plain miss; the survivor still serves.
+    std::vector<Diag> diags;
+    const graph::Graph g = models::buildModel(ModelId::WdsrB);
+    EXPECT_EQ(store.load(wdsrKey(), g, &diags), nullptr);
+    EXPECT_EQ(store.stats().loadMisses, 1u);
+    EXPECT_NE(store.load(fstKey, fst, &diags), nullptr);
+}
+
+TEST(ArtifactStoreGcTest, VerifiedLoadRefreshesRecency)
+{
+    namespace fs = std::filesystem;
+    const graph::Graph wdsr = models::buildModel(ModelId::WdsrB);
+    const graph::Graph fst = models::buildModel(ModelId::FST);
+    const ModelKey fstKey = fingerprintRequest(fst, {});
+    const CompiledModel fstModel = runtime::compile(fst);
+
+    // Populate unbounded, then age both artifacts into the past.
+    const std::string dir = freshDir("artifact_gc_touch");
+    ArtifactStore writer(dir);
+    ASSERT_TRUE(writer.save(wdsrKey(), wdsrCompile()));
+    ASSERT_TRUE(writer.save(fstKey, fstModel));
+    const auto past =
+        fs::file_time_type::clock::now() - std::chrono::hours(2);
+    fs::last_write_time(writer.pathFor(wdsrKey()), past);
+    fs::last_write_time(writer.pathFor(fstKey),
+                        past + std::chrono::hours(1));
+
+    // A verified load touches the artifact: WdsrB -- the *older* file --
+    // becomes the most recently used.
+    std::vector<Diag> diags;
+    ASSERT_NE(writer.load(wdsrKey(), wdsr, &diags), nullptr);
+
+    // Now enforce a bound that only fits one artifact: FST must go,
+    // despite having been written (and originally aged) younger.
+    const uint64_t bound =
+        std::max(serializeModel(wdsrCompile()).size(),
+                 serializeModel(fstModel).size()) +
+        512;
+    ArtifactStore collector(dir, bound);
+    EXPECT_EQ(collector.gc(), 1u);
+    EXPECT_TRUE(fs::exists(collector.pathFor(wdsrKey())));
+    EXPECT_FALSE(fs::exists(collector.pathFor(fstKey)));
 }
 
 } // namespace

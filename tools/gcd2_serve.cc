@@ -11,6 +11,7 @@
  *
  * Usage:
  *   gcd2_serve [--dir DIR] [--workers N] [--repeat N] [--target-ms MS]
+ *              [--max-artifact-bytes N] [--verbose] [--gc]
  *              [model-name ...]          (default: the whole zoo)
  *
  *   --dir DIR       artifact directory (enables the on-disk store)
@@ -18,6 +19,14 @@
  *   --repeat N      submissions per model (default 3)
  *   --target-ms MS  wall-clock target driving the adaptive selector
  *                   budget (default 0 = fixed budget)
+ *   --max-artifact-bytes N
+ *                   artifact-store size bound; LRU-evicts after saves
+ *                   (default 0 = unbounded)
+ *   --verbose       print the full pipeline report (pass timings, tier
+ *                   and cache counters) of every scheduled compile
+ *   --gc            do not serve anything: enforce the size bound on
+ *                   --dir now (delete least-recently-used artifacts
+ *                   until under --max-artifact-bytes) and exit
  */
 #include <algorithm>
 #include <cstdio>
@@ -38,7 +47,8 @@ printUsage(std::FILE *out, const char *prog)
     std::fprintf(
         out,
         "usage: %s [--dir DIR] [--workers N] [--repeat N]\n"
-        "       %*s [--target-ms MS] [model-name ...]\n"
+        "       %*s [--target-ms MS] [--max-artifact-bytes N]\n"
+        "       %*s [--verbose] [--gc] [model-name ...]\n"
         "\n"
         "  --dir DIR       artifact directory (enables the on-disk "
         "store)\n"
@@ -46,9 +56,19 @@ printUsage(std::FILE *out, const char *prog)
         "  --repeat N      submissions per model (default 3)\n"
         "  --target-ms MS  wall-clock target driving the adaptive "
         "selector budget\n"
+        "  --max-artifact-bytes N\n"
+        "                  artifact-store size bound; least-recently-"
+        "used\n"
+        "                  artifacts are evicted after saves (0 = "
+        "unbounded)\n"
+        "  --verbose       print each scheduled compile's full pipeline "
+        "report\n"
+        "  --gc            only garbage-collect --dir to the size bound, "
+        "then exit\n"
         "  model-name ...  zoo models to serve (default: the whole "
         "zoo)\n",
-        prog, static_cast<int>(std::string(prog).size()), "");
+        prog, static_cast<int>(std::string(prog).size()), "",
+        static_cast<int>(std::string(prog).size()), "");
 }
 
 const char *
@@ -74,6 +94,8 @@ main(int argc, char **argv)
 {
     service::ServiceOptions options;
     int repeat = 3;
+    bool verbose = false;
+    bool gcOnly = false;
     std::vector<std::string> wanted;
 
     for (int i = 1; i < argc; ++i) {
@@ -101,6 +123,13 @@ main(int argc, char **argv)
             repeat = std::atoi(value());
         else if (arg == "--target-ms")
             options.targetCompileMs = std::atof(value());
+        else if (arg == "--max-artifact-bytes")
+            options.artifactMaxBytes = static_cast<uint64_t>(
+                std::strtoull(value(), nullptr, 10));
+        else if (arg == "--verbose")
+            verbose = true;
+        else if (arg == "--gc")
+            gcOnly = true;
         else if (!arg.empty() && arg[0] == '-') {
             // Unknown flags must not be silently swallowed as model
             // names (the "unknown model" error they used to produce
@@ -110,6 +139,27 @@ main(int argc, char **argv)
             return 2;
         } else
             wanted.push_back(arg);
+    }
+
+    if (gcOnly) {
+        if (options.artifactDir.empty()) {
+            std::fprintf(stderr, "--gc needs --dir\n\n");
+            printUsage(stderr, argv[0]);
+            return 2;
+        }
+        service::ArtifactStore store(options.artifactDir,
+                                     options.artifactMaxBytes);
+        std::vector<common::Diag> diags;
+        const size_t evicted = store.gc(&diags);
+        for (const common::Diag &diag : diags)
+            std::fprintf(stderr, "%s\n", diag.message.c_str());
+        const auto stats = store.stats();
+        std::printf("gc %s: evicted %zu artifacts (%llu bytes), bound "
+                    "%llu bytes\n",
+                    options.artifactDir.c_str(), evicted,
+                    static_cast<unsigned long long>(stats.evictedBytes),
+                    static_cast<unsigned long long>(store.maxBytes()));
+        return diags.empty() ? 0 : 1;
     }
 
     for (const std::string &name : wanted) {
@@ -152,6 +202,11 @@ main(int argc, char **argv)
                     names[t], pathName(ticket.path),
                     static_cast<unsigned long long>(model->totals.cycles),
                     model->schedules.size());
+        // One full report per scheduled ticket: repeats of the same model
+        // share the compile, so this prints each pipeline exactly once.
+        if (verbose &&
+            ticket.path == service::Ticket::Path::Scheduled)
+            std::fputs(model->report.toString().c_str(), stdout);
     }
 
     std::fputs(service.report().toString().c_str(), stdout);
