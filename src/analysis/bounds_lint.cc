@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Induction-range bounds analyzer (see analysis/lint.h).
+ *
+ * Kernel generators declare each noalias base register's buffer byte
+ * extent (Program::noaliasExtents, mirroring the runner's allocation).
+ * When the value flow fully resolves control and trip counts, the
+ * range an access address takes across all loop iterations is *exact*:
+ * every iteration vector in the box is realized, and every reachable
+ * block executes (the counted-loop control shape has no conditional
+ * skips). An access range escaping [0, extent) is therefore a certain
+ * out-of-bounds access on a realized execution: Error LintOutOfBounds.
+ *
+ * Unknown extents (0), non-entry roots, top addresses, and programs
+ * with unresolved control or trip counts produce no findings -- an
+ * Error here must never be a guess.
+ */
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "dsp/deps.h"
+
+namespace gcd2::analysis {
+
+using common::Diag;
+using common::DiagCode;
+using common::DiagSeverity;
+
+size_t
+analyzeBounds(const BlockGraph &graph, const ValueFlow &flow,
+              std::vector<Diag> &diags)
+{
+    const dsp::Program &prog = *graph.program;
+    if (!flow.converged || !flow.tripsResolved)
+        return 0;
+
+    // extentOf[r] > 0 iff r is a declared noalias base with known size.
+    std::vector<int64_t> extentOf(dsp::kNumScalarRegs, 0);
+    for (size_t i = 0;
+         i < prog.noaliasRegs.size() && i < prog.noaliasExtents.size();
+         ++i) {
+        const int8_t reg = prog.noaliasRegs[i];
+        if (reg >= 0 && reg < dsp::kNumScalarRegs)
+            extentOf[reg] = std::max(extentOf[reg],
+                                     prog.noaliasExtents[i]);
+    }
+
+    size_t findings = 0;
+    for (size_t b = 0; b < graph.numBlocks(); ++b) {
+        if (!graph.reachable[b])
+            continue;
+        VfWalker walker(graph, flow, static_cast<int>(b));
+        for (size_t i : graph.scheduled[b]) {
+            const dsp::Instruction &inst = prog.code[i];
+            const int bytes = dsp::memAccessBytes(inst);
+            if (bytes > 0 && inst.src[0].cls == dsp::RegClass::Scalar) {
+                const VfValue addr =
+                    walker.eval(inst.src[0]).plus(inst.imm);
+                int64_t lo = 0;
+                int64_t hi = 0;
+                if (addr.isAffine() && addr.root >= 0 &&
+                    addr.root < dsp::kNumScalarRegs &&
+                    extentOf[addr.root] > 0 &&
+                    vfValueRange(flow, addr, lo, hi)) {
+                    const int64_t extent = extentOf[addr.root];
+                    if (lo < 0 || hi > extent - bytes) {
+                        const __int128 hiEnd =
+                            static_cast<__int128>(hi) + bytes;
+                        ++findings;
+                        diags.push_back(Diag{
+                            DiagSeverity::Error, "lint",
+                            static_cast<int64_t>(i),
+                            "access '" + inst.toString() +
+                                "' provably reaches bytes [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(
+                                    static_cast<long long>(hiEnd)) +
+                                ") of buffer r" +
+                                std::to_string(addr.root) +
+                                " with declared extent " +
+                                std::to_string(extent),
+                            DiagCode::LintOutOfBounds});
+                    }
+                }
+            }
+            walker.step(i);
+        }
+    }
+    return findings;
+}
+
+} // namespace gcd2::analysis

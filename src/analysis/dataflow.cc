@@ -51,16 +51,13 @@ postorder(const std::vector<std::vector<int>> &succs, int block,
     }
 }
 
-} // namespace
-
-BlockGraph
-buildBlockGraph(const dsp::PackedProgram &packed)
+/** Everything except the schedule: blocks, edges, RPO, reachability. */
+void
+buildStructure(BlockGraph &graph, const dsp::Program &prog)
 {
-    BlockGraph graph;
-    graph.packed = &packed;
-    const dsp::Program &prog = packed.program;
+    graph.program = &prog;
     if (prog.code.empty())
-        return graph;
+        return;
 
     graph.cfg = vliw::buildCfg(prog);
     const size_t numBlocks = graph.cfg.blocks.size();
@@ -113,9 +110,23 @@ buildBlockGraph(const dsp::PackedProgram &packed)
     graph.reachable.resize(numBlocks);
     for (size_t b = 0; b < numBlocks; ++b)
         graph.reachable[b] = state[b] != 0;
+}
+
+} // namespace
+
+BlockGraph
+buildBlockGraph(const dsp::PackedProgram &packed)
+{
+    BlockGraph graph;
+    graph.packed = &packed;
+    const dsp::Program &prog = packed.program;
+    buildStructure(graph, prog);
+    if (prog.code.empty())
+        return graph;
 
     // Scheduled instruction order: sort each block's instructions by
     // (packet, position in packet). Unpacked instructions sort last.
+    const size_t numBlocks = graph.numBlocks();
     graph.packetOf.assign(prog.code.size(), SIZE_MAX);
     std::vector<size_t> posInPacket(prog.code.size(), 0);
     for (size_t p = 0; p < packed.packets.size(); ++p)
@@ -144,76 +155,84 @@ buildBlockGraph(const dsp::PackedProgram &packed)
     return graph;
 }
 
+BlockGraph
+buildBlockGraph(const dsp::Program &prog)
+{
+    BlockGraph graph;
+    buildStructure(graph, prog);
+    if (prog.code.empty())
+        return graph;
+
+    // No packets: the scheduled order of a bare program is program order.
+    graph.packetOf.assign(prog.code.size(), SIZE_MAX);
+    graph.scheduled.resize(graph.numBlocks());
+    for (size_t b = 0; b < graph.numBlocks(); ++b) {
+        const vliw::BasicBlock &block = graph.cfg.blocks[b];
+        graph.scheduled[b].reserve(block.size());
+        for (size_t i = block.begin; i < block.end; ++i)
+            graph.scheduled[b].push_back(i);
+    }
+    return graph;
+}
+
+namespace {
+
+/** The gen/kill bit-vector problem as a lattice-engine instantiation:
+ *  the join identity doubles as the iteration seed (empty set for union
+ *  meets, the full set for intersection meets) and the transfer is the
+ *  classic gen | (in & ~kill). */
+struct RegSetProblem
+{
+    using State = RegSet;
+
+    const DataflowProblem &p;
+
+    bool forward() const
+    {
+        return p.direction == DataflowProblem::Direction::Forward;
+    }
+    State init() const
+    {
+        return p.meet == DataflowProblem::Meet::Union ? RegSet{0}
+                                                      : kAllRegs;
+    }
+    State boundary() const { return p.boundary; }
+    void joinEdge(State &acc, const State &src, int, int) const
+    {
+        if (p.meet == DataflowProblem::Meet::Union)
+            acc |= src;
+        else
+            acc &= src;
+    }
+    State transfer(int block, const State &in) const
+    {
+        const size_t b = static_cast<size_t>(block);
+        return p.gen[b] | (in & ~p.kill[b]);
+    }
+    bool equal(const State &a, const State &b) const { return a == b; }
+    int resetEnd(int block) const { return block; }
+};
+
+} // namespace
+
 DataflowResult
 solveDataflow(const BlockGraph &graph, const DataflowProblem &problem)
 {
-    using Direction = DataflowProblem::Direction;
-    using Meet = DataflowProblem::Meet;
-
-    const size_t numBlocks = graph.numBlocks();
-    GCD2_ASSERT(problem.gen.size() == numBlocks &&
-                    problem.kill.size() == numBlocks,
+    GCD2_ASSERT(problem.gen.size() == graph.numBlocks() &&
+                    problem.kill.size() == graph.numBlocks(),
                 "gen/kill must cover every block");
 
+    RegSetProblem adapted{problem};
+    // Bitset transfers are monotone over a height-64 lattice, so the
+    // engine's default round cap is unreachable.
+    LatticeResult<RegSet> solved =
+        solveLattice(graph, adapted, 1 << 20);
+    GCD2_ASSERT(solved.converged, "gen/kill fixpoint must converge");
+
     DataflowResult result;
-    // Union starts from bottom (empty); intersection from top (full) so
-    // the fixpoint narrows instead of sticking at the first iterate.
-    const RegSet init = problem.meet == Meet::Union ? RegSet{0} : kAllRegs;
-    result.in.assign(numBlocks, init);
-    result.out.assign(numBlocks, init);
-    if (numBlocks == 0)
-        return result;
-
-    const bool forward = problem.direction == Direction::Forward;
-
-    // Visit order: RPO for forward flows, reverse RPO for backward, so
-    // acyclic graphs converge in one round and loops in depth + 2.
-    std::vector<int> visit = graph.rpo;
-    if (!forward)
-        std::reverse(visit.begin(), visit.end());
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        ++result.rounds;
-        for (int bi : visit) {
-            const size_t b = static_cast<size_t>(bi);
-
-            // Meet over flow predecessors, plus the boundary fact set on
-            // entry (forward) / exit-edge blocks (backward).
-            const std::vector<int> &sources =
-                forward ? graph.preds[b] : graph.succs[b];
-            const bool atBoundary =
-                forward ? b == 0 : graph.exitEdge[b] != false;
-            RegSet met = init;
-            bool any = false;
-            auto meetWith = [&](RegSet value) {
-                if (!any) {
-                    met = value;
-                    any = true;
-                } else if (problem.meet == Meet::Union) {
-                    met |= value;
-                } else {
-                    met &= value;
-                }
-            };
-            for (int s : sources)
-                meetWith(forward ? result.out[static_cast<size_t>(s)]
-                                 : result.in[static_cast<size_t>(s)]);
-            if (atBoundary)
-                meetWith(problem.boundary);
-
-            RegSet &inSet = forward ? result.in[b] : result.out[b];
-            RegSet &outSet = forward ? result.out[b] : result.in[b];
-            const RegSet transferred =
-                problem.gen[b] | (met & ~problem.kill[b]);
-            if (met != inSet || transferred != outSet) {
-                inSet = met;
-                outSet = transferred;
-                changed = true;
-            }
-        }
-    }
+    result.in = std::move(solved.in);
+    result.out = std::move(solved.out);
+    result.rounds = solved.rounds;
     return result;
 }
 

@@ -1,26 +1,39 @@
 /**
  * @file
- * Reusable bit-vector dataflow engine over packed DSP programs.
+ * Reusable dataflow engine over DSP programs.
  *
- * The register files are small (32 scalar + 32 vector = 64 uids, see
- * dsp::regUid), so a dataflow fact set over registers is one uint64_t
- * and a whole analysis state is one word per basic block. The engine
- * solves the classic gen/kill fixpoint over the vliw::Cfg block
- * structure in either direction (forward/backward) under either meet
- * (union = "may" facts, intersection = "must" facts) by round-robin
- * iteration in (reverse) topological visit order -- convergence in
- * O(depth) rounds, each round O(blocks) words.
+ * Two layers:
  *
- * Analyses run over the *scheduled* instruction order: the packer
- * reorders instructions within a block across packets, and what the
- * analyzers verify is the program the machine executes, not the program
- * the code generator emitted. BlockGraph therefore pairs every Cfg block
- * with its instruction sequence sorted by (packet, in-packet position).
+ *  - A generic join-semilattice fixpoint solver (solveLattice). The
+ *    problem supplies the lattice (init/boundary states, an edge-aware
+ *    join, a per-block transfer, equality); the engine owns the visit
+ *    order (round-robin over reverse postorder, reversed for backward
+ *    problems), the fixpoint loop, and a round cap so non-monotone or
+ *    infinite-height problems still terminate (converged == false).
+ *
+ *  - The classic gen/kill bit-vector instantiation (solveDataflow). The
+ *    register files are small (32 scalar + 32 vector = 64 uids, see
+ *    dsp::regUid), so a fact set over registers is one uint64_t and a
+ *    whole analysis state is one word per basic block; forward/backward
+ *    under union ("may") or intersection ("must") meet.
+ *
+ * Analyses run over the *scheduled* instruction order when a packed
+ * program is given: the packer reorders instructions within a block
+ * across packets, and what the analyzers verify is the program the
+ * machine executes, not the program the code generator emitted.
+ * BlockGraph therefore pairs every Cfg block with its instruction
+ * sequence sorted by (packet, in-packet position). A BlockGraph can also
+ * be built from a bare (unpacked) dsp::Program -- the scheduled order is
+ * then simply program order and `packed` stays null -- which is what
+ * lets pre-pack consumers (select::analyzeProgram) reuse the same
+ * analyses.
  */
 #ifndef GCD2_ANALYSIS_DATAFLOW_H
 #define GCD2_ANALYSIS_DATAFLOW_H
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dsp/packet.h"
@@ -35,13 +48,16 @@ using RegSet = uint64_t;
 inline constexpr RegSet kAllRegs = ~RegSet{0};
 
 /**
- * The control-flow structure of one packed program: Cfg blocks plus
- * explicit successor/predecessor edges, exit edges, a reverse-postorder
- * visit sequence, and the scheduled (packet-order) instruction sequence
- * of every block.
+ * The control-flow structure of one program: Cfg blocks plus explicit
+ * successor/predecessor edges, exit edges, a reverse-postorder visit
+ * sequence, and the scheduled instruction sequence of every block.
  */
 struct BlockGraph
 {
+    /** The underlying instruction sequence (always set for non-empty
+     *  graphs; points into `packed` when one was given). */
+    const dsp::Program *program = nullptr;
+    /** The packed schedule, or null when built from a bare program. */
     const dsp::PackedProgram *packed = nullptr;
     vliw::Cfg cfg;
     std::vector<std::vector<int>> succs;
@@ -54,9 +70,10 @@ struct BlockGraph
     std::vector<bool> reachable;
     /**
      * Per block: its instruction indices in scheduled order -- sorted by
-     * (packet index, position in packet). Instructions missing from all
-     * packets (corrupt schedules; the structural auditors flag them)
-     * sort last in original program order so analyses stay total.
+     * (packet index, position in packet) when packed, program order
+     * otherwise. Instructions missing from all packets (corrupt
+     * schedules; the structural auditors flag them) sort last in
+     * original program order so analyses stay total.
      */
     std::vector<std::vector<size_t>> scheduled;
     /** packetOf[i] = packet holding instruction i (SIZE_MAX = none). */
@@ -70,6 +87,133 @@ struct BlockGraph
 
 /** Build the block graph of @p packed (empty program = empty graph). */
 BlockGraph buildBlockGraph(const dsp::PackedProgram &packed);
+
+/** Build the block graph of a bare @p prog: scheduled order is program
+ *  order and `packed` is null. The caller keeps @p prog alive. */
+BlockGraph buildBlockGraph(const dsp::Program &prog);
+
+// Generic join-semilattice fixpoint engine ----------------------------
+
+/** Solved states of a lattice problem, always in *program-order* sense:
+ *  `in` holds at the top of the block, `out` at the bottom, for both
+ *  directions. */
+template <typename State>
+struct LatticeResult
+{
+    std::vector<State> in;
+    std::vector<State> out;
+    /** Fixpoint rounds taken (bounded by loop depth + 2 for monotone
+     *  finite-height problems). */
+    int rounds = 0;
+    /** False when the round cap fired before a fixpoint; callers must
+     *  treat every state as unknown. */
+    bool converged = true;
+};
+
+/**
+ * Solve @p problem over @p graph by round-robin iteration to a fixpoint.
+ *
+ * The Problem contract:
+ *
+ *   using State = ...;
+ *   bool forward() const;
+ *   State init() const;       // join identity (bottom / top seed)
+ *   State boundary() const;   // flows into entry (fwd) / exits (bwd)
+ *   void joinEdge(State &acc, const State &src, int to, int from);
+ *                             // fold src into acc; from == -1 for the
+ *                             // boundary pseudo-edge. May be edge-aware
+ *                             // (loop back edges, region exits).
+ *   State transfer(int block, const State &in);
+ *                             // may record side facts (trip counts)
+ *   bool equal(const State &a, const State &b) const;
+ *   int resetEnd(int block) const;
+ *                             // when in[block] changes, blocks in
+ *                             // (block, resetEnd] are reset to init()
+ *                             // before the sweep continues -- lets
+ *                             // loop-region problems discard stale
+ *                             // body states instead of widening on
+ *                             // transient mismatches. Return `block`
+ *                             // for "no reset" (the common case).
+ *
+ * The problem is taken by reference and its transfer/joinEdge may
+ * mutate problem-side fact tables; the engine itself only reads it.
+ */
+template <typename Problem>
+LatticeResult<typename Problem::State>
+solveLattice(const BlockGraph &graph, Problem &problem,
+             int maxRounds = 128)
+{
+    using State = typename Problem::State;
+
+    LatticeResult<State> result;
+    const size_t numBlocks = graph.numBlocks();
+    result.in.assign(numBlocks, problem.init());
+    result.out.assign(numBlocks, problem.init());
+    if (numBlocks == 0)
+        return result;
+
+    const bool forward = problem.forward();
+
+    // Visit order: RPO for forward flows, reverse RPO for backward, so
+    // acyclic graphs converge in one round and loops in depth + 2.
+    std::vector<int> visit = graph.rpo;
+    if (!forward)
+        std::reverse(visit.begin(), visit.end());
+
+    bool changed = true;
+    while (changed) {
+        if (result.rounds >= maxRounds) {
+            result.converged = false;
+            return result;
+        }
+        changed = false;
+        ++result.rounds;
+        for (int bi : visit) {
+            const size_t b = static_cast<size_t>(bi);
+
+            // Join the boundary fact set on entry (forward) / exit-edge
+            // blocks (backward), then flow predecessors. The boundary
+            // folds first so non-commutative edge-aware joins (loop
+            // back edges folding against the entry-path value) always
+            // see the boundary contribution in the accumulator.
+            State met = problem.init();
+            const bool atBoundary =
+                forward ? b == 0 : graph.exitEdge[b] != false;
+            if (atBoundary) {
+                const State bnd = problem.boundary();
+                problem.joinEdge(met, bnd, bi, -1);
+            }
+            const std::vector<int> &sources =
+                forward ? graph.preds[b] : graph.succs[b];
+            for (int s : sources)
+                problem.joinEdge(met,
+                                 forward ? result.out[static_cast<size_t>(s)]
+                                         : result.in[static_cast<size_t>(s)],
+                                 bi, s);
+
+            State &inSet = forward ? result.in[b] : result.out[b];
+            State &outSet = forward ? result.out[b] : result.in[b];
+            State transferred = problem.transfer(bi, met);
+            const bool inChanged = !problem.equal(met, inSet);
+            if (inChanged || !problem.equal(transferred, outSet)) {
+                inSet = std::move(met);
+                outSet = std::move(transferred);
+                changed = true;
+                if (inChanged) {
+                    const int last = problem.resetEnd(bi);
+                    for (int rb = bi + 1; rb <= last; ++rb) {
+                        result.in[static_cast<size_t>(rb)] = problem.init();
+                        result.out[static_cast<size_t>(rb)] =
+                            problem.init();
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+// Gen/kill bit-vector instantiation -----------------------------------
 
 /** One gen/kill dataflow problem over a BlockGraph. */
 struct DataflowProblem

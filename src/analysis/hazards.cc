@@ -42,6 +42,8 @@ regName(int uid)
 size_t
 analyzeHazards(const BlockGraph &graph, std::vector<Diag> &diags)
 {
+    if (graph.packed == nullptr)
+        return 0; // packet hazards only exist on packed schedules
     const dsp::PackedProgram &packed = *graph.packed;
     const dsp::Program &prog = packed.program;
     if (prog.code.empty())

@@ -29,9 +29,20 @@ lintPackedProgram(const dsp::PackedProgram &packed,
         result.counts.deadStore = analyzeDeadStores(graph, result.diags);
     if (options.hazards)
         result.counts.hazards = analyzeHazards(graph, result.diags);
-    if (options.noalias)
-        result.counts.noalias =
-            analyzeNoalias(graph, options, result.diags);
+
+    // The address-based analyzers share one value-flow solve.
+    if (options.noalias || options.redundantLoad || options.bounds) {
+        const ValueFlow flow = computeValueFlow(graph);
+        if (options.noalias)
+            result.counts.noalias =
+                analyzeNoalias(graph, flow, options, result.diags);
+        if (options.redundantLoad)
+            result.counts.redundantLoad =
+                analyzeRedundantLoads(graph, flow, result.diags);
+        if (options.bounds)
+            result.counts.bounds =
+                analyzeBounds(graph, flow, result.diags);
+    }
 
     for (const common::Diag &diag : result.diags) {
         if (diag.severity == DiagSeverity::Error)

@@ -28,15 +28,30 @@
  *    deliberately *not* checked against the pruned FastIdg edge set,
  *    which would be circular.
  *
- *  - Noalias audit (noalias_audit.cc): per-block symbolic address
- *    derivation (base symbol + constant offset). A same-block,
- *    store-involving access pair whose addresses provably overlap while
- *    the alias oracle claims disjointness is a lying claim: Error
- *    LintNoaliasOverlap. Duplicate Program::noaliasRegs entries (two
- *    "disjoint" buffers with the same base) are Error LintNoaliasDupBase.
+ *  - Noalias audit (noalias_audit.cc): whole-program symbolic address
+ *    comparison over the value-flow lattice (analysis/valueflow.h).
+ *    A store-involving access pair -- same block, across branches, or
+ *    across loop iterations via induction terms -- whose addresses
+ *    provably overlap while the alias oracle claims disjointness is a
+ *    lying claim: Error LintNoaliasOverlap. Duplicate
+ *    Program::noaliasRegs entries (two "disjoint" buffers with the same
+ *    base) are Error LintNoaliasDupBase.
  *
- * Severity policy: only findings that prove a miscompile or a lying
- * oracle are Errors; maybe-uninitialized and dead code are Warnings so
+ *  - Redundant load (redundant_load.cc): a load whose symbolic address
+ *    value-numbers equal to a prior same-block load or store with no
+ *    possibly-clobbering store in between re-reads a value the program
+ *    already holds: Warning LintRedundantLoad (fodder for the rewrite /
+ *    DCE machinery, never a correctness claim).
+ *
+ *  - Induction-range bounds (bounds_lint.cc): when control and trip
+ *    counts are fully resolved, every access range off a declared
+ *    noalias base with a known byte extent (Program::noaliasExtents) is
+ *    exact; a range escaping the buffer is a provable out-of-bounds
+ *    access on a realized iteration: Error LintOutOfBounds.
+ *
+ * Severity policy: only findings that prove a miscompile, a lying
+ * oracle, or a certain out-of-bounds access are Errors;
+ * maybe-uninitialized, dead and redundant code are Warnings so
  * conservatively generated kernels cannot fail CI on them.
  */
 #ifndef GCD2_ANALYSIS_LINT_H
@@ -47,6 +62,7 @@
 #include <vector>
 
 #include "analysis/dataflow.h"
+#include "analysis/valueflow.h"
 #include "common/diag.h"
 #include "dsp/packet.h"
 
@@ -59,6 +75,8 @@ struct LintOptions
     bool deadStore = true;
     bool hazards = true;
     bool noalias = true;
+    bool redundantLoad = true;
+    bool bounds = true;
 
     /**
      * Scalar registers holding valid values at program entry. When unset,
@@ -83,12 +101,15 @@ struct LintCounts
     size_t deadStore = 0;
     size_t hazards = 0;
     size_t noalias = 0;
+    size_t redundantLoad = 0;
+    size_t bounds = 0;
     size_t errors = 0;
     size_t warnings = 0;
 
     size_t total() const
     {
-        return useBeforeDef + deadStore + hazards + noalias;
+        return useBeforeDef + deadStore + hazards + noalias +
+               redundantLoad + bounds;
     }
 };
 
@@ -126,8 +147,14 @@ deadInstructionMask(const BlockGraph &graph,
                     const std::vector<uint8_t> *removed = nullptr);
 size_t analyzeHazards(const BlockGraph &graph,
                       std::vector<common::Diag> &diags);
-size_t analyzeNoalias(const BlockGraph &graph, const LintOptions &options,
+size_t analyzeNoalias(const BlockGraph &graph, const ValueFlow &flow,
+                      const LintOptions &options,
                       std::vector<common::Diag> &diags);
+size_t analyzeRedundantLoads(const BlockGraph &graph,
+                             const ValueFlow &flow,
+                             std::vector<common::Diag> &diags);
+size_t analyzeBounds(const BlockGraph &graph, const ValueFlow &flow,
+                     std::vector<common::Diag> &diags);
 
 } // namespace gcd2::analysis
 

@@ -4,19 +4,37 @@
  *
  * The packer reorders memory instructions on the strength of the alias
  * oracle's "provably disjoint" answers; a wrong answer silently
- * miscompiles. This analyzer re-derives addresses *independently*: a
- * per-block symbolic walk where every scalar register at block entry is
- * an opaque base symbol and MOVI/MOV/ADDI/ADD/SUB propagate
- * (symbol, constant offset) pairs. Two accesses with the same symbol and
- * overlapping [offset, offset + size) intervals touch the same bytes on
- * every execution of the block -- if the oracle claimed them disjoint,
- * the claim is a lie (Error LintNoaliasOverlap).
+ * miscompiles. This analyzer re-derives every access address
+ * *independently* from the value-flow lattice (analysis/valueflow.h)
+ * and compares accesses whole-program: two accesses whose symbolic
+ * addresses provably cover a common byte on some realized pair of
+ * executions, while the oracle claimed the pair disjoint, expose a
+ * lying claim (Error LintNoaliasOverlap).
  *
- * Same-block only, by design: the packer only co-schedules within a
- * block, and block-entry symbols change meaning across iterations of a
- * loop, so cross-block interval comparison would be unsound.
+ * What counts as a proof (Error severity demands certainty):
+ *
+ *  - Same root, same induction-term list: the two addresses keep a
+ *    constant distance on every iteration vector, so a static interval
+ *    overlap is realized whenever both execute -- and a pair that can
+ *    only overlap when both execute is exactly what a may-alias oracle
+ *    answers about. Entry roots mean the same base in every block;
+ *    def-site roots are value numbers that cannot survive a loop head
+ *    join, so two occurrences always denote the same dynamic def.
+ *
+ *  - Singleton vs. a single own-term value (a fixed address against a
+ *    strided induction walk): overlap iff the interval inequality has
+ *    an integer solution among the iterations that provably execute --
+ *    iteration 0 always does (do-while bodies run at least once), all
+ *    of [0, trips) when the loop's trip count is resolved.
+ *
+ * Anything else (differing multi-term shapes, unresolved control flow)
+ * is not provable either way and stays silent. Blocks unreachable from
+ * entry have bottom solved states; they are replayed with a fresh
+ * entry-seeded walker and compared within the block only, preserving
+ * the old per-block audit's coverage there.
  */
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -32,35 +50,107 @@ using common::DiagSeverity;
 
 namespace {
 
-/** A scalar register's value as "base symbol + constant offset". Symbols
- *  0..31 are block-entry register values; kConstRoot is the literal zero
- *  base (MOVI results compare as absolute addresses); higher ids are
- *  fresh opaque values (one per non-derivable def, never equal). */
-struct SymVal
-{
-    int root = 0;
-    int64_t offset = 0;
-};
+/** Comparing every pair within a root group is quadratic; groups beyond
+ *  this size are skipped (sound: fewer findings, never wrong ones). */
+constexpr size_t kMaxGroupRefs = 2048;
 
-constexpr int kConstRoot = dsp::kNumScalarRegs;
-
-/** One memory access with a derived symbolic address. */
-struct SymRef
+/** One memory access with its derived symbolic address. */
+struct VfRef
 {
     size_t inst = 0;
+    int block = 0;
     bool isStore = false;
-    int root = 0;
-    int64_t begin = 0;
-    int64_t end = 0;
+    VfValue addr;  ///< affine address (imm already folded in)
+    int64_t bytes = 0;
 };
+
+/** Iterations of @p loop that provably execute: all of [0, trips) when
+ *  resolved, just iteration 0 otherwise (do-while bodies run once). */
+int64_t
+provenTrips(const ValueFlow &flow, int loop)
+{
+    const VfLoop &l = flow.loops[static_cast<size_t>(loop)];
+    if (!l.tripKnown || l.trips == 0)
+        return 1;
+    const uint64_t cap =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+    return l.trips > cap ? static_cast<int64_t>(cap)
+                         : static_cast<int64_t>(l.trips);
+}
+
+/** Does [aBegin, aBegin + aBytes) intersect [bBegin, bBegin + bBytes)?
+ *  128-bit arithmetic: offsets are attacker-ish inputs. */
+bool
+intervalsOverlap(int64_t aBegin, int64_t aBytes, int64_t bBegin,
+                 int64_t bBytes)
+{
+    const __int128 a0 = aBegin;
+    const __int128 b0 = bBegin;
+    return a0 < b0 + bBytes && b0 < a0 + aBytes;
+}
+
+/**
+ * Singleton @p fix vs. single-term @p walk (term {loop, stride}): does
+ * some provably-executed iteration t put
+ * [walk.offset + stride * t, + walkBytes) into [fix.offset, + fixBytes)?
+ */
+bool
+stridedOverlap(const ValueFlow &flow, const VfValue &fix,
+               int64_t fixBytes, const VfValue &walk, int64_t walkBytes)
+{
+    const VfTerm &term = walk.terms[0];
+    const __int128 s = term.stride;
+    const __int128 lo = static_cast<__int128>(fix.offset) - walkBytes;
+    const __int128 hi = static_cast<__int128>(fix.offset) + fixBytes;
+    // Overlap at iteration t iff lo < walk.offset + s*t < hi.
+    const __int128 base = walk.offset;
+    const int64_t trips = provenTrips(flow, term.loop);
+    if (s == 0)
+        return false; // withTerm never stores zero strides
+    // Integer t range solving the strict inequalities.
+    const auto floorDiv = [](__int128 a, __int128 b) {
+        __int128 q = a / b;
+        if ((a % b != 0) && ((a < 0) != (b < 0)))
+            --q;
+        return q;
+    };
+    __int128 tMin, tMax;
+    if (s > 0) {
+        tMin = floorDiv(lo - base, s) + 1;  // base + s*t > lo
+        tMax = floorDiv(hi - base - 1, s);  // base + s*t < hi
+    } else {
+        tMin = floorDiv(base - hi, -s) + 1; // base + s*t < hi
+        tMax = floorDiv(base - lo - 1, -s); // base + s*t > lo
+    }
+    if (tMin < 0)
+        tMin = 0;
+    if (tMax > trips - 1)
+        tMax = trips - 1;
+    return tMin <= tMax;
+}
+
+/** Provable overlap of two same-root affine accesses (see file doc). */
+bool
+provableOverlap(const ValueFlow &flow, const VfRef &a, const VfRef &b)
+{
+    const VfValue &va = a.addr;
+    const VfValue &vb = b.addr;
+    if (va.sameShape(vb))
+        return intervalsOverlap(va.offset, a.bytes, vb.offset, b.bytes);
+    if (va.isSingleton() && vb.numTerms == 1)
+        return stridedOverlap(flow, va, a.bytes, vb, b.bytes);
+    if (vb.isSingleton() && va.numTerms == 1)
+        return stridedOverlap(flow, vb, b.bytes, va, a.bytes);
+    return false;
+}
 
 } // namespace
 
 size_t
-analyzeNoalias(const BlockGraph &graph, const LintOptions &options,
-               std::vector<Diag> &diags)
+analyzeNoalias(const BlockGraph &graph, const ValueFlow &flow,
+               const LintOptions &options, std::vector<Diag> &diags)
 {
-    const dsp::Program &prog = graph.packed->program;
+    const dsp::Program &prog = *graph.program;
     size_t findings = 0;
 
     // --- duplicate noalias bases ------------------------------------
@@ -90,91 +180,21 @@ analyzeNoalias(const BlockGraph &graph, const LintOptions &options,
                                      : alias.mayAlias(i, j);
     };
 
-    for (size_t b = 0; b < graph.numBlocks(); ++b) {
-        // Block-entry state: register i holds opaque symbol i.
-        std::vector<SymVal> state(dsp::kNumScalarRegs);
-        for (int r = 0; r < dsp::kNumScalarRegs; ++r)
-            state[static_cast<size_t>(r)] = SymVal{r, 0};
-        int nextOpaque = kConstRoot + 1;
-
-        // Value of a scalar source operand (fresh opaque if malformed).
-        auto valueOf = [&](const dsp::Operand &op) {
-            if (op.cls == dsp::RegClass::Scalar && op.idx >= 0 &&
-                op.idx < dsp::kNumScalarRegs)
-                return state[static_cast<size_t>(op.idx)];
-            return SymVal{nextOpaque++, 0};
-        };
-
-        std::vector<SymRef> refs;
-        for (size_t i : graph.scheduled[b]) {
-            const dsp::Instruction &inst = prog.code[i];
-
-            // Record the access before updating state: the base operand
-            // is read with its pre-instruction value.
-            const int bytes = dsp::memAccessBytes(inst);
-            if (bytes > 0 && inst.src[0].cls == dsp::RegClass::Scalar) {
-                const SymVal base = valueOf(inst.src[0]);
-                refs.push_back(
-                    SymRef{i, inst.info().mem == dsp::MemKind::Store,
-                           base.root, base.offset + inst.imm,
-                           base.offset + inst.imm + bytes});
-            }
-
-            if (!inst.dst[0].valid() ||
-                inst.dst[0].cls != dsp::RegClass::Scalar)
-                continue;
-            SymVal &dst = state[static_cast<size_t>(inst.dst[0].idx)];
-            switch (inst.op) {
-            case dsp::Opcode::MOVI:
-                dst = SymVal{kConstRoot, inst.imm};
-                break;
-            case dsp::Opcode::MOV:
-                dst = valueOf(inst.src[0]);
-                break;
-            case dsp::Opcode::ADDI: {
-                const SymVal src = valueOf(inst.src[0]);
-                dst = SymVal{src.root, src.offset + inst.imm};
-                break;
-            }
-            case dsp::Opcode::ADD:
-            case dsp::Opcode::SUB: {
-                const SymVal lhs = valueOf(inst.src[0]);
-                const SymVal rhs = valueOf(inst.src[1]);
-                if (rhs.root == kConstRoot)
-                    dst = SymVal{lhs.root,
-                                 inst.op == dsp::Opcode::ADD
-                                     ? lhs.offset + rhs.offset
-                                     : lhs.offset - rhs.offset};
-                else if (lhs.root == kConstRoot &&
-                         inst.op == dsp::Opcode::ADD)
-                    dst = SymVal{rhs.root, lhs.offset + rhs.offset};
-                else
-                    dst = SymVal{nextOpaque++, 0};
-                break;
-            }
-            default:
-                // Loads, shifts, multiplies, ... -- not derivable as
-                // base + constant; a fresh symbol never matches anything.
-                dst = SymVal{nextOpaque++, 0};
-                break;
-            }
-        }
-
-        // --- provable overlap vs. the oracle's claims ----------------
-        // Load/load pairs never constrain packing (no ordering hazard),
-        // so only store-involving pairs can expose a lying claim.
+    // Load/load pairs never constrain packing (no ordering hazard), so
+    // only store-involving pairs can expose a lying claim.
+    auto auditGroup = [&](const std::vector<VfRef> &refs) {
+        if (refs.size() > kMaxGroupRefs)
+            return;
         for (size_t x = 0; x < refs.size(); ++x)
             for (size_t y = x + 1; y < refs.size(); ++y) {
-                const SymRef &a = refs[x];
-                const SymRef &c = refs[y];
-                if (!a.isStore && !c.isStore)
+                const VfRef &a = refs[x];
+                const VfRef &b = refs[y];
+                if (!a.isStore && !b.isStore)
                     continue;
-                if (a.root != c.root)
-                    continue; // different bases: no proof either way
-                if (a.begin >= c.end || c.begin >= a.end)
-                    continue; // disjoint intervals
-                const size_t first = std::min(a.inst, c.inst);
-                const size_t second = std::max(a.inst, c.inst);
+                if (!provableOverlap(flow, a, b))
+                    continue;
+                const size_t first = std::min(a.inst, b.inst);
+                const size_t second = std::max(a.inst, b.inst);
                 if (claimsMayAlias(first, second))
                     continue; // oracle already says "may overlap"
                 ++findings;
@@ -186,6 +206,65 @@ analyzeNoalias(const BlockGraph &graph, const LintOptions &options,
                         "' provably overlap but were claimed noalias",
                     DiagCode::LintNoaliasOverlap});
             }
+    };
+
+    // Collect reachable-code accesses into per-root groups (roots never
+    // compare across groups: differing bases prove nothing either way).
+    auto collect = [&](VfWalker &walker, size_t b,
+                       std::vector<std::vector<VfRef>> &groups,
+                       std::vector<int> &groupOfRoot) {
+        for (size_t i : graph.scheduled[b]) {
+            const dsp::Instruction &inst = prog.code[i];
+            const int bytes = dsp::memAccessBytes(inst);
+            if (bytes > 0 && inst.src[0].cls == dsp::RegClass::Scalar) {
+                const VfValue addr =
+                    walker.eval(inst.src[0]).plus(inst.imm);
+                if (addr.isAffine()) {
+                    auto it = std::find(groupOfRoot.begin(),
+                                        groupOfRoot.end(), addr.root);
+                    size_t g;
+                    if (it == groupOfRoot.end()) {
+                        g = groups.size();
+                        groups.emplace_back();
+                        groupOfRoot.push_back(addr.root);
+                    } else {
+                        g = static_cast<size_t>(
+                            it - groupOfRoot.begin());
+                    }
+                    groups[g].push_back(
+                        VfRef{i, static_cast<int>(b),
+                              inst.info().mem == dsp::MemKind::Store,
+                              addr, bytes});
+                }
+            }
+            walker.step(i);
+        }
+    };
+
+    std::vector<std::vector<VfRef>> groups;
+    std::vector<int> groupOfRoot;
+    for (size_t b = 0; b < graph.numBlocks(); ++b) {
+        if (!graph.reachable[b])
+            continue;
+        VfWalker walker(graph, flow, static_cast<int>(b));
+        collect(walker, b, groups, groupOfRoot);
+    }
+    for (const std::vector<VfRef> &group : groups)
+        auditGroup(group);
+
+    // Unreachable blocks have bottom solved states; replay each with an
+    // entry-seeded walker and compare within the block only (entry
+    // roots mean "this block's entry" there, nothing more).
+    for (size_t b = 0; b < graph.numBlocks(); ++b) {
+        if (graph.reachable[b])
+            continue;
+        VfWalker walker(graph, flow, static_cast<int>(b));
+        walker.seedEntry();
+        std::vector<std::vector<VfRef>> local;
+        std::vector<int> localRoots;
+        collect(walker, b, local, localRoots);
+        for (const std::vector<VfRef> &group : local)
+            auditGroup(group);
     }
     return findings;
 }

@@ -44,7 +44,7 @@ blockWriteMasks(const BlockGraph &graph)
     std::vector<RegSet> writes(graph.numBlocks(), 0);
     for (size_t b = 0; b < graph.numBlocks(); ++b)
         for (size_t i : graph.scheduled[b])
-            writes[b] |= writeMask(graph.packed->program.code[i]);
+            writes[b] |= writeMask(graph.program->code[i]);
     return writes;
 }
 
@@ -54,7 +54,7 @@ size_t
 analyzeUseBeforeDef(const BlockGraph &graph, const LintOptions &options,
                     std::vector<Diag> &diags)
 {
-    const dsp::Program &prog = graph.packed->program;
+    const dsp::Program &prog = *graph.program;
     if (prog.code.empty())
         return 0;
 
@@ -127,7 +127,7 @@ std::vector<uint8_t>
 deadInstructionMask(const BlockGraph &graph,
                     const std::vector<uint8_t> *removed)
 {
-    const dsp::Program &prog = graph.packed->program;
+    const dsp::Program &prog = *graph.program;
     std::vector<uint8_t> dead(prog.code.size(), 0);
     if (prog.code.empty())
         return dead;
@@ -188,8 +188,7 @@ deadInstructionMask(const BlockGraph &graph,
 size_t
 analyzeDeadStores(const BlockGraph &graph, std::vector<Diag> &diags)
 {
-    const dsp::PackedProgram &packed = *graph.packed;
-    const dsp::Program &prog = packed.program;
+    const dsp::Program &prog = *graph.program;
     if (prog.code.empty())
         return 0;
 
@@ -213,9 +212,12 @@ analyzeDeadStores(const BlockGraph &graph, std::vector<Diag> &diags)
     }
 
     // A packet whose every member is dead stalls the machine for nothing:
-    // the packer should never have emitted it.
-    for (size_t p = 0; p < packed.packets.size(); ++p) {
-        const std::vector<size_t> &insts = packed.packets[p].insts;
+    // the packer should never have emitted it. (Bare-program graphs have
+    // no packets to flag.)
+    const size_t numPackets =
+        graph.packed ? graph.packed->packets.size() : 0;
+    for (size_t p = 0; p < numPackets; ++p) {
+        const std::vector<size_t> &insts = graph.packed->packets[p].insts;
         if (insts.empty())
             continue;
         bool allDead = true;

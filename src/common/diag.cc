@@ -62,6 +62,10 @@ diagCodeName(DiagCode code)
         return "lint-noalias-overlap";
       case DiagCode::LintNoaliasDupBase:
         return "lint-noalias-dup-base";
+      case DiagCode::LintRedundantLoad:
+        return "lint-redundant-load";
+      case DiagCode::LintOutOfBounds:
+        return "lint-out-of-bounds";
     }
     return "?";
 }

@@ -71,6 +71,8 @@ enum class DiagCode : uint16_t
     LintDelayClaim,     ///< packer delay claim contradicts dsp::deps
     LintNoaliasOverlap, ///< claimed-noalias pair provably overlaps
     LintNoaliasDupBase, ///< one register declared as two disjoint buffers
+    LintRedundantLoad,  ///< load of a value provably already in a register
+    LintOutOfBounds,    ///< access provably outside its declared buffer
 };
 
 /** Stable kebab-case name of a code ("sched-empty-packet", ...). */

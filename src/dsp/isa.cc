@@ -1,5 +1,6 @@
 #include "dsp/isa.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
@@ -175,6 +176,22 @@ Instruction::toString() const
         break;
     }
     return oss.str();
+}
+
+void
+Program::declareNoalias(int reg, int64_t extentBytes)
+{
+    GCD2_ASSERT(reg >= 0 && reg < kNumScalarRegs,
+                "noalias base must be a scalar register");
+    GCD2_ASSERT(extentBytes >= 0, "negative buffer extent");
+    noaliasExtents.resize(noaliasRegs.size(), 0);
+    for (size_t i = 0; i < noaliasRegs.size(); ++i)
+        if (noaliasRegs[i] == reg) {
+            noaliasExtents[i] = std::max(noaliasExtents[i], extentBytes);
+            return;
+        }
+    noaliasRegs.push_back(static_cast<int8_t>(reg));
+    noaliasExtents.push_back(extentBytes);
 }
 
 int

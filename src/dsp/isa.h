@@ -246,6 +246,23 @@ struct Program
      */
     std::vector<int8_t> noaliasRegs;
 
+    /**
+     * Byte extent of the buffer each noaliasRegs entry points to, parallel
+     * to noaliasRegs. 0 = extent unknown (legacy declarations); analyses
+     * that reason about bounds must skip those entries.
+     */
+    std::vector<int64_t> noaliasExtents;
+
+    /**
+     * Declare @p reg as a noalias buffer base of @p extentBytes bytes
+     * (0 = unknown). The canonical entry point: entries are deduplicated
+     * here -- re-declaring a register is idempotent and keeps the larger
+     * extent -- so analyzers never see duplicate bases from well-formed
+     * generators (a literal duplicate in noaliasRegs remains a lint
+     * Error, reachable only by hand-building the vectors).
+     */
+    void declareNoalias(int reg, int64_t extentBytes = 0);
+
     /** Reserve a label id whose target will be bound later. */
     int newLabel();
 

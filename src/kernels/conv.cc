@@ -171,13 +171,13 @@ DepthwiseKernel::DepthwiseKernel(const DepthwiseConfig &config)
     GCD2_REQUIRE(config.stride == 2 || config.unrollRows == 1,
                  "stride-1 depthwise supports unrollRows == 1");
 
-    prog_.noaliasRegs = {kRegInput, kRegWeights, kRegOutput};
 
     const int64_t outRowBytes = config.stride == 2 ? 128 : 256;
     buffers_.inputBytes = config.channels * config.inH * kDwRowBytes;
     buffers_.weightBytes = config.channels * 3 * 4;
     buffers_.outputBytes = config.channels * config.outH() * outRowBytes;
     buffers_.scratchBytes = 0;
+    declareKernelNoalias(prog_, buffers_, /*scratch=*/false);
 
     const int ur = config.unrollRows;
     prog_.push(makeMovi(sreg(0), 0));

@@ -93,7 +93,6 @@ ElementwiseKernel::outputLength() const
 void
 ElementwiseKernel::generateVector()
 {
-    prog_.noaliasRegs = {kRegInput, kRegWeights, kRegOutput};
     const bool pooling =
         config_.op == EwOp::MaxPool || config_.op == EwOp::AvgPool;
     const int64_t bytesPerIterIn =
@@ -107,6 +106,7 @@ ElementwiseKernel::generateVector()
                                : (config_.op == EwOp::Lut ? 256 : 0);
     buffers_.outputBytes = pooling ? paddedLen_ / 2 : paddedLen_;
     buffers_.scratchBytes = 0;
+    declareKernelNoalias(prog_, buffers_, /*scratch=*/false);
 
     prog_.push(makeMovi(sreg(0), 0));
     prog_.push(makeMovi(sreg(kRegCtr), iters));
@@ -202,7 +202,6 @@ ElementwiseKernel::generateVector()
 void
 ElementwiseKernel::generateScalarDiv()
 {
-    prog_.noaliasRegs = {kRegInput, kRegWeights, kRegOutput};
     paddedLen_ = roundUp(config_.length, config_.unroll);
     const int64_t iters = paddedLen_ / config_.unroll;
 
@@ -210,6 +209,7 @@ ElementwiseKernel::generateScalarDiv()
     buffers_.weightBytes = config_.op == EwOp::DivLut ? 256 : 0;
     buffers_.outputBytes = paddedLen_;
     buffers_.scratchBytes = 0;
+    declareKernelNoalias(prog_, buffers_, /*scratch=*/false);
 
     prog_.push(makeMovi(sreg(0), 0));
     prog_.push(makeMovi(sreg(kRegCtr), iters));

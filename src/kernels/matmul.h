@@ -100,6 +100,17 @@ inline constexpr int kRegOutput = 3;
 inline constexpr int kRegScratch = 4;
 
 /**
+ * Declare the kernel ABI registers noalias on @p prog, carrying the
+ * exact extent the runner backs each segment with (the distance from
+ * the segment base to the next segment's base under runner.cc's
+ * 128-byte-aligned layout). The bounds lint proves accesses against
+ * these extents. @p scratch controls whether r4 is declared (matmul
+ * spills; conv/elementwise never touch scratch).
+ */
+void declareKernelNoalias(dsp::Program &prog, const KernelBuffers &buffers,
+                          bool scratch);
+
+/**
  * A generated MatMul kernel: the DSP program plus the host-side packing
  * glue and the exact-semantics reference.
  */

@@ -660,13 +660,17 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     // The dataflow lint rides the same loop. Cheap runs only the
     // per-packet hazard lint (linear in packet members); Deep adds the
     // whole-program dataflow analyzers (use-before-def, dead stores) and
-    // the noalias claim audit. Lint Warnings never block a compile --
-    // only Errors count as failures alongside the structural audits.
+    // the value-flow family (cross-block noalias claim audit, redundant
+    // loads, induction-range bounds). Lint Warnings never block a
+    // compile -- only Errors count as failures alongside the structural
+    // audits.
     analysis::LintOptions lintOpts;
     lintOpts.useBeforeDef = deep;
     lintOpts.deadStore = deep;
     lintOpts.hazards = true;
     lintOpts.noalias = deep;
+    lintOpts.redundantLoad = deep;
+    lintOpts.bounds = deep;
     analysis::LintCounts lint;
     size_t lintErrors = 0;
 
@@ -688,6 +692,8 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
         lint.deadStore += linted.counts.deadStore;
         lint.hazards += linted.counts.hazards;
         lint.noalias += linted.counts.noalias;
+        lint.redundantLoad += linted.counts.redundantLoad;
+        lint.bounds += linted.counts.bounds;
         lintErrors += linted.counts.errors;
         for (const Diag &diag : linted.diags)
             diag_.add(diag);
@@ -712,6 +718,9 @@ CompilationSession::passAudit(PassReport &pass, CompiledModel &result)
     pass.counters.emplace_back("lint-dead-store-findings", lint.deadStore);
     pass.counters.emplace_back("lint-hazard-findings", lint.hazards);
     pass.counters.emplace_back("lint-noalias-findings", lint.noalias);
+    pass.counters.emplace_back("lint-redundant-load-findings",
+                               lint.redundantLoad);
+    pass.counters.emplace_back("lint-bounds-findings", lint.bounds);
     pass.counters.emplace_back("lint-errors", lintErrors);
     pass.counters.emplace_back("deep", deep ? 1 : 0);
     packDelta.report(pass);

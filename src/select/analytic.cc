@@ -3,31 +3,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/dataflow.h"
+#include "analysis/valueflow.h"
+
 namespace gcd2::select {
 
 namespace {
 
-using dsp::Instruction;
 using dsp::MemKind;
-using dsp::Opcode;
 using dsp::Program;
-using dsp::RegClass;
 using dsp::UnitKind;
-
-/** A resolved counted loop: body [start, branch] inclusive. */
-struct Loop
-{
-    size_t start = 0;  ///< first body instruction (the label target)
-    size_t branch = 0; ///< the backward JUMPNZ
-    int cond = -1;     ///< scalar counter register
-    uint64_t trips = 0;
-};
-
-bool
-writesScalar(const Instruction &inst, int reg)
-{
-    return inst.dst[0].cls == RegClass::Scalar && inst.dst[0].idx == reg;
-}
 
 /** Dynamic counts above this are treated as unanalyzable (overflow guard). */
 constexpr uint64_t kMaxDynamic = uint64_t(1) << 50;
@@ -44,84 +29,18 @@ analyzeProgram(const Program &prog)
         return bounds;
     }
 
-    // 1. Resolve control flow: only well-nested backward JUMPNZ loops.
-    std::vector<Loop> loops;
-    for (size_t i = 0; i < n; ++i) {
-        const Instruction &inst = prog.code[i];
-        if (!inst.isBranch())
-            continue;
-        if (inst.op != Opcode::JUMPNZ)
-            return bounds; // JUMP: trip counts unresolvable
-        if (inst.imm < 0 ||
-            static_cast<size_t>(inst.imm) >= prog.labels.size())
+    // 1.+2. Resolve control flow and trip counts through the global
+    // value-flow analysis: tripsResolved means every branch is a
+    // backward JUMPNZ forming well-nested counted loops and every
+    // loop's counter value-numbers to a compile-time affine constant at
+    // its branch. Anything weaker refuses certification.
+    const analysis::BlockGraph graph = analysis::buildBlockGraph(prog);
+    const analysis::ValueFlow flow = analysis::computeValueFlow(graph);
+    if (!flow.tripsResolved)
+        return bounds;
+    for (const analysis::VfLoop &loop : flow.loops)
+        if (loop.trips == 0 || loop.trips > kMaxDynamic)
             return bounds;
-        const size_t target = prog.labels[static_cast<size_t>(inst.imm)];
-        if (target > i)
-            return bounds; // forward branch: skipped-path ambiguity
-        Loop loop;
-        loop.start = target;
-        loop.branch = i;
-        loop.cond = inst.src[0].idx;
-        loops.push_back(loop);
-    }
-    for (const Loop &a : loops) {
-        for (const Loop &b : loops) {
-            if (&a == &b)
-                continue;
-            const bool disjoint = a.branch < b.start || b.branch < a.start;
-            const bool aInB = b.start <= a.start && a.branch <= b.branch;
-            const bool bInA = a.start <= b.start && b.branch <= a.branch;
-            if (!disjoint && !aInB && !bInA)
-                return bounds; // improperly nested
-        }
-    }
-
-    // The innermost loop containing instruction j (or -1). Loops are
-    // well-nested, so "smallest containing interval" is well defined.
-    auto innermost = [&](size_t j) -> int {
-        int best = -1;
-        for (size_t l = 0; l < loops.size(); ++l) {
-            if (loops[l].start <= j && j <= loops[l].branch &&
-                (best < 0 || loops[l].branch - loops[l].start <
-                                 loops[static_cast<size_t>(best)].branch -
-                                     loops[static_cast<size_t>(best)].start))
-                best = static_cast<int>(l);
-        }
-        return best;
-    };
-
-    // 2. Resolve each loop's trip count: the counter must be set by a
-    // MOVI that is the last write before the loop and decremented by
-    // exactly one ADDI(cond, cond, -1) inside it, in the loop's own body
-    // (not a nested loop). Do-while shape => the body runs `imm` times.
-    for (size_t l = 0; l < loops.size(); ++l) {
-        Loop &loop = loops[l];
-        const Instruction *init = nullptr;
-        for (size_t j = loop.start; j-- > 0;) {
-            if (writesScalar(prog.code[j], loop.cond)) {
-                init = &prog.code[j];
-                break;
-            }
-        }
-        if (init == nullptr || init->op != Opcode::MOVI || init->imm < 1)
-            return bounds;
-        size_t decrements = 0;
-        for (size_t j = loop.start; j <= loop.branch; ++j) {
-            if (!writesScalar(prog.code[j], loop.cond))
-                continue;
-            const Instruction &inst = prog.code[j];
-            if (inst.op != Opcode::ADDI || inst.imm != -1 ||
-                inst.src[0].cls != RegClass::Scalar ||
-                inst.src[0].idx != loop.cond)
-                return bounds;
-            if (innermost(j) != static_cast<int>(l))
-                return bounds; // decrement hidden inside a nested loop
-            ++decrements;
-        }
-        if (decrements != 1)
-            return bounds;
-        loop.trips = static_cast<uint64_t>(init->imm);
-    }
 
     // 3. Dynamic execution count of each instruction = product of the
     // trip counts of its enclosing loops.
@@ -136,8 +55,8 @@ analyzeProgram(const Program &prog)
     int maxLatency = 0;
     for (size_t j = 0; j < n; ++j) {
         uint64_t count = 1;
-        for (const Loop &loop : loops) {
-            if (loop.start <= j && j <= loop.branch) {
+        for (const analysis::VfLoop &loop : flow.loops) {
+            if (loop.startInst <= j && j <= loop.branchInst) {
                 count *= loop.trips;
                 if (count > kMaxDynamic)
                     return bounds;

@@ -5,10 +5,15 @@
  * with no simulation (DESIGN.md section 16).
  *
  * The analyzer recognizes the loop shape every generated kernel uses --
- * well-nested do-while loops with a backward JUMPNZ on a counter that is
- * initialized by a MOVI immediately dominating the loop and decremented
- * exactly once per iteration -- and multiplies static instruction counts
- * through the trip counts to obtain exact dynamic execution counts.
+ * well-nested do-while loops with a backward JUMPNZ -- and certifies
+ * each loop's trip count through the global value-flow analysis
+ * (analysis/valueflow.h): the counter's value at the branch must
+ * value-number to an affine constant over the loop's own induction
+ * variable. That covers the classic MOVI-init/decrement idiom and any
+ * register-trip variant that reduces to it (trip counts hoisted through
+ * MOVs, non-unit negative strides, counters rematerialized from other
+ * registers). Static instruction counts multiplied through the trip
+ * counts give exact dynamic execution counts.
  *
  * From those counts:
  *  - the *lower bound* is dynamic-packet pressure: the simulator issues at

@@ -22,7 +22,7 @@ using common::DiagSeverity;
 using runtime::CompiledModel;
 
 /** Artifact file layout version; bump on any payload format change. */
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;
 constexpr char kMagic[8] = {'G', 'C', 'D', '2', 'A', 'R', 'T', '\1'};
 
 /** Sanity bound on any serialized element count: a valid payload never
@@ -240,6 +240,12 @@ writeProgram(Writer &w, const dsp::PackedProgram &packed)
     w.u64(prog.noaliasRegs.size());
     for (int8_t reg : prog.noaliasRegs)
         w.u8(static_cast<uint8_t>(reg));
+    // Extents ride behind the regs they describe (format v2); a
+    // well-formed program has them parallel, but serialize the actual
+    // vector so hand-built programs round-trip exactly.
+    w.u64(prog.noaliasExtents.size());
+    for (int64_t extent : prog.noaliasExtents)
+        w.i64(extent);
 
     w.u64(packed.packets.size());
     for (const dsp::Packet &packet : packed.packets)
@@ -271,6 +277,9 @@ readProgram(Reader &r)
     prog.noaliasRegs.resize(r.count(1));
     for (int8_t &reg : prog.noaliasRegs)
         reg = static_cast<int8_t>(r.u8());
+    prog.noaliasExtents.resize(r.count(8));
+    for (int64_t &extent : prog.noaliasExtents)
+        extent = r.i64();
 
     packed->packets.resize(r.count(8));
     for (dsp::Packet &packet : packed->packets)
@@ -672,6 +681,8 @@ ArtifactStore::load(const ModelKey &key, const graph::Graph &graph,
     lintOpts.deadStore = false;
     lintOpts.hazards = true;
     lintOpts.noalias = false;
+    lintOpts.redundantLoad = false;
+    lintOpts.bounds = false;
 
     std::vector<const dsp::PackedProgram *> programs;
     std::set<const dsp::PackedProgram *> seen;

@@ -91,13 +91,33 @@ TEST(AnalyticModelTest, RefusesUnconditionalJump)
     EXPECT_FALSE(analyzeProgram(prog).certified);
 }
 
-TEST(AnalyticModelTest, RefusesUnresolvableTripCount)
+TEST(AnalyticModelTest, CertifiesRegisterTripCount)
 {
-    // Counter initialized by a register move, not a MOVI immediate.
+    // Counter initialized by a register move, not a MOVI immediate. The
+    // old syntactic idiom matcher refused this; the value-flow analysis
+    // proves r0 holds the constant 4 at loop entry and certifies the
+    // trip count (4 iterations of 2 instructions after a 2-instruction
+    // preamble).
     dsp::Program prog;
     prog.labels.push_back(2);
     prog.push(dsp::makeMovi(dsp::sreg(1), 4));
     prog.push(dsp::makeMov(dsp::sreg(0), dsp::sreg(1)));
+    prog.push(dsp::makeAddi(dsp::sreg(0), dsp::sreg(0), -1));
+    prog.push(dsp::makeJumpNz(dsp::sreg(0), 0));
+    const AnalyticBounds bounds = analyzeProgram(prog);
+    EXPECT_TRUE(bounds.certified);
+    EXPECT_EQ(bounds.dynamicInstructions, 10u);
+    EXPECT_GT(bounds.lower, 0u);
+    EXPECT_GE(bounds.upper, bounds.lower);
+}
+
+TEST(AnalyticModelTest, RefusesDataDependentTripCount)
+{
+    // Counter seeded from an entry register the analysis knows nothing
+    // about: the trip count is genuinely data-dependent and must refuse.
+    dsp::Program prog;
+    prog.labels.push_back(1);
+    prog.push(dsp::makeMov(dsp::sreg(0), dsp::sreg(5)));
     prog.push(dsp::makeAddi(dsp::sreg(0), dsp::sreg(0), -1));
     prog.push(dsp::makeJumpNz(dsp::sreg(0), 0));
     EXPECT_FALSE(analyzeProgram(prog).certified);

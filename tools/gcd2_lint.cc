@@ -9,7 +9,12 @@
  * severity seen (0 = clean/info, 1 = warnings only, 2 = errors), so CI
  * can gate on "no Error-severity diagnostics on any served kernel".
  *
- * Usage: gcd2_lint [model-name ...]   (default: the whole zoo)
+ * With --json the tool instead emits one JSON document keyed on the
+ * *stable* fields of each finding -- diagnostic code, severity, node
+ * (the instruction index the diag anchors on), block, instruction --
+ * never on message text, so CI baselines survive message rewording.
+ *
+ * Usage: gcd2_lint [--json] [model-name ...]   (default: the whole zoo)
  */
 #include <cstdio>
 #include <cstring>
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.h"
 #include "analysis/lint.h"
 #include "common/diag.h"
 #include "models/zoo.h"
@@ -26,47 +32,118 @@ namespace {
 
 using namespace gcd2;
 
-int
-lintModel(const models::ModelInfo &info, size_t &programs, size_t &errors,
-          size_t &warnings)
+/** One finding plus the block its anchor instruction lives in. */
+struct Finding
 {
+    common::Diag diag;
+    int block = -1;
+};
+
+struct ModelReport
+{
+    std::string name;
+    size_t programs = 0;
+    analysis::LintCounts counts;
+    std::vector<Finding> findings;
+};
+
+ModelReport
+lintModel(const models::ModelInfo &info)
+{
+    ModelReport report;
+    report.name = info.name;
+
     const graph::Graph g = models::buildModel(info.id);
     runtime::CompileOptions opts;
     opts.audit = runtime::AuditMode::Off; // the lint below replaces it
     const runtime::CompiledModel model = runtime::compile(g, opts);
 
-    analysis::LintCounts totals;
     std::set<const dsp::PackedProgram *> distinct;
-    std::vector<common::Diag> findings;
     for (const runtime::CompiledModel::ServedSchedule &sched :
          model.schedules) {
         if (!sched.program || !distinct.insert(sched.program.get()).second)
             continue;
         const analysis::LintResult result =
             analysis::lintPackedProgram(*sched.program);
-        totals.useBeforeDef += result.counts.useBeforeDef;
-        totals.deadStore += result.counts.deadStore;
-        totals.hazards += result.counts.hazards;
-        totals.noalias += result.counts.noalias;
-        totals.errors += result.counts.errors;
-        totals.warnings += result.counts.warnings;
-        findings.insert(findings.end(), result.diags.begin(),
-                        result.diags.end());
+        report.counts.useBeforeDef += result.counts.useBeforeDef;
+        report.counts.deadStore += result.counts.deadStore;
+        report.counts.hazards += result.counts.hazards;
+        report.counts.noalias += result.counts.noalias;
+        report.counts.redundantLoad += result.counts.redundantLoad;
+        report.counts.bounds += result.counts.bounds;
+        report.counts.errors += result.counts.errors;
+        report.counts.warnings += result.counts.warnings;
+
+        // Resolve each finding's anchor instruction to its basic block
+        // so JSON consumers get a position that is stable under message
+        // rewording (codes + positions are the golden-baseline key).
+        const analysis::BlockGraph graph =
+            analysis::buildBlockGraph(*sched.program);
+        for (const common::Diag &diag : result.diags) {
+            Finding finding;
+            finding.diag = diag;
+            if (diag.node >= 0 && graph.program &&
+                static_cast<size_t>(diag.node) <
+                    graph.program->code.size())
+                finding.block =
+                    graph.blockOf(static_cast<size_t>(diag.node));
+            report.findings.push_back(std::move(finding));
+        }
     }
+    report.programs = distinct.size();
+    return report;
+}
 
+void
+printText(const ModelReport &report)
+{
     std::printf("lint model=%s programs=%zu use-def=%zu dead-store=%zu "
-                "hazards=%zu noalias=%zu errors=%zu warnings=%zu\n",
-                info.name, distinct.size(), totals.useBeforeDef,
-                totals.deadStore, totals.hazards, totals.noalias,
-                totals.errors, totals.warnings);
-    for (const common::Diag &diag : findings)
-        std::printf("diag model=%s %s\n", info.name,
-                    diag.toString().c_str());
+                "hazards=%zu noalias=%zu redundant-load=%zu bounds=%zu "
+                "errors=%zu warnings=%zu\n",
+                report.name.c_str(), report.programs,
+                report.counts.useBeforeDef, report.counts.deadStore,
+                report.counts.hazards, report.counts.noalias,
+                report.counts.redundantLoad, report.counts.bounds,
+                report.counts.errors, report.counts.warnings);
+    for (const Finding &finding : report.findings)
+        std::printf("diag model=%s %s\n", report.name.c_str(),
+                    finding.diag.toString().c_str());
+}
 
-    programs += distinct.size();
-    errors += totals.errors;
-    warnings += totals.warnings;
-    return 0;
+void
+printJson(const std::vector<ModelReport> &reports, size_t programs,
+          size_t errors, size_t warnings)
+{
+    std::printf("{\n  \"models\": [\n");
+    for (size_t m = 0; m < reports.size(); ++m) {
+        const ModelReport &report = reports[m];
+        std::printf("    {\n      \"model\": \"%s\",\n"
+                    "      \"programs\": %zu,\n"
+                    "      \"findings\": [",
+                    report.name.c_str(), report.programs);
+        for (size_t f = 0; f < report.findings.size(); ++f) {
+            const Finding &finding = report.findings[f];
+            const common::Diag &diag = finding.diag;
+            // node == instruction for lint diags (they anchor on
+            // instruction indexes); both are emitted so consumers need
+            // not know that convention.
+            std::printf("%s\n        {\"code\": \"%s\", "
+                        "\"severity\": \"%s\", \"node\": %lld, "
+                        "\"block\": %d, \"instruction\": %lld}",
+                        f == 0 ? "" : ",",
+                        common::diagCodeName(diag.code),
+                        common::diagSeverityName(diag.severity),
+                        static_cast<long long>(diag.node), finding.block,
+                        static_cast<long long>(diag.node));
+        }
+        std::printf("%s]\n    }%s\n",
+                    report.findings.empty() ? "" : "\n      ",
+                    m + 1 == reports.size() ? "" : ",");
+    }
+    std::printf("  ],\n  \"summary\": {\"models\": %zu, "
+                "\"programs\": %zu, \"errors\": %zu, "
+                "\"warnings\": %zu}\n}\n",
+                reports.size(), programs, errors, warnings);
 }
 
 } // namespace
@@ -74,13 +151,16 @@ lintModel(const models::ModelInfo &info, size_t &programs, size_t &errors,
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> wanted(argv + 1, argv + argc);
-    size_t models = 0;
-    size_t programs = 0;
-    size_t errors = 0;
-    size_t warnings = 0;
-    bool matchedAll = true;
+    bool json = false;
+    std::vector<std::string> wanted;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else
+            wanted.push_back(argv[i]);
+    }
 
+    bool matchedAll = true;
     for (const std::string &name : wanted) {
         bool known = false;
         for (const models::ModelInfo &info : models::allModels())
@@ -95,19 +175,31 @@ main(int argc, char **argv)
     if (!matchedAll)
         return 2;
 
+    std::vector<ModelReport> reports;
+    size_t programs = 0;
+    size_t errors = 0;
+    size_t warnings = 0;
     for (const models::ModelInfo &info : models::allModels()) {
         if (!wanted.empty() &&
             std::find(wanted.begin(), wanted.end(), info.name) ==
                 wanted.end())
             continue;
-        lintModel(info, programs, errors, warnings);
-        ++models;
+        reports.push_back(lintModel(info));
+        programs += reports.back().programs;
+        errors += reports.back().counts.errors;
+        warnings += reports.back().counts.warnings;
     }
 
-    const char *severity =
-        errors > 0 ? "error" : (warnings > 0 ? "warning" : "clean");
-    std::printf("lint summary models=%zu programs=%zu errors=%zu "
-                "warnings=%zu max-severity=%s\n",
-                models, programs, errors, warnings, severity);
+    if (json) {
+        printJson(reports, programs, errors, warnings);
+    } else {
+        for (const ModelReport &report : reports)
+            printText(report);
+        const char *severity =
+            errors > 0 ? "error" : (warnings > 0 ? "warning" : "clean");
+        std::printf("lint summary models=%zu programs=%zu errors=%zu "
+                    "warnings=%zu max-severity=%s\n",
+                    reports.size(), programs, errors, warnings, severity);
+    }
     return errors > 0 ? 2 : (warnings > 0 ? 1 : 0);
 }
